@@ -1,0 +1,21 @@
+"""Shared reporting helper for the benchmark suite.
+
+Each benchmark regenerates one of the paper's artifacts and calls
+:func:`emit` with the rows/series the paper reports; the text is printed
+(visible with ``pytest -s``) and archived under ``benchmarks/out/`` so
+EXPERIMENTS.md can reference stable files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduction report and archive it to benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")

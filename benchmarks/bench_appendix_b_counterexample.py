@@ -1,0 +1,38 @@
+"""Experiment B1 — Appendix B: a private, non-derivable mechanism.
+
+Paper artifact: the explicit 1/2-DP matrix M with
+(1+a^2) M[1,1] - a (M[0,1] + M[2,1]) = -0.75/9, proving M cannot be
+derived from G_{3,1/2}. Regenerated exactly; the witness value must be
+-1/12 at column 1.
+"""
+
+from fractions import Fraction
+
+from _report import emit
+
+from repro.analysis.fractions_fmt import format_matrix
+from repro.core.counterexample import (
+    appendix_b_mechanism,
+    verify_appendix_b,
+)
+
+
+def test_appendix_b(benchmark):
+    outcome = benchmark(verify_appendix_b)
+
+    assert outcome["is_private"] is True
+    assert outcome["derivable"] is False
+    assert outcome["witness_value"] == Fraction(-1, 12)
+    assert outcome["witness_value"] == Fraction(-75, 100) / 9
+    assert outcome["witness"] == (1, 1)
+
+    emit(
+        "appendix_b_counterexample",
+        "Appendix B mechanism M (alpha = 1/2):\n"
+        + format_matrix(appendix_b_mechanism())
+        + "\n\n"
+        + f"1/2-differentially private: {outcome['is_private']}\n"
+        + f"derivable from G_3,1/2:     {outcome['derivable']}\n"
+        + "three-entry value at column 1, rows 0..2: "
+        + f"{outcome['witness_value']} (paper: -0.75/9)",
+    )

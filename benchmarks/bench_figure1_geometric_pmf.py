@@ -1,0 +1,46 @@
+"""Experiment F1 — Figure 1: the geometric mechanism's output pmf.
+
+Paper artifact: the plot of the two-sided geometric distribution for
+``alpha = 0.2`` and true query result 5, over outputs -20..20.
+Regenerated here exactly (Fraction probabilities); the series must peak
+at 5 with mass (1-a)/(1+a) = 2/3 and decay by a factor alpha per step.
+"""
+
+from fractions import Fraction
+
+from _report import emit
+
+from repro.analysis.figures import ascii_plot, figure1_series
+
+ALPHA = Fraction(1, 5)
+CENTER = 5
+
+
+def regenerate():
+    return figure1_series(ALPHA, center=CENTER, low=-20, high=20)
+
+
+def test_figure1_series(benchmark):
+    series = benchmark(regenerate)
+
+    values = dict(series)
+    # Shape assertions from the paper's figure.
+    assert max(values, key=values.get) == CENTER
+    assert values[CENTER] == Fraction(2, 3)
+    for z in range(-19, 20):
+        step = values[z + 1] / values[z] if values[z] else None
+        if z + 1 <= CENTER:
+            assert values[z + 1] >= values[z]
+        if z >= CENTER:
+            assert step == ALPHA
+
+    rows = "\n".join(
+        f"{z:>4}  {float(p):.10f}  ({p})" for z, p in series if -8 <= z <= 12
+    )
+    emit(
+        "figure1_geometric_pmf",
+        "Figure 1 series (alpha=0.2, result=5); exact probabilities\n"
+        + rows
+        + "\n\n"
+        + ascii_plot(series, width=46),
+    )

@@ -1,0 +1,59 @@
+"""Experiment L1 — Lemma 1: det G'_{n,alpha} = (1 - a^2)^{m-1} > 0.
+
+Paper claim (proved by column elimination + induction): the geometric
+mechanism matrix is non-singular, with the explicit determinant above
+for the column-scaled G'. Regenerated exactly across a sweep of sizes
+and privacy levels, via three independent routes: the closed form,
+Gaussian elimination on G', and elimination on G with the column-scaling
+correction.
+"""
+
+from fractions import Fraction
+
+from _report import emit
+
+from repro.core.characterization import (
+    geometric_determinant,
+    gprime_determinant,
+)
+from repro.core.geometric import GeometricMechanism, gprime_matrix
+
+SIZES = list(range(1, 8))
+ALPHAS = [Fraction(1, 5), Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)]
+
+
+def sweep():
+    rows = []
+    for n in SIZES:
+        for alpha in ALPHAS:
+            closed = gprime_determinant(n + 1, alpha)
+            eliminated = gprime_matrix(n, alpha).determinant()
+            g_closed = geometric_determinant(n + 1, alpha)
+            g_eliminated = GeometricMechanism(
+                n, alpha
+            ).to_rational_matrix().determinant()
+            rows.append(
+                (n, alpha, closed, eliminated, g_closed, g_eliminated)
+            )
+    return rows
+
+
+def test_lemma1_determinants(benchmark):
+    rows = benchmark(sweep)
+
+    for n, alpha, closed, eliminated, g_closed, g_eliminated in rows:
+        assert closed == eliminated == (1 - alpha**2) ** n
+        assert g_closed == g_eliminated
+        assert g_closed > 0  # Lemma 1's positivity claim
+
+    lines = [
+        f"  n={n} alpha={alpha}: det G' = {closed}, det G = {g_closed}"
+        for n, alpha, closed, _, g_closed, _ in rows
+        if n <= 3
+    ]
+    emit(
+        "lemma1_determinant",
+        f"Lemma 1 sweep over n in {SIZES}, alpha in "
+        f"{[str(a) for a in ALPHAS]} — all exact matches:\n"
+        + "\n".join(lines),
+    )

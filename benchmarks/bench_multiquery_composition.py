@@ -1,0 +1,79 @@
+"""Experiment X5 — the open problem: multiple queries.
+
+The paper's conclusion asks whether universal optimality extends to
+multiple queries. This bench maps the boundary with the extension
+package: per-query, Theorem 1 survives verbatim (each release is a
+geometric mechanism and every consumer of that query reaches its bespoke
+optimum); jointly, independent releases compose multiplicatively — the
+guarantee degrades exactly as the product rule predicts, and splitting a
+fixed budget across k queries shows the per-query levels decaying toward
+uselessness.
+"""
+
+from fractions import Fraction
+
+from _report import emit
+
+from repro.db.database import Database
+from repro.db.predicates import Eq
+from repro.db.queries import CountQuery
+from repro.db.schema import Attribute, Schema
+from repro.extensions.multiquery import (
+    MultiQueryPublisher,
+    compose_alphas,
+    split_budget,
+)
+from repro.losses import AbsoluteLoss
+
+
+def make_db():
+    schema = Schema(
+        [Attribute("sick", "bool"), Attribute("adult", "bool")]
+    )
+    return Database(
+        schema,
+        [{"sick": i % 2 == 0, "adult": i < 3} for i in range(4)],
+    )
+
+
+def run_experiment():
+    publisher = MultiQueryPublisher(make_db())
+    queries = [CountQuery(Eq("sick", True)), CountQuery(Eq("adult", True))]
+    answer = publisher.answer(
+        queries, [Fraction(1, 2), Fraction(1, 2)], rng=11
+    )
+    per_query_universal = publisher.verify_per_query_universality(
+        Fraction(1, 2), AbsoluteLoss(), {1, 2, 3}
+    )
+    return answer, per_query_universal
+
+
+def test_multiquery_composition(benchmark):
+    answer, per_query_universal = benchmark(run_experiment)
+
+    assert per_query_universal  # Theorem 1 survives per query
+    assert answer.joint_alpha == Fraction(1, 4)  # ... but composes jointly
+    assert answer.joint_alpha < min(answer.per_query_alpha)
+
+    budget = Fraction(1, 2)
+    split_lines = []
+    for k in (1, 2, 4, 8):
+        levels = split_budget(budget, k)
+        recomposed = compose_alphas(
+            [Fraction(l).limit_denominator(10**9) for l in levels]
+        )
+        split_lines.append(
+            f"  k={k}: per-query alpha ~ {float(levels[0]):.4f}, "
+            f"recomposed joint ~ {float(recomposed):.4f} <= {budget}"
+        )
+        assert float(recomposed) <= float(budget) + 1e-9
+
+    emit(
+        "multiquery_composition",
+        "open problem (multiple queries), measured boundary:\n"
+        f"  per-query universality (Theorem 1): {per_query_universal}\n"
+        f"  2 queries at alpha=1/2 each: joint guarantee exactly "
+        f"{answer.joint_alpha} (product rule)\n"
+        f"budget split of alpha={budget} across k queries:\n"
+        + "\n".join(split_lines),
+    )

@@ -1,0 +1,51 @@
+"""Experiment X2 — scaling: LP sizes and solve times versus n.
+
+Not a paper table, but the reproduction's operational envelope: how the
+Section 2.5 LP grows ((n+1)^2 + 1 variables, O(n^2) constraints) and how
+the two backends compare. The exact simplex reproduces paper tables at
+small n; HiGHS carries realistic survey sizes.
+"""
+
+import time
+from fractions import Fraction
+
+from _report import emit
+
+from repro.core.optimal import build_optimal_lp, optimal_mechanism
+from repro.losses import AbsoluteLoss
+from repro.losses.base import loss_matrix
+
+
+def lp_dimensions(n):
+    table = loss_matrix(AbsoluteLoss(), n)
+    program, _ = build_optimal_lp(
+        n, Fraction(1, 2), table, list(range(n + 1))
+    )
+    return program.num_vars, program.num_constraints()
+
+
+def solve_float(n):
+    return optimal_mechanism(n, 0.5, AbsoluteLoss(), exact=False)
+
+
+def test_lp_scaling_float_backend(benchmark):
+    result = benchmark(solve_float, 20)
+    assert result.mechanism.n == 20
+
+    lines = ["   n  vars  constraints  HiGHS(s)  exact(s)"]
+    for n in (2, 4, 6, 10, 16, 24):
+        num_vars, num_constraints = lp_dimensions(n)
+        start = time.perf_counter()
+        solve_float(n)
+        float_seconds = time.perf_counter() - start
+        if n <= 6:
+            start = time.perf_counter()
+            optimal_mechanism(n, Fraction(1, 2), AbsoluteLoss(), exact=True)
+            exact_seconds = f"{time.perf_counter() - start:8.3f}"
+        else:
+            exact_seconds = "       -"
+        lines.append(
+            f"  {n:>2}  {num_vars:>4}  {num_constraints:>11}  "
+            f"{float_seconds:8.3f}  {exact_seconds}"
+        )
+    emit("scaling", "bespoke-LP scaling (loss=|i-r|):\n" + "\n".join(lines))

@@ -1,0 +1,78 @@
+"""Experiment X4 — the privacy-utility frontier and the value of rationality.
+
+Section 2.1 of the paper frames alpha in [0, 1] as a privacy dial; this
+bench regenerates the resulting frontier for three consumers (optimal
+minimax loss versus alpha — non-decreasing, pinned at 0 when alpha -> 0)
+and quantifies what the paper's rational-interaction model buys over
+taking the geometric output at face value, per side-information set.
+"""
+
+from fractions import Fraction
+
+from _report import emit
+
+from repro.analysis.fractions_fmt import format_value
+from repro.analysis.tradeoff import tradeoff_curve, value_of_rationality
+from repro.losses import AbsoluteLoss, SquaredLoss, ZeroOneLoss
+
+N = 3
+ALPHAS = [Fraction(k, 10) for k in (1, 3, 5, 7, 9)]
+LOSSES = [AbsoluteLoss(), SquaredLoss(), ZeroOneLoss()]
+
+
+def build_frontiers():
+    return {
+        loss.describe(): tradeoff_curve(N, ALPHAS, loss) for loss in LOSSES
+    }
+
+
+def test_tradeoff_frontier(benchmark):
+    frontiers = benchmark(build_frontiers)
+
+    lines = ["  alpha   " + "  ".join(f"{l.describe():>22.22}" for l in LOSSES)]
+    for index, alpha in enumerate(ALPHAS):
+        cells = []
+        for loss in LOSSES:
+            points = frontiers[loss.describe()]
+            cells.append(f"{format_value(points[index].optimal_loss):>22}")
+        lines.append(f"  {str(alpha):>5}   " + "  ".join(cells))
+
+    for name, points in frontiers.items():
+        losses = [p.optimal_loss for p in points]
+        assert losses == sorted(losses), name  # privacy costs utility
+
+    emit(
+        "tradeoff_curve",
+        f"privacy-utility frontier at n={N} "
+        "(optimal minimax loss; non-decreasing in alpha):\n"
+        + "\n".join(lines),
+    )
+
+
+def test_value_of_rationality(benchmark):
+    side_infos = {"none": None, ">=2": {2, 3}, "exact-ish": {1, 2}}
+
+    def compute():
+        return {
+            label: value_of_rationality(
+                N, Fraction(1, 2), AbsoluteLoss(), side
+            )
+            for label, side in side_infos.items()
+        }
+
+    records = benchmark(compute)
+
+    assert records["none"].improvement >= 0
+    assert records[">=2"].improvement > 0  # side info makes it pay
+
+    lines = [
+        f"  S={label:<10} face-value={format_value(r.face_value_loss):>8} "
+        f"rational={format_value(r.rational_loss):>8} "
+        f"improvement={format_value(r.improvement)}"
+        for label, r in records.items()
+    ]
+    emit(
+        "value_of_rationality",
+        "what rational interaction buys (alpha=1/2, loss=|i-r|):\n"
+        + "\n".join(lines),
+    )

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""The paper's running example: the San Diego flu survey.
+
+Section 1 motivates the whole theory with one query:
+
+    Q: How many adults from San Diego contracted the flu this October?
+
+Three parties care, with different stakes (Section 2.3):
+
+* the *government* tracks the epidemic — absolute-error loss, no side
+  information;
+* a *drug company* plans production — squared-error loss, and its own
+  sales receipts lower-bound the count (Example 1);
+* a *journalist* wants to know whether an outbreak happened at all —
+  zero-one loss with a population upper bound.
+
+One geometric release serves all three optimally (Theorem 1), which is
+exactly what lets the statistic be published to an unknown audience.
+
+Run:  python examples/flu_survey.py
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro import (
+    AbsoluteLoss,
+    GeometricMechanism,
+    MinimaxAgent,
+    SideInformation,
+    SquaredLoss,
+    ZeroOneLoss,
+)
+from repro.analysis.fractions_fmt import format_value
+from repro.db.generators import (
+    drug_purchases_lower_bound,
+    flu_population,
+    flu_query,
+)
+from repro.release.publisher import Publisher
+
+
+def main() -> None:
+    rng = np.random.default_rng(20101001)
+
+    # --- Synthesize the survey population ------------------------------
+    # n = 6 keeps the exact (Fraction) LP solves instant; crank it up and
+    # pass exact=False below for float solves at survey scale.
+    database = flu_population(
+        6, rng, flu_rate=0.35, san_diego_share=0.7, drug_uptake=0.6
+    )
+    n = database.size
+    query = flu_query()
+    true_count = query(database)
+    print(query.describe())
+    print(f"population={n}, true count={true_count}")
+
+    # --- Publish once at alpha = 1/2 -----------------------------------
+    alpha = Fraction(1, 2)
+    publisher = Publisher(database, alpha)
+    statistic = publisher.publish(query, rng)
+    print(f"published value: {statistic.value}  (alpha={alpha})")
+
+    # --- Three heterogeneous consumers ---------------------------------
+    sales_bound = drug_purchases_lower_bound(database)
+    consumers = [
+        MinimaxAgent(AbsoluteLoss(), None, n=n, name="government"),
+        MinimaxAgent(
+            SquaredLoss(),
+            SideInformation.at_least(sales_bound, n=n),
+            n=n,
+            name="drug-company",
+        ),
+        MinimaxAgent(
+            ZeroOneLoss(),
+            SideInformation.at_most(n - 1, n=n),
+            n=n,
+            name="journalist",
+        ),
+    ]
+    print(f"\ndrug company's sales lower bound: {sales_bound}")
+
+    # --- Each interacts rationally with the SAME deployment ------------
+    deployed = publisher.mechanism
+    print(f"\n{'consumer':<14} {'interaction':<16} {'bespoke LP':<16} equal?")
+    for agent in consumers:
+        interaction = agent.best_interaction(deployed, exact=True)
+        bespoke = agent.bespoke_mechanism(alpha, exact=True)
+        print(
+            f"{agent.name:<14} "
+            f"{format_value(interaction.loss):<16} "
+            f"{format_value(bespoke.loss):<16} "
+            f"{interaction.loss == bespoke.loss}"
+        )
+        assert interaction.loss == bespoke.loss
+
+    # --- What the drug company actually does with the number -----------
+    company = consumers[1]
+    kernel = company.best_interaction(deployed, exact=True).kernel
+    estimate = company.reinterpret(statistic.value, kernel, rng)
+    print(
+        f"\ndrug company reinterprets published {statistic.value} "
+        f"as {estimate} (never below its sales bound {sales_bound})"
+    )
+    assert estimate >= sales_bound
+
+
+if __name__ == "__main__":
+    main()

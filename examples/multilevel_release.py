@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Multi-level release: executives vs the Internet (Algorithm 1).
+
+Section 2.6's scenario: the flu statistic goes out twice — a
+high-utility version for government executives and a high-privacy
+version for the public. Releasing two *independent* perturbations would
+let the two audiences collude and average the noise away; Algorithm 1
+instead derives the public number from the executive number through the
+Lemma 3 kernel, so collusion yields nothing (Lemma 4).
+
+This script (a) runs the correlated release, (b) verifies collusion
+resistance for every coalition exactly, and (c) simulates the averaging
+attack against both strategies to show the difference empirically.
+
+Run:  python examples/multilevel_release.py
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro import MultiLevelRelease
+from repro.analysis.fractions_fmt import format_matrix, format_value
+from repro.core.multilevel import naive_independent_release_alpha
+from repro.release.collusion import compare_release_strategies
+
+
+def main() -> None:
+    n = 8
+    true_count = 5
+    tiers = {
+        "executives": Fraction(2, 5),
+        "internet": Fraction(7, 10),
+    }
+    levels = sorted(tiers.values())
+    release = MultiLevelRelease(n, levels)
+
+    # --- (a) one correlated release ------------------------------------
+    values = release.release(true_count, rng=20100615)
+    print(f"true count = {true_count}")
+    for (name, alpha), value in zip(sorted(tiers.items(), key=lambda i: i[1]), values):
+        print(f"  tier {name:<11} alpha={alpha}: published {value}")
+
+    print("\nLemma 3 kernel carrying the executive number to the public one:")
+    print(format_matrix(release.kernel(0)))
+
+    # --- (b) exact collusion-resistance check (Lemma 4) ----------------
+    print("\ncoalition checks (joint mechanism's tightest alpha):")
+    for check in release.verify_all_coalitions():
+        print(
+            f"  coalition {check.coalition}: required "
+            f"{format_value(check.required_alpha)}, achieved "
+            f"{format_value(check.achieved_alpha)} -> "
+            f"{'OK' if check.holds else 'VIOLATED'}"
+        )
+    naive = naive_independent_release_alpha(levels)
+    print(
+        "naive independent release would degrade to alpha = "
+        f"{format_value(naive)} (worse than "
+        f"{format_value(levels[0])})"
+    )
+
+    # --- (c) the averaging attack, empirically -------------------------
+    comparison = compare_release_strategies(
+        n,
+        [Fraction(2, 5), Fraction(9, 20), Fraction(1, 2), Fraction(11, 20)],
+        true_result=true_count,
+        trials=6000,
+        rng=np.random.default_rng(7),
+    )
+    print("\naveraging attack with 4 releases (mean squared error):")
+    print(f"  single least-private release: {comparison.single_best.mse:.3f}")
+    print(f"  naive independent releases:   {comparison.naive.mse:.3f}  <- noise cancels")
+    print(f"  Algorithm 1 chained releases: {comparison.chained.mse:.3f}  <- no gain")
+
+
+if __name__ == "__main__":
+    main()

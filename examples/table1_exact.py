@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Table 1 with exact rational arithmetic.
+
+Table 1 illustrates the paper's central factorization for the consumer
+with loss ``|i - r|``, side information ``{0..3}``, ``n = 3``,
+``alpha = 1/4``:
+
+    optimal mechanism (a)  =  geometric mechanism (b)  x  interaction (c)
+
+The in-repo exact simplex recomputes all three panels as Fractions; the
+printed entries of (b) match the paper exactly (after the display
+scaling the paper uses), while (a) and (c) reveal that the published
+fractions were lightly rounded — the exact optimum has minimax loss
+168/415, and the exact interaction corner is 68/83 (the paper prints
+9/11 = 0.8182 vs the true 0.8193).
+
+Run:  python examples/table1_exact.py
+"""
+
+from repro.analysis.report import render_table1
+from repro.analysis.tables import reproduce_table1
+
+
+def main() -> None:
+    reproduction = reproduce_table1()
+    print(render_table1(reproduction))
+
+    # Programmatic access to the same artifacts:
+    assert reproduction.universality_gap == 0
+    assert (
+        reproduction.geometric.post_process(reproduction.interaction_kernel)
+        == reproduction.induced
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim (offline environments lack the `wheel` package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Decision-theoretic information consumers.
+
+Section 2.3 models consumers as *minimax* (risk-averse) agents: each has
+a monotone loss function, side information restricting the possible true
+results, and evaluates a mechanism by its worst-case expected loss.
+Section 2.7 contrasts them with the *Bayesian* agents of Ghosh,
+Roughgarden & Sundararajan (STOC 2009), who instead carry a prior and
+evaluate expected loss under it — the baseline model this library also
+implements for comparison benchmarks.
+"""
+
+from .bayesian import BayesianAgent, bayesian_optimal_mechanism
+from .minimax import MinimaxAgent
+from .rationality import interact_and_report, tailored_loss
+from .side_information import SideInformation
+
+__all__ = [
+    "SideInformation",
+    "MinimaxAgent",
+    "BayesianAgent",
+    "bayesian_optimal_mechanism",
+    "interact_and_report",
+    "tailored_loss",
+]

@@ -1,0 +1,148 @@
+"""Minimax (risk-averse) information consumers (Section 2.3).
+
+A :class:`MinimaxAgent` bundles a monotone loss function with side
+information. It can evaluate its disutility for any mechanism
+(Equation 1), compute its optimal randomized interaction with a deployed
+mechanism (Section 2.4.3), request its bespoke optimal mechanism
+(Section 2.5), and post-process observed outputs. The universality
+theorem says the first two paths meet: interacting optimally with the
+geometric mechanism achieves the bespoke optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.interaction import InteractionResult, optimal_interaction
+from ..core.mechanism import Mechanism
+from ..core.optimal import OptimalMechanismResult, optimal_mechanism
+from ..exceptions import ValidationError
+from ..losses.base import LossFunction, check_monotone
+from ..sampling.rng import ensure_generator
+from .side_information import SideInformation
+
+__all__ = ["MinimaxAgent"]
+
+
+class MinimaxAgent:
+    """A risk-averse rational information consumer.
+
+    Parameters
+    ----------
+    loss:
+        The agent's loss function (validated against the paper's
+        monotonicity assumption for the given ``n``).
+    side_information:
+        A :class:`SideInformation`, an iterable of admissible results, or
+        ``None`` for no side information.
+    n:
+        Maximum query result the agent reasons over.
+    name:
+        Optional label for reports.
+
+    Examples
+    --------
+    >>> from fractions import Fraction as F
+    >>> from repro.losses import AbsoluteLoss
+    >>> from repro.core.geometric import GeometricMechanism
+    >>> agent = MinimaxAgent(AbsoluteLoss(), None, n=3)
+    >>> g = GeometricMechanism(3, F(1, 4))
+    >>> interaction = agent.best_interaction(g)
+    >>> float(interaction.loss) <= float(agent.disutility(g))
+    True
+    """
+
+    def __init__(
+        self,
+        loss: LossFunction,
+        side_information=None,
+        *,
+        n: int,
+        name: str | None = None,
+        validate: bool = True,
+    ) -> None:
+        if not isinstance(loss, LossFunction):
+            raise ValidationError(
+                f"loss must be a LossFunction, got {type(loss).__name__}"
+            )
+        if side_information is None:
+            side_information = SideInformation.full(n)
+        elif not isinstance(side_information, SideInformation):
+            side_information = SideInformation(side_information, n)
+        elif side_information.n != n:
+            raise ValidationError(
+                f"side information covers n={side_information.n}, "
+                f"agent expects n={n}"
+            )
+        if validate:
+            check_monotone(loss, n)
+        self.loss = loss
+        self.side_information = side_information
+        self.n = side_information.n
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def disutility(self, mechanism: Mechanism):
+        """Equation 1: worst-case expected loss over the side information.
+
+        Evaluates the mechanism *as deployed*, without interaction.
+        """
+        return mechanism.worst_case_loss(self.loss, self.side_information)
+
+    def best_interaction(
+        self, deployed: Mechanism, *, backend=None, exact: bool | None = None
+    ) -> InteractionResult:
+        """The agent's optimal randomized post-processing (Section 2.4.3)."""
+        return optimal_interaction(
+            deployed,
+            self.loss,
+            self.side_information,
+            backend=backend,
+            exact=exact,
+        )
+
+    def bespoke_mechanism(
+        self,
+        alpha,
+        *,
+        backend=None,
+        exact: bool | None = None,
+        refine: bool = False,
+    ) -> OptimalMechanismResult:
+        """The agent's tailored optimal alpha-DP mechanism (Section 2.5)."""
+        return optimal_mechanism(
+            self.n,
+            alpha,
+            self.loss,
+            self.side_information,
+            backend=backend,
+            exact=exact,
+            refine=refine,
+        )
+
+    def reinterpret(
+        self, observed: int, kernel: np.ndarray, rng=None
+    ) -> int:
+        """Apply an interaction kernel to one observed output.
+
+        Samples ``r'`` from row ``observed`` of ``kernel`` — the runtime
+        counterpart of :meth:`best_interaction` for consumers receiving a
+        published result rather than a whole mechanism.
+        """
+        kernel = np.asarray(kernel)
+        if not 0 <= observed < kernel.shape[0]:
+            raise ValidationError(
+                f"observed result {observed} outside [0, {kernel.shape[0] - 1}]"
+            )
+        rng = ensure_generator(rng)
+        row = np.asarray(kernel[observed], dtype=float)
+        row = np.clip(row, 0.0, None)
+        row = row / row.sum()
+        return int(rng.choice(kernel.shape[1], p=row))
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<MinimaxAgent{label} n={self.n} loss={self.loss.describe()} "
+            f"S={list(self.side_information.members)}>"
+        )

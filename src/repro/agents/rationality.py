@@ -1,0 +1,65 @@
+"""Rational-interaction pipelines.
+
+Small conveniences that tie an agent to a deployed mechanism: computing
+the loss an agent achieves *after* interacting optimally (the quantity
+Theorem 1 equates with the bespoke optimum), and running the full
+publish-observe-reinterpret loop on sampled data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.mechanism import Mechanism
+from ..sampling.rng import ensure_generator
+from .minimax import MinimaxAgent
+
+__all__ = ["tailored_loss", "interact_and_report", "InteractionTrace"]
+
+
+def tailored_loss(agent: MinimaxAgent, deployed: Mechanism, **solver_kwargs):
+    """Loss the agent achieves by interacting optimally with ``deployed``.
+
+    This is the left-hand side of Theorem 1's utility claim; comparing it
+    against ``agent.bespoke_mechanism(alpha).loss`` is the universality
+    check run throughout the benchmarks.
+    """
+    return agent.best_interaction(deployed, **solver_kwargs).loss
+
+
+@dataclass(frozen=True)
+class InteractionTrace:
+    """One full publish/observe/reinterpret round.
+
+    Attributes
+    ----------
+    true_result:
+        The unperturbed count.
+    published:
+        What the mechanism released.
+    reinterpreted:
+        The agent's final estimate after applying its optimal kernel.
+    """
+
+    true_result: int
+    published: int
+    reinterpreted: int
+
+
+def interact_and_report(
+    agent: MinimaxAgent,
+    deployed: Mechanism,
+    true_result: int,
+    rng=None,
+    **solver_kwargs,
+) -> InteractionTrace:
+    """Sample the deployed mechanism once and post-process rationally."""
+    rng = ensure_generator(rng)
+    interaction = agent.best_interaction(deployed, **solver_kwargs)
+    published = deployed.sample(true_result, rng)
+    final = agent.reinterpret(published, interaction.kernel, rng)
+    return InteractionTrace(
+        true_result=int(true_result),
+        published=published,
+        reinterpreted=final,
+    )

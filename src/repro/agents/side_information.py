@@ -1,0 +1,131 @@
+"""Side information: what a consumer already knows about the result.
+
+Section 2.3: a consumer knows the true result cannot fall outside a set
+``S`` of ``{0..n}`` — e.g. the population of San Diego upper-bounds the
+flu count, and a drug company's own sales lower-bound it. Side
+information is *set-valued* (not probabilistic); this is exactly what
+distinguishes the paper's minimax model from the Bayesian model of
+Ghosh et al., whose agents must carry a full prior.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..exceptions import SideInformationError
+from ..validation import check_result_range
+
+__all__ = ["SideInformation"]
+
+
+class SideInformation:
+    """An immutable non-empty subset of the result range ``{0..n}``.
+
+    Parameters
+    ----------
+    members:
+        Iterable of admissible results.
+    n:
+        The maximum query result the set must respect.
+
+    Examples
+    --------
+    >>> s = SideInformation.interval(2, 5, n=10)
+    >>> 3 in s
+    True
+    >>> len(s)
+    4
+    """
+
+    __slots__ = ("_members", "n")
+
+    def __init__(self, members: Iterable[int], n: int) -> None:
+        self.n = check_result_range(n)
+        cleaned = sorted({int(i) for i in members})
+        if not cleaned:
+            raise SideInformationError("side information must be non-empty")
+        if cleaned[0] < 0 or cleaned[-1] > self.n:
+            raise SideInformationError(
+                f"side information {cleaned} falls outside [0, {self.n}]"
+            )
+        self._members: tuple[int, ...] = tuple(cleaned)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def full(cls, n: int) -> "SideInformation":
+        """No side information: the full range ``{0..n}``."""
+        n = check_result_range(n)
+        return cls(range(n + 1), n)
+
+    @classmethod
+    def interval(cls, low: int, high: int, *, n: int) -> "SideInformation":
+        """The contiguous range ``{low..high}`` (the paper's examples)."""
+        if low > high:
+            raise SideInformationError(
+                f"interval is empty: low={low} > high={high}"
+            )
+        return cls(range(low, high + 1), n)
+
+    @classmethod
+    def at_least(cls, low: int, *, n: int) -> "SideInformation":
+        """Lower bound only — e.g. the drug company's ``{l..n}``."""
+        return cls.interval(low, check_result_range(n), n=n)
+
+    @classmethod
+    def at_most(cls, high: int, *, n: int) -> "SideInformation":
+        """Upper bound only — e.g. a population cap ``{0..high}``."""
+        return cls.interval(0, high, n=n)
+
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> tuple[int, ...]:
+        """Sorted tuple of admissible results."""
+        return self._members
+
+    @property
+    def is_trivial(self) -> bool:
+        """Whether the set is the full range (no actual information)."""
+        return len(self._members) == self.n + 1
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._members
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SideInformation):
+            return NotImplemented
+        return self.n == other.n and self._members == other._members
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._members))
+
+    def intersect(self, other: "SideInformation") -> "SideInformation":
+        """Combine two pieces of side information (set intersection)."""
+        if self.n != other.n:
+            raise SideInformationError(
+                f"cannot intersect side information over different ranges "
+                f"({self.n} vs {other.n})"
+            )
+        common = set(self._members) & set(other._members)
+        if not common:
+            raise SideInformationError(
+                "side information sets are contradictory (empty intersection)"
+            )
+        return SideInformation(common, self.n)
+
+    def __repr__(self) -> str:
+        if self.is_trivial:
+            return f"<SideInformation full 0..{self.n}>"
+        if self._members == tuple(
+            range(self._members[0], self._members[-1] + 1)
+        ):
+            return (
+                f"<SideInformation {self._members[0]}.."
+                f"{self._members[-1]} of 0..{self.n}>"
+            )
+        return f"<SideInformation {list(self._members)} of 0..{self.n}>"

@@ -1,0 +1,42 @@
+"""Reproduction of the paper's tables and figures, plus sweeps.
+
+Each artifact in the paper has a dedicated entry point here returning
+plain data (matrices, series, records); the benchmark suite times and
+prints them, and EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from .figures import ascii_plot, figure1_series
+from .fractions_fmt import format_matrix, format_value
+from .sweeps import (
+    UniversalityRecord,
+    bayesian_universality_sweep,
+    universality_sweep,
+)
+from .tables import (
+    Table1Reproduction,
+    reproduce_table1,
+    reproduce_table2,
+)
+from .tradeoff import (
+    RationalityRecord,
+    TradeoffPoint,
+    tradeoff_curve,
+    value_of_rationality,
+)
+
+__all__ = [
+    "TradeoffPoint",
+    "tradeoff_curve",
+    "RationalityRecord",
+    "value_of_rationality",
+    "figure1_series",
+    "ascii_plot",
+    "format_matrix",
+    "format_value",
+    "Table1Reproduction",
+    "reproduce_table1",
+    "reproduce_table2",
+    "UniversalityRecord",
+    "universality_sweep",
+    "bayesian_universality_sweep",
+]

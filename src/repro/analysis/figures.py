@@ -1,0 +1,56 @@
+"""Figure 1: the geometric mechanism's output distribution.
+
+The paper's only figure plots the two-sided geometric pmf for
+``alpha = 0.2`` centered at query result 5, over outputs -20..20.
+:func:`figure1_series` regenerates the plotted series exactly;
+:func:`ascii_plot` renders it in a terminal.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.geometric import geometric_noise_pmf
+from ..exceptions import ValidationError
+from ..validation import check_alpha
+
+__all__ = ["figure1_series", "ascii_plot"]
+
+
+def figure1_series(
+    alpha=Fraction(1, 5),
+    center: int = 5,
+    low: int = -20,
+    high: int = 20,
+) -> list[tuple[int, object]]:
+    """The (output, probability) series of the paper's Figure 1.
+
+    Defaults reproduce the published parameters: ``alpha = 0.2``, true
+    query result 5, x-axis -20..20. Exact probabilities for Fraction
+    ``alpha``.
+    """
+    check_alpha(alpha)
+    if low > high:
+        raise ValidationError(f"empty output range: {low} > {high}")
+    return [
+        (z, geometric_noise_pmf(alpha, z - center)) for z in range(low, high + 1)
+    ]
+
+
+def ascii_plot(
+    series, *, width: int = 50, height_label: str = "Pr"
+) -> str:
+    """Render an (x, y) series as a horizontal-bar ASCII plot."""
+    points = [(x, float(y)) for x, y in series]
+    if not points:
+        raise ValidationError("series must be non-empty")
+    if width < 5:
+        raise ValidationError(f"width must be >= 5, got {width}")
+    peak = max(y for _, y in points)
+    if peak <= 0:
+        raise ValidationError("series must contain a positive value")
+    lines = [f"{'x':>5}  {height_label}"]
+    for x, y in points:
+        bar = "#" * max(0, round(width * y / peak))
+        lines.append(f"{x:>5}  {y:.6f} {bar}")
+    return "\n".join(lines)

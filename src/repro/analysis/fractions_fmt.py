@@ -1,0 +1,77 @@
+"""Rendering matrices the way the paper prints them.
+
+The paper's tables print mechanisms as grids of small fractions
+(``2/3``, ``5/17``, ...). These helpers render exact matrices verbatim
+and float matrices either as decimals or as nearest small fractions for
+side-by-side comparison with the published tables.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..core.mechanism import Mechanism
+from ..linalg.rational import RationalMatrix
+
+__all__ = ["format_value", "format_matrix", "nearest_fractions"]
+
+
+def format_value(value, *, max_denominator: int | None = None) -> str:
+    """Render one entry: exact fractions verbatim, floats to 6 digits."""
+    if isinstance(value, Fraction):
+        if max_denominator is not None:
+            value = value.limit_denominator(max_denominator)
+        if value.denominator == 1:
+            return str(value.numerator)
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    return f"{float(value):.6f}"
+
+
+def _rows_of(matrix) -> list[list]:
+    if isinstance(matrix, Mechanism):
+        matrix = matrix.matrix
+    if isinstance(matrix, RationalMatrix):
+        matrix = matrix.to_numpy()
+    matrix = np.asarray(matrix)
+    return [list(row) for row in matrix]
+
+
+def format_matrix(
+    matrix, *, max_denominator: int | None = None, indent: str = "  "
+) -> str:
+    """Render a matrix as an aligned text grid (one row per line)."""
+    rows = _rows_of(matrix)
+    rendered = [
+        [format_value(entry, max_denominator=max_denominator) for entry in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(rendered[i][j]) for i in range(len(rendered)))
+        for j in range(len(rendered[0]))
+    ]
+    lines = [
+        indent
+        + "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        for row in rendered
+    ]
+    return "\n".join(lines)
+
+
+def nearest_fractions(matrix, max_denominator: int = 100) -> np.ndarray:
+    """Round a float matrix to nearest small fractions (object array).
+
+    Used when comparing LP float output against the paper's printed
+    fractions.
+    """
+    rows = _rows_of(matrix)
+    out = np.empty((len(rows), len(rows[0])), dtype=object)
+    for i, row in enumerate(rows):
+        for j, entry in enumerate(row):
+            out[i, j] = Fraction(float(entry)).limit_denominator(
+                max_denominator
+            )
+    return out

@@ -1,0 +1,142 @@
+"""Privacy-utility trade-off analysis.
+
+The paper's Section 2.1 observes that varying ``alpha`` in ``[0, 1]``
+trades privacy against utility; this module quantifies the trade-off for
+concrete consumers:
+
+* :func:`tradeoff_curve` — the frontier ``alpha -> optimal minimax
+  loss`` (optimal loss is non-decreasing in alpha: more privacy costs
+  utility; tested);
+* :func:`value_of_rationality` — how much rational post-processing buys
+  over taking the geometric mechanism's output at face value, per
+  consumer; this is the concrete payoff of the paper's rational-consumer
+  model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.geometric import GeometricMechanism
+from ..core.interaction import optimal_interaction
+from ..core.optimal import optimal_mechanism
+from ..exceptions import ValidationError
+from ..validation import check_alpha
+
+__all__ = [
+    "TradeoffPoint",
+    "tradeoff_curve",
+    "RationalityRecord",
+    "value_of_rationality",
+]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point on the privacy-utility frontier.
+
+    Attributes
+    ----------
+    alpha:
+        Privacy level.
+    epsilon:
+        The same in the epsilon convention.
+    optimal_loss:
+        The minimax-optimal loss achievable at this level (Section 2.5
+        LP == interaction-with-G loss, by Theorem 1).
+    """
+
+    alpha: object
+    epsilon: float
+    optimal_loss: object
+
+
+def tradeoff_curve(
+    n: int,
+    alphas,
+    loss,
+    side_information=None,
+    *,
+    exact: bool = True,
+) -> list[TradeoffPoint]:
+    """Compute the privacy-utility frontier for one consumer.
+
+    Parameters
+    ----------
+    n:
+        Maximum query result.
+    alphas:
+        Iterable of privacy levels to sweep (need not be sorted).
+    loss, side_information:
+        The consumer's parameters.
+    exact:
+        Solve exactly (Fraction alphas) or with HiGHS.
+    """
+    from ..core.privacy import alpha_to_epsilon
+
+    levels = list(alphas)
+    if not levels:
+        raise ValidationError("alphas must be non-empty")
+    for alpha in levels:
+        check_alpha(alpha)
+    points = []
+    for alpha in sorted(levels):
+        result = optimal_mechanism(
+            n, alpha, loss, side_information, exact=exact
+        )
+        points.append(
+            TradeoffPoint(
+                alpha=alpha,
+                epsilon=alpha_to_epsilon(alpha),
+                optimal_loss=result.loss,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class RationalityRecord:
+    """Face-value vs rational consumption of the geometric mechanism.
+
+    Attributes
+    ----------
+    alpha:
+        Privacy level of the deployment.
+    face_value_loss:
+        Worst-case loss of accepting G's output verbatim.
+    rational_loss:
+        Worst-case loss after the optimal interaction (== the bespoke
+        optimum by Theorem 1).
+    improvement:
+        ``face_value_loss - rational_loss`` (>= 0; strictly positive
+        whenever side information or the loss's shape make
+        re-interpretation worthwhile).
+    """
+
+    alpha: object
+    face_value_loss: object
+    rational_loss: object
+    improvement: object
+
+
+def value_of_rationality(
+    n: int,
+    alpha,
+    loss,
+    side_information=None,
+    *,
+    exact: bool = True,
+) -> RationalityRecord:
+    """Quantify what the paper's rational interaction buys one consumer."""
+    check_alpha(alpha)
+    deployed = GeometricMechanism(n, alpha)
+    face_value = deployed.worst_case_loss(loss, side_information)
+    interaction = optimal_interaction(
+        deployed, loss, side_information, exact=exact
+    )
+    return RationalityRecord(
+        alpha=alpha,
+        face_value_loss=face_value,
+        rational_loss=interaction.loss,
+        improvement=face_value - interaction.loss,
+    )

@@ -1,0 +1,235 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro reproduce figure1            # Figure 1 pmf series + ASCII plot
+    repro reproduce table1             # Table 1: optimal = G x interaction
+    repro reproduce table2 [-n N] [--alpha A]
+    repro reproduce appendix-b         # the non-derivable mechanism
+    repro optimal -n N --alpha A [--loss absolute|squared|zero-one]
+    repro release -n N --alphas A1 A2 ... --true-result R [--seed S]
+    repro audit -n N --alpha A [--samples S]
+
+Fractions are accepted anywhere a privacy level is (e.g. ``--alpha 1/4``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+from .analysis.report import render_figure1, render_table1, render_table2
+from .analysis.tables import reproduce_table1, reproduce_table2
+from .analysis.fractions_fmt import format_matrix, format_value
+from .core.counterexample import APPENDIX_B_ALPHA, appendix_b_mechanism, verify_appendix_b
+from .core.geometric import GeometricMechanism
+from .core.multilevel import MultiLevelRelease
+from .core.optimal import optimal_mechanism
+from .exceptions import ReproError
+from .losses import AbsoluteLoss, SquaredLoss, ZeroOneLoss
+from .release.audit import empirical_alpha
+
+__all__ = ["main", "build_parser"]
+
+_LOSSES = {
+    "absolute": AbsoluteLoss,
+    "squared": SquaredLoss,
+    "zero-one": ZeroOneLoss,
+}
+
+
+def _parse_alpha(text: str) -> Fraction:
+    try:
+        return Fraction(text)
+    except (ValueError, ZeroDivisionError) as err:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse privacy level {text!r}: {err}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Universally Optimal Privacy Mechanisms "
+            "for Minimax Agents' (PODS 2010)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate a table/figure from the paper"
+    )
+    reproduce.add_argument(
+        "artifact",
+        choices=("figure1", "table1", "table2", "appendix-b"),
+    )
+    reproduce.add_argument("-n", type=int, default=3)
+    reproduce.add_argument("--alpha", type=_parse_alpha, default=Fraction(1, 4))
+
+    optimal = sub.add_parser(
+        "optimal", help="solve the bespoke optimal-mechanism LP"
+    )
+    optimal.add_argument("-n", type=int, required=True)
+    optimal.add_argument("--alpha", type=_parse_alpha, required=True)
+    optimal.add_argument(
+        "--loss", choices=sorted(_LOSSES), default="absolute"
+    )
+    optimal.add_argument(
+        "--side", type=int, nargs="*", default=None,
+        help="admissible results (default: all)",
+    )
+
+    release = sub.add_parser(
+        "release", help="run Algorithm 1 at multiple privacy levels"
+    )
+    release.add_argument("-n", type=int, required=True)
+    release.add_argument(
+        "--alphas", type=_parse_alpha, nargs="+", required=True
+    )
+    release.add_argument("--true-result", type=int, required=True)
+    release.add_argument("--seed", type=int, default=None)
+
+    audit = sub.add_parser(
+        "audit", help="empirically audit a geometric mechanism's privacy"
+    )
+    audit.add_argument("-n", type=int, required=True)
+    audit.add_argument("--alpha", type=_parse_alpha, required=True)
+    audit.add_argument("--samples", type=int, default=20000)
+    audit.add_argument("--seed", type=int, default=None)
+
+    tradeoff = sub.add_parser(
+        "tradeoff", help="print the privacy-utility frontier for a consumer"
+    )
+    tradeoff.add_argument("-n", type=int, required=True)
+    tradeoff.add_argument(
+        "--alphas", type=_parse_alpha, nargs="+", required=True
+    )
+    tradeoff.add_argument(
+        "--loss", choices=sorted(_LOSSES), default="absolute"
+    )
+    tradeoff.add_argument("--side", type=int, nargs="*", default=None)
+
+    return parser
+
+
+def _cmd_reproduce(args) -> str:
+    if args.artifact == "figure1":
+        return render_figure1(Fraction(1, 5))
+    if args.artifact == "table1":
+        return render_table1(reproduce_table1())
+    if args.artifact == "table2":
+        return render_table2(reproduce_table2(args.n, args.alpha))
+    outcome = verify_appendix_b()
+    mechanism = appendix_b_mechanism()
+    return "\n".join(
+        [
+            f"Appendix B mechanism (alpha = {APPENDIX_B_ALPHA}):",
+            format_matrix(mechanism),
+            f"is 1/2-differentially private: {outcome['is_private']}",
+            f"derivable from the geometric mechanism: {outcome['derivable']}",
+            "three-entry value at column 1, rows 0..2: "
+            + format_value(outcome["witness_value"])
+            + " (paper: -0.75/9 = -1/12)",
+        ]
+    )
+
+
+def _cmd_optimal(args) -> str:
+    loss = _LOSSES[args.loss]()
+    result = optimal_mechanism(
+        args.n, args.alpha, loss, args.side, exact=True
+    )
+    return "\n".join(
+        [
+            f"Optimal alpha={args.alpha} mechanism for loss={args.loss}, "
+            f"S={result.side_information}:",
+            format_matrix(result.mechanism),
+            "minimax loss: "
+            + format_value(result.loss)
+            + f" = {float(result.loss):.6f}",
+        ]
+    )
+
+
+def _cmd_release(args) -> str:
+    release = MultiLevelRelease(args.n, args.alphas)
+    values = release.release(args.true_result, rng=args.seed)
+    lines = [
+        f"Algorithm 1 release for true result {args.true_result} "
+        f"(n={args.n}):"
+    ]
+    for alpha, value in zip(release.alphas, values):
+        lines.append(f"  level alpha={alpha}: published {value}")
+    checks = release.verify_all_coalitions()
+    lines.append(
+        "collusion resistance (all coalitions): "
+        + ("OK" if all(c.holds for c in checks) else "VIOLATED")
+    )
+    return "\n".join(lines)
+
+
+def _cmd_audit(args) -> str:
+    mechanism = GeometricMechanism(args.n, args.alpha)
+    report = empirical_alpha(mechanism, args.samples, rng=args.seed)
+    return "\n".join(
+        [
+            f"Audit of G(n={args.n}, alpha={args.alpha}):",
+            f"  exact tightest alpha:     {format_value(report.exact_alpha)}",
+            f"  empirical alpha estimate: {report.empirical_alpha:.4f}",
+            f"  empirical epsilon:        {report.empirical_epsilon:.4f}",
+            f"  samples per input:        {report.samples_per_input}",
+            f"  consistent with matrix:   {report.consistent}",
+        ]
+    )
+
+
+def _cmd_tradeoff(args) -> str:
+    from .analysis.tradeoff import tradeoff_curve
+
+    loss = _LOSSES[args.loss]()
+    points = tradeoff_curve(args.n, args.alphas, loss, args.side)
+    lines = [
+        f"privacy-utility frontier (n={args.n}, loss={args.loss}):",
+        f"  {'alpha':>8} {'epsilon':>9} {'optimal loss':>14}",
+    ]
+    for point in points:
+        lines.append(
+            f"  {str(point.alpha):>8} {point.epsilon:>9.4f} "
+            f"{format_value(point.optimal_loss):>14}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "reproduce": _cmd_reproduce,
+        "optimal": _cmd_optimal,
+        "release": _cmd_release,
+        "audit": _cmd_audit,
+        "tradeoff": _cmd_tradeoff,
+    }
+    try:
+        output = handlers[args.command](args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    try:
+        print(output)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""The paper's primary contribution: mechanisms, LPs, and theorems.
+
+Map from paper section to module:
+
+========================  ==============================================
+Paper                     Module
+==========================================================================
+Definitions 1 & 4         :mod:`repro.core.geometric`
+Definition 2 (privacy)    :mod:`repro.core.privacy`
+Definition 3 + Theorem 2  :mod:`repro.core.derivability`
+Lemmas 1-2                :mod:`repro.core.characterization`
+Section 2.4.3 LP          :mod:`repro.core.interaction`
+Section 2.5 LP            :mod:`repro.core.optimal`
+Lemma 5                   :mod:`repro.core.structure`
+Algorithm 1, Lemmas 3-4   :mod:`repro.core.multilevel`
+Appendix A                :mod:`repro.core.oblivious`
+Appendix B                :mod:`repro.core.counterexample`
+(baseline comparators)    :mod:`repro.core.baselines`
+==========================================================================
+"""
+
+from .baselines import (
+    randomized_response_mechanism,
+    truncated_laplace_mechanism,
+)
+from .characterization import (
+    geometric_determinant,
+    gprime_determinant,
+    replaced_column_determinant,
+    three_entry_condition,
+    three_entry_value,
+)
+from .counterexample import (
+    APPENDIX_B_ALPHA,
+    appendix_b_mechanism,
+    verify_appendix_b,
+)
+from .derivability import (
+    DerivabilityReport,
+    check_derivability,
+    derivation_factor,
+    derive_mechanism,
+    is_derivable_from_geometric,
+    privacy_chain_kernel,
+)
+from .geometric import (
+    GeometricMechanism,
+    UnboundedGeometricMechanism,
+    column_scaling,
+    geometric_matrix,
+    geometric_noise_pmf,
+    gprime_matrix,
+)
+from .interaction import (
+    InteractionResult,
+    normalize_side_information,
+    optimal_interaction,
+)
+from .mechanism import Mechanism
+from .multilevel import (
+    CollusionCheck,
+    MultiLevelRelease,
+    naive_independent_release_alpha,
+)
+from .oblivious import (
+    NonObliviousMechanism,
+    database_neighbors,
+    enumerate_databases,
+    random_nonoblivious_mechanism,
+)
+from .optimal import (
+    OptimalMechanismResult,
+    build_optimal_lp,
+    optimal_mechanism,
+)
+from .polytope import dp_polytope_lp, random_private_mechanism
+from .privacy import (
+    alpha_to_epsilon,
+    assert_differentially_private,
+    epsilon_to_alpha,
+    group_privacy_alpha,
+    is_differentially_private,
+    tightest_alpha,
+)
+from .structure import RowPairStructure, StructureReport, analyze_structure
+
+__all__ = [
+    "Mechanism",
+    "GeometricMechanism",
+    "UnboundedGeometricMechanism",
+    "geometric_matrix",
+    "geometric_noise_pmf",
+    "gprime_matrix",
+    "column_scaling",
+    "alpha_to_epsilon",
+    "epsilon_to_alpha",
+    "assert_differentially_private",
+    "is_differentially_private",
+    "tightest_alpha",
+    "group_privacy_alpha",
+    "DerivabilityReport",
+    "check_derivability",
+    "derivation_factor",
+    "derive_mechanism",
+    "is_derivable_from_geometric",
+    "privacy_chain_kernel",
+    "three_entry_condition",
+    "three_entry_value",
+    "gprime_determinant",
+    "geometric_determinant",
+    "replaced_column_determinant",
+    "InteractionResult",
+    "optimal_interaction",
+    "normalize_side_information",
+    "OptimalMechanismResult",
+    "optimal_mechanism",
+    "build_optimal_lp",
+    "dp_polytope_lp",
+    "random_private_mechanism",
+    "RowPairStructure",
+    "StructureReport",
+    "analyze_structure",
+    "MultiLevelRelease",
+    "CollusionCheck",
+    "naive_independent_release_alpha",
+    "NonObliviousMechanism",
+    "enumerate_databases",
+    "database_neighbors",
+    "random_nonoblivious_mechanism",
+    "APPENDIX_B_ALPHA",
+    "appendix_b_mechanism",
+    "verify_appendix_b",
+    "truncated_laplace_mechanism",
+    "randomized_response_mechanism",
+]

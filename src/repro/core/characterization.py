@@ -1,0 +1,120 @@
+"""Closed-form determinants behind Theorem 2 (Lemmas 1 and 2).
+
+The paper's characterization proof computes, via Cramer's rule, the
+entries of the factor ``T = G^{-1} M`` as ratios of determinants:
+``T[i, j] = det G(i, m_j) / det G`` where ``G(i, x)`` is ``G`` with
+column ``i`` replaced by the vector ``x``. Lemma 2 evaluates those
+determinants for the column-scaled matrix ``G'`` in closed form:
+
+* ``det G'(0, x)   = (1-a^2)^{m-2} (x_0 - a x_1)``
+* ``det G'(m-1, x) = (1-a^2)^{m-2} (x_{m-1} - a x_{m-2})``
+* ``det G'(i, x)   = (1-a^2)^{m-2} ((1+a^2) x_i - a (x_{i-1} + x_{i+1}))``
+  for interior ``i``
+
+where ``m`` is the matrix size. Lemma 1 is the special case ``x = `` the
+original column: ``det G'_{m} = (1-a^2)^{m-1}``. This module exposes the
+closed forms and the canonical three-entry condition; the test-suite
+cross-checks every formula against brute-force exact determinants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from fractions import Fraction
+
+from ..exceptions import ValidationError
+from ..linalg.toeplitz import kms_determinant
+from ..validation import as_fraction, check_alpha
+
+__all__ = [
+    "gprime_determinant",
+    "geometric_determinant",
+    "replaced_column_determinant",
+    "three_entry_value",
+    "three_entry_condition",
+]
+
+
+def gprime_determinant(size: int, alpha) -> Fraction:
+    """Lemma 1: ``det G'_{size}(alpha) = (1 - alpha^2)^(size-1)``."""
+    return kms_determinant(size, alpha)
+
+
+def geometric_determinant(size: int, alpha) -> Fraction:
+    """Exact ``det G_{n,alpha}`` for matrix size ``size = n + 1``.
+
+    ``G`` and ``G'`` differ by column scalings (Table 2):
+    ``det G' = (1+a)^2 ((1+a)/(1-a))^(size-2) det G``, hence
+
+    .. math::
+
+       \\det G = \\frac{(1-a^2)^{size-1} (1-a)^{size-2}}{(1+a)^{size}} > 0.
+    """
+    if size < 2:
+        raise ValidationError(f"size must be >= 2, got {size}")
+    alpha = as_fraction(alpha, name="alpha")
+    check_alpha(alpha)
+    return (
+        (1 - alpha**2) ** (size - 1)
+        * (1 - alpha) ** (size - 2)
+        / (1 + alpha) ** size
+    )
+
+
+def replaced_column_determinant(
+    size: int, alpha, index: int, column: Sequence
+) -> Fraction:
+    """Lemma 2's closed form for ``det G'(index, column)``.
+
+    Parameters
+    ----------
+    size:
+        Dimension ``m`` of the square matrix.
+    alpha:
+        Exact privacy parameter in ``(0, 1)``.
+    index:
+        Which column of ``G'`` is replaced, in ``{0, ..., size-1}``.
+    column:
+        The replacement vector ``x`` of length ``size``.
+    """
+    if size < 2:
+        raise ValidationError(f"size must be >= 2, got {size}")
+    alpha = as_fraction(alpha, name="alpha")
+    check_alpha(alpha)
+    if not 0 <= index < size:
+        raise ValidationError(
+            f"index must lie in [0, {size - 1}], got {index}"
+        )
+    x = [as_fraction(entry) for entry in column]
+    if len(x) != size:
+        raise ValidationError(
+            f"column must have length {size}, got {len(x)}"
+        )
+    prefactor = (1 - alpha**2) ** (size - 2)
+    if index == 0:
+        return prefactor * (x[0] - alpha * x[1])
+    if index == size - 1:
+        return prefactor * (x[size - 1] - alpha * x[size - 2])
+    return prefactor * (
+        (1 + alpha**2) * x[index] - alpha * (x[index - 1] + x[index + 1])
+    )
+
+
+def three_entry_value(alpha, x_prev, x_mid, x_next):
+    """The canonical three-entry quantity of Theorem 2.
+
+    Returns ``(1 + alpha^2) * x_mid - alpha * (x_prev + x_next)``; the
+    characterization requires it to be >= 0 for every three consecutive
+    entries of every column. (The paper writes the condition as
+    ``(x2 - a x1) >= a (x3 - a x2)``, which rearranges to this symmetric
+    form.) Exact when all inputs are exact.
+    """
+    check_alpha(alpha)
+    return (1 + alpha * alpha) * x_mid - alpha * (x_prev + x_next)
+
+
+def three_entry_condition(
+    alpha, x_prev, x_mid, x_next, *, atol: float = 0.0
+) -> bool:
+    """Whether the three-entry condition holds (with optional float slack)."""
+    return three_entry_value(alpha, x_prev, x_mid, x_next) >= -atol

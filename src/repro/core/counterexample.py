@@ -1,0 +1,70 @@
+"""Appendix B: a private mechanism not derivable from the geometric one.
+
+The paper exhibits a concrete ``1/2``-differentially-private mechanism
+``M`` on ``{0..3}`` that fails Theorem 2's characterization — at column 1,
+rows 0..2, the three-entry quantity equals
+``(1 + 1/4) * 1/9 - 1/2 * (2/9 + 2/9) = -1/12`` (the paper writes it as
+``-0.75/9``, the same number). This module stores the matrix exactly and
+re-derives both facts.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..validation import as_fraction_matrix
+from .characterization import three_entry_value
+from .derivability import check_derivability
+from .mechanism import Mechanism
+from .privacy import is_differentially_private
+
+__all__ = [
+    "APPENDIX_B_ALPHA",
+    "appendix_b_mechanism",
+    "verify_appendix_b",
+]
+
+#: The privacy level of the appendix's example.
+APPENDIX_B_ALPHA = Fraction(1, 2)
+
+_APPENDIX_B_ROWS = (
+    (Fraction(1, 9), Fraction(2, 9), Fraction(4, 9), Fraction(2, 9)),
+    (Fraction(2, 9), Fraction(1, 9), Fraction(2, 9), Fraction(4, 9)),
+    (Fraction(4, 9), Fraction(2, 9), Fraction(1, 9), Fraction(2, 9)),
+    (Fraction(13, 18), Fraction(1, 9), Fraction(1, 18), Fraction(1, 9)),
+)
+
+#: The paper's stated value of the violated three-entry quantity.
+APPENDIX_B_VIOLATION = Fraction(-1, 12)
+
+
+def appendix_b_mechanism() -> Mechanism:
+    """The exact Appendix B mechanism as a :class:`Mechanism`."""
+    return Mechanism(
+        as_fraction_matrix(_APPENDIX_B_ROWS), name="appendix-B"
+    )
+
+
+def verify_appendix_b() -> dict:
+    """Re-derive every claim the appendix makes about the example.
+
+    Returns a dict with keys:
+
+    * ``is_private`` — M is 1/2-DP (must be True);
+    * ``derivable`` — M is derivable from G_{3,1/2} (must be False);
+    * ``witness_value`` — the three-entry quantity at column 1,
+      rows 0..2 (must equal ``-1/12 = -0.75/9``);
+    * ``witness`` — the (row, column) reported by the characterization.
+    """
+    mechanism = appendix_b_mechanism()
+    matrix = mechanism.matrix
+    report = check_derivability(mechanism, APPENDIX_B_ALPHA)
+    value = three_entry_value(
+        APPENDIX_B_ALPHA, matrix[0, 1], matrix[1, 1], matrix[2, 1]
+    )
+    return {
+        "is_private": is_differentially_private(mechanism, APPENDIX_B_ALPHA),
+        "derivable": report.derivable,
+        "witness_value": value,
+        "witness": report.witness,
+    }

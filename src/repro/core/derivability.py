@@ -1,0 +1,230 @@
+"""Derivability from the geometric mechanism (Definition 3, Theorem 2).
+
+A mechanism ``M`` is *derivable* from a deployed mechanism ``Y`` when
+``M = Y @ T`` for some row-stochastic ``T`` (the consumer applies ``T``
+as randomized post-processing). Because ``G_{n,alpha}`` is non-singular
+(Lemma 1) and generalized stochastic matrices form a group under
+multiplication, the candidate factor ``T = G^{-1} M`` is unique and
+automatically has unit row sums; derivability therefore reduces to
+``T >= 0``.
+
+Theorem 2 makes that sign condition explicit. Using the tridiagonal
+inverse of ``G'`` (see :mod:`repro.linalg.toeplitz`), each row of ``T``
+is a three-entry stencil of ``M``'s rows:
+
+* ``T[0]   = (M[0]   - a M[1])   / (1 - a)``
+* ``T[r]   = ((1+a^2) M[r] - a (M[r-1] + M[r+1])) / (1-a)^2`` (interior)
+* ``T[m-1] = (M[m-1] - a M[m-2]) / (1 - a)``
+
+so ``T >= 0`` iff (i) the two boundary conditions — which are exactly the
+differential-privacy inequalities at the extreme rows — and (ii) the
+interior three-entry condition ``(1+a^2) x2 >= a (x1 + x3)`` hold down
+every column. This module exposes both the fast closed-form factorization
+and the condition-by-condition certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import NotDerivableError, ValidationError
+from ..linalg.rational import RationalMatrix
+from ..validation import as_fraction, check_alpha, is_exact_array
+from .characterization import three_entry_value
+from .geometric import GeometricMechanism, column_scaling
+from .mechanism import Mechanism
+
+__all__ = [
+    "derivation_factor",
+    "DerivabilityReport",
+    "check_derivability",
+    "is_derivable_from_geometric",
+    "derive_mechanism",
+    "privacy_chain_kernel",
+]
+
+
+def _as_matrix(mechanism) -> np.ndarray:
+    if isinstance(mechanism, Mechanism):
+        return mechanism.matrix
+    if isinstance(mechanism, RationalMatrix):
+        return mechanism.to_numpy()
+    matrix = np.asarray(mechanism)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError(
+            f"mechanism must be a square matrix, got shape "
+            f"{getattr(matrix, 'shape', None)}"
+        )
+    if matrix.dtype != object:
+        matrix = matrix.astype(float)
+    return matrix
+
+
+def derivation_factor(mechanism, alpha) -> np.ndarray:
+    """Compute ``T = G_{n,alpha}^{-1} @ M`` in closed form.
+
+    The result always has unit row sums (stochastic-group fact); it is a
+    valid post-processing exactly when it is entrywise non-negative.
+    Exact (Fraction) output when both ``mechanism`` and ``alpha`` are
+    exact; float64 otherwise.
+    """
+    matrix = _as_matrix(mechanism)
+    size = matrix.shape[0]
+    if size < 2:
+        raise ValidationError("mechanism must cover at least two results")
+    exact = is_exact_array(matrix)
+    if exact and isinstance(alpha, (Fraction, int)) and not isinstance(alpha, bool):
+        alpha = as_fraction(alpha, name="alpha")
+        one = Fraction(1)
+    else:
+        alpha = float(alpha)
+        matrix = matrix.astype(float)
+        exact = False
+        one = 1.0
+    check_alpha(alpha)
+    out = np.empty_like(matrix)
+    # Row 0 and row m-1 use the boundary stencil; interior rows the
+    # three-entry stencil. Divisors fold in the column scaling between
+    # G and G' (see module docstring).
+    out[0] = (matrix[0] - alpha * matrix[1]) / (one - alpha)
+    out[size - 1] = (matrix[size - 1] - alpha * matrix[size - 2]) / (
+        one - alpha
+    )
+    interior_divisor = (one - alpha) * (one - alpha)
+    for r in range(1, size - 1):
+        out[r] = (
+            (one + alpha * alpha) * matrix[r]
+            - alpha * (matrix[r - 1] + matrix[r + 1])
+        ) / interior_divisor
+    return out
+
+
+@dataclass(frozen=True)
+class DerivabilityReport:
+    """Outcome of a Theorem 2 derivability check.
+
+    Attributes
+    ----------
+    derivable:
+        Whether ``M = G @ T`` for a row-stochastic ``T``.
+    factor:
+        The unique candidate factor ``T = G^{-1} M`` (unit row sums;
+        non-negative iff derivable).
+    witness:
+        ``(row, column)`` of the first negative entry of ``T`` when not
+        derivable — for interior rows this pinpoints the middle entry of
+        the violated three-entry condition — else ``None``.
+    min_entry:
+        The smallest entry of ``T`` (>= 0 iff derivable; its magnitude
+        measures how badly the characterization fails).
+    """
+
+    derivable: bool
+    factor: np.ndarray
+    witness: tuple[int, int] | None
+    min_entry: object
+
+
+def check_derivability(
+    mechanism, alpha, *, atol: float = 1e-9
+) -> DerivabilityReport:
+    """Run Theorem 2's characterization and return a full report.
+
+    ``atol`` is the tolerated negativity for float inputs (exact inputs
+    are checked exactly).
+    """
+    factor = derivation_factor(mechanism, alpha)
+    exact = is_exact_array(factor)
+    slack = 0 if exact else atol
+    witness = None
+    min_entry = factor[0, 0]
+    for i in range(factor.shape[0]):
+        for j in range(factor.shape[1]):
+            if factor[i, j] < min_entry:
+                min_entry = factor[i, j]
+            if witness is None and factor[i, j] < -slack:
+                witness = (i, j)
+    return DerivabilityReport(
+        derivable=witness is None,
+        factor=factor,
+        witness=witness,
+        min_entry=min_entry,
+    )
+
+
+def is_derivable_from_geometric(mechanism, alpha, *, atol: float = 1e-9) -> bool:
+    """Whether ``mechanism`` can be derived from ``G_{n,alpha}``.
+
+    Theorem 2: true iff the mechanism is alpha-DP at the boundary rows and
+    every column satisfies the three-entry condition. Implemented via the
+    closed-form factor; the equivalence with the entry-wise conditions is
+    property-tested.
+    """
+    return check_derivability(mechanism, alpha, atol=atol).derivable
+
+
+def derive_mechanism(mechanism, alpha, *, atol: float = 1e-9) -> np.ndarray:
+    """Return the stochastic factor ``T`` with ``M = G @ T``, or raise.
+
+    Raises
+    ------
+    NotDerivableError
+        When the mechanism fails Theorem 2's characterization; the error
+        carries the witness entry.
+    """
+    report = check_derivability(mechanism, alpha, atol=atol)
+    if not report.derivable:
+        i, j = report.witness
+        matrix = _as_matrix(mechanism)
+        if 0 < i < matrix.shape[0] - 1:
+            value = three_entry_value(
+                alpha, matrix[i - 1, j], matrix[i, j], matrix[i + 1, j]
+            )
+            detail = (
+                f"three-entry condition fails at column {j}, rows "
+                f"{i - 1}..{i + 1}: (1+a^2)x2 - a(x1+x3) = {value}"
+            )
+        else:
+            detail = (
+                f"boundary privacy condition fails at row {i}, column {j}"
+            )
+        raise NotDerivableError(
+            f"mechanism is not derivable from G(alpha={alpha}): {detail}",
+            witness=report.witness,
+        )
+    factor = report.factor
+    if not is_exact_array(factor):
+        # Clean tiny float negatives so the factor is usable as a kernel.
+        factor = np.clip(factor.astype(float), 0.0, None)
+        factor = factor / factor.sum(axis=1, keepdims=True)
+    return factor
+
+
+def privacy_chain_kernel(n: int, alpha, beta) -> np.ndarray:
+    """Lemma 3's kernel ``T_{alpha,beta}`` with ``G_beta = G_alpha @ T``.
+
+    Requires ``alpha <= beta`` (privacy can only be *added*); for
+    ``alpha > beta`` the factor has negative entries and
+    :class:`NotDerivableError` is raised — the direction-dependence the
+    paper's Lemma 3 asserts.
+
+    Exact output for exact parameters. The identity ``G_alpha @ T ==
+    G_beta`` is verified exactly in the test-suite.
+    """
+    check_alpha(alpha)
+    check_alpha(beta)
+    target = GeometricMechanism(n, beta)
+    return derive_mechanism(target, alpha)
+
+
+def _scaled_factor_rows(n: int, alpha) -> list:
+    """Internal: the per-row divisors relating ``T`` to ``G'^{-1} M``.
+
+    Exposed for white-box tests that validate the closed-form stencil
+    against an explicit exact inverse; see also :func:`column_scaling`.
+    """
+    scaling = column_scaling(n, alpha)
+    return [1 / factor for factor in scaling]

@@ -1,0 +1,226 @@
+"""The geometric mechanism, unbounded and range-restricted.
+
+Two equivalent mechanisms from the paper:
+
+* **Definition 1** (the *alpha-geometric mechanism*): publish
+  ``f(d) + Z`` where ``Z`` is two-sided geometric noise on the integers,
+  ``Pr[Z = z] = (1-alpha)/(1+alpha) * alpha^{|z|}``.
+* **Definition 4** (the *range-restricted* geometric mechanism
+  ``G_{n,alpha}``): the same mechanism with all outputs below 0 collapsed
+  to 0 and all outputs above n collapsed to n, so the output range equals
+  the result range ``{0..n}`` and the mechanism is a square matrix.
+
+The paper treats the two interchangeably ("we shall refer to both as the
+Geometric Mechanism") because each is derivable from the other; this
+module provides both, plus the auxiliary matrix ``G'_{n,alpha}`` of
+Table 2 used throughout the proofs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..linalg.rational import RationalMatrix
+from ..linalg.toeplitz import kms_matrix
+from ..sampling.geometric import sample_two_sided_geometric
+from ..validation import as_fraction, check_alpha, check_result_range
+from .mechanism import Mechanism
+
+__all__ = [
+    "geometric_noise_pmf",
+    "geometric_matrix",
+    "gprime_matrix",
+    "column_scaling",
+    "GeometricMechanism",
+    "UnboundedGeometricMechanism",
+]
+
+
+def geometric_noise_pmf(alpha, z: int):
+    """Two-sided geometric pmf ``Pr[Z = z]`` from Definition 1.
+
+    Exact when ``alpha`` is a Fraction, float otherwise.
+
+    Examples
+    --------
+    >>> geometric_noise_pmf(Fraction(1, 2), 0)
+    Fraction(1, 3)
+    """
+    if isinstance(alpha, Fraction):
+        check_alpha(alpha)
+        return (1 - alpha) / (1 + alpha) * alpha ** abs(int(z))
+    alpha = float(alpha)
+    check_alpha(alpha)
+    return (1.0 - alpha) / (1.0 + alpha) * alpha ** abs(int(z))
+
+
+def geometric_matrix(n: int, alpha) -> np.ndarray:
+    """The range-restricted geometric mechanism matrix ``G_{n,alpha}``.
+
+    Definition 4 of the paper: for true result ``k``,
+
+    * interior outputs ``0 < z < n`` get mass
+      ``(1-alpha)/(1+alpha) * alpha^{|z-k|}``;
+    * the boundary outputs ``z in {0, n}`` absorb the tails and get mass
+      ``alpha^{|z-k|} / (1+alpha)``.
+
+    Returns an object-dtype array of Fractions when ``alpha`` is exact
+    (Fraction/int), float64 otherwise.
+    """
+    n = check_result_range(n)
+    exact = isinstance(alpha, (Fraction, int)) and not isinstance(alpha, bool)
+    if exact:
+        alpha = as_fraction(alpha, name="alpha")
+    else:
+        alpha = float(alpha)
+    check_alpha(alpha)
+    size = n + 1
+    one = Fraction(1) if exact else 1.0
+    interior = (one - alpha) / (one + alpha)
+    boundary = one / (one + alpha)
+    out = np.empty((size, size), dtype=object if exact else float)
+    for i in range(size):
+        for r in range(size):
+            scale = boundary if r in (0, n) else interior
+            out[i, r] = scale * alpha ** abs(r - i)
+    return out
+
+
+def gprime_matrix(n: int, alpha) -> RationalMatrix:
+    """The matrix ``G'_{n,alpha}`` of Table 2: ``G'[i, j] = alpha^{|i-j|}``.
+
+    ``G'`` is obtained from ``G_{n,alpha}`` by multiplying columns 0 and n
+    by ``(1+alpha)`` and every other column by ``(1+alpha)/(1-alpha)``;
+    it is the Kac-Murdock-Szego matrix of :mod:`repro.linalg.toeplitz`.
+    Always exact — ``alpha`` must be rational.
+    """
+    n = check_result_range(n)
+    return kms_matrix(n + 1, as_fraction(alpha, name="alpha"))
+
+
+def column_scaling(n: int, alpha) -> list[Fraction]:
+    """Per-column factors ``c_j`` with ``G = G' @ diag(c)``.
+
+    ``c_0 = c_n = 1/(1+alpha)`` and ``c_j = (1-alpha)/(1+alpha)`` for
+    interior columns — the scaling the paper applies between Table 2's two
+    matrices.
+    """
+    n = check_result_range(n)
+    alpha = as_fraction(alpha, name="alpha")
+    check_alpha(alpha)
+    boundary = 1 / (1 + alpha)
+    interior = (1 - alpha) / (1 + alpha)
+    return [
+        boundary if j in (0, n) else interior for j in range(n + 1)
+    ]
+
+
+class GeometricMechanism(Mechanism):
+    """The range-restricted geometric mechanism ``G_{n,alpha}``.
+
+    A :class:`~repro.core.mechanism.Mechanism` whose matrix is
+    :func:`geometric_matrix`; it additionally remembers its privacy
+    parameter :attr:`alpha`.
+
+    Parameters
+    ----------
+    n:
+        Maximum query result.
+    alpha:
+        Privacy parameter in ``(0, 1)``; a Fraction (or int-free rational)
+        yields an exact mechanism, a float yields a float mechanism.
+
+    Examples
+    --------
+    >>> g = GeometricMechanism(3, Fraction(1, 4))
+    >>> g.probability(0, 0)
+    Fraction(4, 5)
+    """
+
+    __slots__ = ("alpha",)
+
+    def __init__(self, n: int, alpha) -> None:
+        matrix = geometric_matrix(n, alpha)
+        super().__init__(
+            matrix, name=f"G(n={n}, alpha={alpha})", validate=False
+        )
+        self.alpha = alpha
+
+    def gprime(self) -> RationalMatrix:
+        """Return the companion matrix ``G'_{n,alpha}`` (exact only)."""
+        if not self.is_exact:
+            raise ValidationError(
+                "G' is defined for exact alpha; construct the mechanism "
+                "with a Fraction alpha"
+            )
+        return gprime_matrix(self.n, self.alpha)
+
+
+class UnboundedGeometricMechanism:
+    """Definition 1's mechanism on the full integer line.
+
+    Unlike :class:`GeometricMechanism` this is not a finite matrix: its
+    output ranges over all integers. It supports exact pmf queries,
+    sampling, and projection to the range-restricted mechanism
+    (:meth:`range_restricted`), which collapses the tails onto
+    ``{0, n}`` — the equivalence the paper asserts after Definition 4.
+    """
+
+    __slots__ = ("alpha",)
+
+    def __init__(self, alpha) -> None:
+        check_alpha(alpha)
+        self.alpha = alpha
+
+    def pmf(self, true_result: int, output: int):
+        """``Pr[publish `output` | true result]``."""
+        return geometric_noise_pmf(self.alpha, output - true_result)
+
+    def tail_mass(self, true_result: int, threshold: int, *, upper: bool):
+        """Exact mass of the upper/lower tail at ``threshold`` (inclusive).
+
+        ``upper=True`` gives ``Pr[output >= threshold]``; ``upper=False``
+        gives ``Pr[output <= threshold]``. Closed form
+        ``alpha^{distance} / (1 + alpha)`` when the threshold is beyond
+        the center.
+        """
+        alpha = self.alpha
+        distance = (
+            threshold - true_result if upper else true_result - threshold
+        )
+        if distance <= 0:
+            raise ValidationError(
+                "tail_mass expects a threshold strictly beyond the true "
+                "result on the requested side"
+            )
+        if isinstance(alpha, Fraction):
+            return alpha**distance / (1 + alpha)
+        return float(alpha) ** distance / (1.0 + float(alpha))
+
+    def sample(
+        self, true_result: int, rng: np.random.Generator | None = None
+    ) -> int:
+        """Publish ``true_result + Z`` with two-sided geometric ``Z``."""
+        rng = np.random.default_rng() if rng is None else rng
+        return int(true_result) + sample_two_sided_geometric(
+            float(self.alpha), rng
+        )
+
+    def range_restricted(self, n: int) -> GeometricMechanism:
+        """Collapse outputs outside ``[0, n]`` onto the boundary.
+
+        Returns exactly ``G_{n,alpha}``; the equivalence is verified in
+        the test-suite by comparing against :func:`geometric_matrix`.
+        """
+        return GeometricMechanism(n, self.alpha)
+
+    def clamp(self, value: int, n: int) -> int:
+        """The tail-collapsing projection applied to one sample."""
+        n = check_result_range(n)
+        return min(max(int(value), 0), n)
+
+    def __repr__(self) -> str:
+        return f"<UnboundedGeometricMechanism alpha={self.alpha}>"

@@ -1,0 +1,254 @@
+"""Obliviousness is without loss of generality (Appendix A, Lemma 6).
+
+A *non-oblivious* mechanism may base its output distribution on the whole
+database, not just the query result. Appendix A shows this buys nothing:
+averaging the distributions over each equivalence class
+``E(i) = {d : f(d) = i}`` yields an oblivious mechanism that is still
+alpha-DP and whose minimax loss is no larger.
+
+This module makes the argument executable on an explicit toy domain:
+rows are bits (1 = satisfies the count predicate), databases are tuples
+in ``{0,1}^n``, and the count query is the sum. That domain realizes the
+combinatorial regularity the paper's proof uses — every database with
+count ``i`` has the same number of neighbors with count ``i +- 1``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import NotPrivateError, ValidationError
+from ..losses.base import loss_matrix
+from ..sampling.rng import ensure_generator
+from ..validation import ATOL, check_alpha, check_result_range, is_exact_array
+from .geometric import geometric_matrix
+from .interaction import normalize_side_information
+from .mechanism import Mechanism
+
+__all__ = [
+    "enumerate_databases",
+    "database_neighbors",
+    "NonObliviousMechanism",
+    "random_nonoblivious_mechanism",
+]
+
+
+def enumerate_databases(n: int) -> list[tuple[int, ...]]:
+    """All ``2^n`` bit-row databases of size ``n`` (lexicographic)."""
+    n = check_result_range(n)
+    return list(itertools.product((0, 1), repeat=n))
+
+
+def database_neighbors(database: tuple[int, ...]):
+    """Yield every database differing from ``database`` in one row."""
+    for position, bit in enumerate(database):
+        yield database[:position] + (1 - bit,) + database[position + 1 :]
+
+
+class NonObliviousMechanism:
+    """A mechanism keyed by the full database rather than the count.
+
+    Parameters
+    ----------
+    n:
+        Database size (rows are bits; count = number of ones).
+    rows:
+        Mapping from each database tuple to its output distribution over
+        ``{0..n}`` (any 1-D array-like of length ``n+1``).
+    """
+
+    def __init__(self, n: int, rows: dict) -> None:
+        self.n = check_result_range(n)
+        databases = enumerate_databases(self.n)
+        missing = [d for d in databases if d not in rows]
+        if missing:
+            raise ValidationError(
+                f"missing distributions for {len(missing)} databases, "
+                f"first: {missing[0]}"
+            )
+        self._rows: dict[tuple[int, ...], np.ndarray] = {}
+        for database in databases:
+            row = np.asarray(rows[database])
+            if row.shape != (self.n + 1,):
+                raise ValidationError(
+                    f"distribution for {database} must have length "
+                    f"{self.n + 1}, got shape {row.shape}"
+                )
+            total = sum(row.tolist())
+            exact = is_exact_array(np.atleast_2d(row))
+            if exact:
+                if total != 1 or any(v < 0 for v in row.tolist()):
+                    raise ValidationError(
+                        f"distribution for {database} is not a probability "
+                        "vector"
+                    )
+            else:
+                row = row.astype(float)
+                if abs(float(row.sum()) - 1.0) > 1e-7 or (row < -ATOL).any():
+                    raise ValidationError(
+                        f"distribution for {database} is not a probability "
+                        "vector"
+                    )
+            self._rows[database] = row
+        self._all_exact = all(
+            is_exact_array(np.atleast_2d(row)) for row in self._rows.values()
+        )
+
+    # ------------------------------------------------------------------
+    def count(self, database: tuple[int, ...]) -> int:
+        """The count-query result ``f(d)`` (number of ones)."""
+        return int(sum(database))
+
+    def distribution(self, database: tuple[int, ...]) -> np.ndarray:
+        """Output distribution for ``database`` (copy)."""
+        return self._rows[tuple(database)].copy()
+
+    def assert_differentially_private(
+        self, alpha, *, atol: float = ATOL
+    ) -> None:
+        """Check Section 2.1's definition over all neighboring databases."""
+        check_alpha(alpha, allow_endpoints=True)
+        # A float slack would poison exact comparisons (Fraction + 0.0 is
+        # a float); exact mechanisms are checked exactly.
+        slack = 0 if self._all_exact else atol
+        for database, row in self._rows.items():
+            for neighbor in database_neighbors(database):
+                other = self._rows[neighbor]
+                for r in range(self.n + 1):
+                    if other[r] + slack < alpha * row[r]:
+                        raise NotPrivateError(
+                            f"databases {database} ~ {neighbor}, output "
+                            f"{r}: {other[r]} < alpha * {row[r]}",
+                            witness=(self.count(database), r),
+                        )
+
+    def is_differentially_private(self, alpha, *, atol: float = ATOL) -> bool:
+        """Boolean form of :meth:`assert_differentially_private`."""
+        try:
+            self.assert_differentially_private(alpha, atol=atol)
+        except NotPrivateError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def is_oblivious(self, *, atol: float = ATOL) -> bool:
+        """Whether equal-count databases already share a distribution."""
+        by_count: dict[int, np.ndarray] = {}
+        for database, row in self._rows.items():
+            count = self.count(database)
+            if count not in by_count:
+                by_count[count] = row
+                continue
+            reference = by_count[count]
+            values = np.asarray(row, dtype=float)
+            if not np.allclose(
+                values, np.asarray(reference, dtype=float), atol=atol
+            ):
+                return False
+        return True
+
+    def obliviate(self) -> Mechanism:
+        """Appendix A's averaging construction.
+
+        Returns the oblivious mechanism ``x'[i] = avg_{f(d)=i} x[d]``.
+        Exact when the rows are exact.
+        """
+        size = self.n + 1
+        groups: dict[int, list[np.ndarray]] = {i: [] for i in range(size)}
+        for database, row in self._rows.items():
+            groups[self.count(database)].append(row)
+        exact = all(
+            is_exact_array(np.atleast_2d(row))
+            for rows in groups.values()
+            for row in rows
+        )
+        matrix = np.empty((size, size), dtype=object if exact else float)
+        for i in range(size):
+            stack = groups[i]
+            count = len(stack)
+            for r in range(size):
+                total = sum(row[r] for row in stack)
+                matrix[i, r] = (
+                    Fraction(total) / count if exact else float(total) / count
+                )
+        return Mechanism(matrix, name="obliviated")
+
+    def worst_case_loss(self, loss, side_information=None):
+        """Objective (5) of the paper: worst case over databases.
+
+        ``max_{d : f(d) in S} sum_r x[d, r] l(f(d), r)``.
+        """
+        table = loss_matrix(loss, self.n)
+        members = set(normalize_side_information(side_information, self.n))
+        worst = None
+        for database, row in self._rows.items():
+            count = self.count(database)
+            if count not in members:
+                continue
+            value = sum(
+                table[count, r] * row[r] for r in range(self.n + 1)
+            )
+            if worst is None or value > worst:
+                worst = value
+        if worst is None:
+            raise ValidationError(
+                "no database has a count inside the side information"
+            )
+        return worst
+
+    def __repr__(self) -> str:
+        return f"<NonObliviousMechanism n={self.n} ({len(self._rows)} dbs)>"
+
+
+def random_nonoblivious_mechanism(
+    n: int,
+    alpha: float,
+    rng=None,
+    *,
+    mix: float = 0.3,
+    jitter: float = 0.2,
+) -> NonObliviousMechanism:
+    """Sample a genuinely non-oblivious alpha-DP mechanism.
+
+    Construction: start from the strictly-interior base
+    ``B = (1 - mix) G_{n,alpha} + mix * uniform`` (whose privacy
+    constraints all hold with slack), then multiply each database's row
+    by independent noise ``1 + jitter * u`` and renormalize, shrinking
+    ``jitter`` geometrically until the perturbed mechanism passes the
+    neighbor-wise DP check. Used by the Appendix A benchmark.
+    """
+    n = check_result_range(n)
+    alpha = float(alpha)
+    check_alpha(alpha)
+    if not 0 < mix < 1:
+        raise ValidationError(f"mix must be in (0, 1), got {mix}")
+    if not 0 < jitter < 1:
+        raise ValidationError(f"jitter must be in (0, 1), got {jitter}")
+    rng = ensure_generator(rng)
+    size = n + 1
+    base = (1.0 - mix) * np.asarray(
+        geometric_matrix(n, alpha), dtype=float
+    ) + mix / size
+    databases = enumerate_databases(n)
+    noise = {d: rng.random(size) for d in databases}
+    scale = jitter
+    for _ in range(40):
+        rows = {}
+        for database in databases:
+            row = base[sum(database)] * (1.0 + scale * noise[database])
+            rows[database] = row / row.sum()
+        candidate = NonObliviousMechanism(n, rows)
+        if candidate.is_differentially_private(alpha, atol=0.0):
+            if candidate.is_oblivious():
+                # Degenerate draw (all-equal noise); re-draw the noise.
+                noise = {d: rng.random(size) for d in databases}
+                continue
+            return candidate
+        scale /= 2.0
+    raise ValidationError(
+        "failed to sample a non-oblivious DP mechanism; try a larger alpha"
+    )

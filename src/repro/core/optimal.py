@@ -1,0 +1,197 @@
+"""Bespoke optimal mechanisms for a known consumer (Section 2.5).
+
+Given a privacy level ``alpha`` and a consumer (loss function + side
+information), the minimax-optimal alpha-differentially-private mechanism
+solves the paper's LP:
+
+.. math::
+
+   \\min d \\;\\; \\text{s.t.}\\;\\;
+   \\sum_r l(i, r)\\, x_{i,r} \\le d \\;\\; (i \\in S), \\quad
+   \\alpha x_{i+1,r} \\le x_{i,r} \\le \\tfrac{1}{\\alpha} x_{i+1,r},
+   \\quad \\sum_r x_{i,r} = 1, \\quad x \\ge 0.
+
+:func:`optimal_mechanism` also offers the paper's Lemma 5 refinement:
+among the (typically non-unique) optima, pick one minimizing the
+secondary objective ``L'(x) = sum_{i,r} x[i,r] |i - r|``; the refined
+optimum exhibits Lemma 5's two-boundary row structure (checked by
+:mod:`repro.core.structure`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..losses.base import loss_matrix
+from ..solvers.base import LinearProgram, choose_backend
+from ..solvers.lexicographic import solve_lexicographic
+from ..validation import as_fraction, check_alpha, check_result_range, is_exact_array
+from .interaction import normalize_side_information
+from .mechanism import Mechanism
+
+__all__ = ["OptimalMechanismResult", "optimal_mechanism", "build_optimal_lp"]
+
+
+@dataclass(frozen=True)
+class OptimalMechanismResult:
+    """Outcome of a bespoke optimal-mechanism solve.
+
+    Attributes
+    ----------
+    mechanism:
+        The optimal alpha-DP mechanism.
+    loss:
+        Its minimax loss over the consumer's side information.
+    alpha:
+        The privacy level it was solved for.
+    side_information:
+        The normalized admissible-result list.
+    refined:
+        Whether the Lemma 5 lexicographic refinement was applied.
+    backend:
+        LP backend used.
+    """
+
+    mechanism: Mechanism
+    loss: object
+    alpha: object
+    side_information: tuple[int, ...]
+    refined: bool
+    backend: str
+
+
+def build_optimal_lp(
+    n: int, alpha, table: np.ndarray, members: list[int]
+) -> tuple[LinearProgram, int]:
+    """Build the Section 2.5 LP; returns ``(program, d_index)``.
+
+    Variable layout: ``x[i, r]`` at index ``i * (n+1) + r``; the epigraph
+    variable ``d`` last. Exposed separately so benchmarks can measure LP
+    sizes and tests can inspect the constraint system.
+    """
+    size = n + 1
+    num_vars = size * size + 1
+    d_index = size * size
+    program = LinearProgram(num_vars)
+    program.set_objective([(d_index, 1)])
+    # Worst-case-loss epigraph: sum_r l(i,r) x[i,r] - d <= 0 for i in S.
+    for i in members:
+        terms = [
+            (i * size + r, table[i, r])
+            for r in range(size)
+            if table[i, r] != 0
+        ]
+        terms.append((d_index, -1))
+        program.add_le(terms, 0)
+    # Differential privacy (Definition 2), both directions per column.
+    for i in range(n):
+        for r in range(size):
+            upper = i * size + r
+            lower = (i + 1) * size + r
+            program.add_le([(upper, -1), (lower, alpha)], 0)
+            program.add_le([(lower, -1), (upper, alpha)], 0)
+    # Row-stochasticity.
+    for i in range(size):
+        program.add_eq([(i * size + r, 1) for r in range(size)], 1)
+    return program, d_index
+
+
+def _secondary_terms(n: int) -> list[tuple[int, int]]:
+    """Sparse terms of the Lemma 5 secondary objective ``L'``."""
+    size = n + 1
+    return [
+        (i * size + r, abs(i - r))
+        for i in range(size)
+        for r in range(size)
+        if i != r
+    ]
+
+
+def optimal_mechanism(
+    n: int,
+    alpha,
+    loss,
+    side_information=None,
+    *,
+    backend=None,
+    exact: bool | None = None,
+    refine: bool = False,
+) -> OptimalMechanismResult:
+    """Solve for the consumer's bespoke optimal alpha-DP mechanism.
+
+    Parameters
+    ----------
+    n:
+        Maximum query result (database size).
+    alpha:
+        Privacy parameter in ``(0, 1)``; a Fraction keeps the solve exact.
+    loss:
+        :class:`~repro.losses.LossFunction` or explicit loss matrix.
+    side_information:
+        Iterable of admissible results, or ``None`` for the full range.
+    backend:
+        Explicit LP backend; automatic when omitted.
+    exact:
+        Force exact/float arithmetic; inferred from ``alpha`` and the
+        loss by default.
+    refine:
+        Apply the Lemma 5 lexicographic ``(L, L')`` refinement.
+
+    Examples
+    --------
+    >>> from fractions import Fraction as F
+    >>> from repro.losses import AbsoluteLoss
+    >>> result = optimal_mechanism(3, F(1, 4), AbsoluteLoss())
+    >>> result.mechanism.n
+    3
+    """
+    n = check_result_range(n)
+    check_alpha(alpha)
+    members = normalize_side_information(side_information, n)
+    table = loss_matrix(loss, n)
+    if exact is None:
+        exact = (
+            isinstance(alpha, (Fraction, int))
+            and not isinstance(alpha, bool)
+            and is_exact_array(table)
+        )
+    if exact:
+        alpha = as_fraction(alpha, name="alpha")
+    else:
+        alpha = float(alpha)
+        table = np.vectorize(float)(table)
+    program, d_index = build_optimal_lp(n, alpha, table, members)
+    size = n + 1
+    if backend is None:
+        backend = choose_backend(exact=exact, size_hint=program.num_vars)
+    if refine:
+        slack = 0 if exact else 1e-9
+        _, solution = solve_lexicographic(
+            program, _secondary_terms(n), backend, slack=slack
+        )
+    else:
+        solution = backend.solve(program)
+
+    matrix = np.empty((size, size), dtype=object if exact else float)
+    for i in range(size):
+        for r in range(size):
+            matrix[i, r] = solution.values[i * size + r]
+    if not exact:
+        matrix = np.clip(matrix.astype(float), 0.0, None)
+        matrix = matrix / matrix.sum(axis=1, keepdims=True)
+    mechanism = Mechanism(matrix, name=f"optimal(alpha={alpha})")
+    achieved = max(
+        mechanism.expected_loss(table, i) for i in members
+    )
+    return OptimalMechanismResult(
+        mechanism=mechanism,
+        loss=achieved,
+        alpha=alpha,
+        side_information=tuple(members),
+        refined=bool(refine),
+        backend=solution.backend,
+    )

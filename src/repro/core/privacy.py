@@ -1,0 +1,158 @@
+"""Differential-privacy predicates and measurements.
+
+Definition 2 of the paper: an oblivious mechanism ``x`` for count queries
+is *alpha-differentially private* (``alpha`` in ``[0, 1]``) when every
+pair of adjacent rows satisfies, entrywise,
+
+.. math:: \\frac{1}{\\alpha} x_{i,r} \\ge x_{i+1,r} \\ge \\alpha\\, x_{i,r}.
+
+The parameter direction is the paper's: ``alpha = 1`` is absolute
+privacy, ``alpha = 0`` is vacuous. The more common epsilon convention is
+``alpha = exp(-epsilon)``; converters are provided.
+
+This module offers boolean predicates, asserting variants that carry a
+violation witness, the *tightest* privacy level of a matrix, and the
+group-privacy bound for rows ``k`` apart.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import NotPrivateError, ValidationError
+from ..linalg.rational import RationalMatrix
+from ..validation import ATOL, check_alpha, is_exact_array
+from .mechanism import Mechanism
+
+__all__ = [
+    "alpha_to_epsilon",
+    "epsilon_to_alpha",
+    "assert_differentially_private",
+    "is_differentially_private",
+    "tightest_alpha",
+    "group_privacy_alpha",
+]
+
+
+def alpha_to_epsilon(alpha) -> float:
+    """Convert the paper's ``alpha`` to the standard ``epsilon = ln(1/alpha)``."""
+    check_alpha(alpha, allow_endpoints=True)
+    if alpha == 0:
+        return math.inf
+    return float(-math.log(float(alpha)))
+
+
+def epsilon_to_alpha(epsilon: float) -> float:
+    """Convert standard ``epsilon >= 0`` to the paper's ``alpha = e^{-eps}``."""
+    epsilon = float(epsilon)
+    if not epsilon >= 0:
+        raise ValidationError(f"epsilon must be >= 0, got {epsilon!r}")
+    return math.exp(-epsilon)
+
+
+def _as_matrix(mechanism) -> np.ndarray:
+    if isinstance(mechanism, Mechanism):
+        return mechanism.matrix
+    if isinstance(mechanism, RationalMatrix):
+        return mechanism.to_numpy()
+    matrix = np.asarray(mechanism)
+    if matrix.ndim != 2:
+        raise ValidationError(
+            f"mechanism must be a 2-D matrix, got ndim={matrix.ndim}"
+        )
+    return matrix
+
+
+def assert_differentially_private(
+    mechanism, alpha, *, atol: float = ATOL
+) -> None:
+    """Raise :class:`NotPrivateError` unless ``mechanism`` is alpha-DP.
+
+    Exact matrices are checked exactly; float matrices use a slack of
+    ``atol`` on each ratio inequality. The raised error carries the
+    ``(row, column)`` witness of the first violated constraint.
+    """
+    matrix = _as_matrix(mechanism)
+    check_alpha(alpha, allow_endpoints=True)
+    exact = is_exact_array(matrix)
+    slack = 0 if exact else atol
+    rows, cols = matrix.shape
+    for i in range(rows - 1):
+        for r in range(cols):
+            upper, lower = matrix[i, r], matrix[i + 1, r]
+            if lower + slack < alpha * upper:
+                raise NotPrivateError(
+                    f"x[{i + 1},{r}] = {lower} < alpha * x[{i},{r}] "
+                    f"= {alpha * upper}",
+                    witness=(i, r),
+                )
+            if upper + slack < alpha * lower:
+                raise NotPrivateError(
+                    f"x[{i},{r}] = {upper} < alpha * x[{i + 1},{r}] "
+                    f"= {alpha * lower}",
+                    witness=(i, r),
+                )
+
+
+def is_differentially_private(mechanism, alpha, *, atol: float = ATOL) -> bool:
+    """Boolean form of :func:`assert_differentially_private`."""
+    try:
+        assert_differentially_private(mechanism, alpha, atol=atol)
+    except NotPrivateError:
+        return False
+    return True
+
+
+def tightest_alpha(mechanism):
+    """Return the largest ``alpha`` for which ``mechanism`` is alpha-DP.
+
+    For each adjacent pair of entries the binding ratio is
+    ``min(a/b, b/a)``; the tightest level is the minimum over all pairs.
+    Conventions for zeros: two zeros impose no constraint; a zero paired
+    with a positive entry forces ``alpha = 0`` (the mechanism is only
+    vacuously private).
+
+    Returns an exact Fraction for exact matrices, a float otherwise.
+    The result can exceed the construction parameter only if the
+    mechanism is strictly more private than advertised; for
+    ``G_{n,alpha}`` it equals ``alpha`` exactly (tested).
+    """
+    matrix = _as_matrix(mechanism)
+    exact = is_exact_array(matrix)
+    best = Fraction(1) if exact else 1.0
+    rows, cols = matrix.shape
+    for i in range(rows - 1):
+        for r in range(cols):
+            upper, lower = matrix[i, r], matrix[i + 1, r]
+            if upper == 0 and lower == 0:
+                continue
+            if upper == 0 or lower == 0:
+                return Fraction(0) if exact else 0.0
+            if exact:
+                ratio = min(
+                    Fraction(upper) / Fraction(lower),
+                    Fraction(lower) / Fraction(upper),
+                )
+            else:
+                upper_f, lower_f = float(upper), float(lower)
+                ratio = min(upper_f / lower_f, lower_f / upper_f)
+            best = min(best, ratio)
+    return best
+
+
+def group_privacy_alpha(alpha, distance: int):
+    """Privacy level between rows ``distance`` apart: ``alpha**distance``.
+
+    Follows by chaining Definition 2 across ``distance`` adjacent pairs
+    (group privacy for count queries, where a coalition of ``distance``
+    individuals changes the count by at most ``distance``).
+    """
+    check_alpha(alpha, allow_endpoints=True)
+    if isinstance(distance, bool) or not isinstance(distance, (int, np.integer)):
+        raise ValidationError(f"distance must be an integer, got {distance!r}")
+    if distance < 0:
+        raise ValidationError(f"distance must be >= 0, got {distance}")
+    return alpha ** int(distance)

@@ -1,0 +1,59 @@
+"""Database substrate: rows, schemas, predicates, count queries.
+
+The paper's setting (Section 2.1): a database is a collection of rows,
+one per individual, drawn from an arbitrary domain; a *count query* is
+defined by a predicate and returns how many rows satisfy it — a number
+in ``{0..n}`` with sensitivity 1. This subpackage provides that
+substrate end-to-end: typed schemas, a predicate DSL, databases with
+neighbor enumeration, count queries, a query engine that attaches
+privacy mechanisms, and synthetic-population generators reproducing the
+paper's running flu-survey example.
+"""
+
+from .database import Database, Row
+from .engine import PrivateQueryResult, QueryEngine
+from .generators import flu_population, random_population
+from .io import database_from_csv, database_to_csv, load_csv, save_csv
+from .neighbors import enumerate_neighbors, verify_unit_sensitivity
+from .predicates import (
+    And,
+    Between,
+    Eq,
+    Ge,
+    In,
+    Le,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from .queries import CountQuery
+from .schema import Attribute, Schema
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Row",
+    "Database",
+    "Predicate",
+    "TruePredicate",
+    "Eq",
+    "Ge",
+    "Le",
+    "Between",
+    "In",
+    "And",
+    "Or",
+    "Not",
+    "CountQuery",
+    "QueryEngine",
+    "PrivateQueryResult",
+    "flu_population",
+    "random_population",
+    "enumerate_neighbors",
+    "verify_unit_sensitivity",
+    "database_to_csv",
+    "database_from_csv",
+    "load_csv",
+    "save_csv",
+]

@@ -1,0 +1,143 @@
+"""Databases: ordered collections of schema-validated rows.
+
+A database of ``n`` rows is a point in ``D^n`` (Section 2.1). Neighbor
+semantics follow the paper: two databases are adjacent when they differ
+in *one individual's data* — i.e. one row is replaced, keeping the
+database size fixed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from types import MappingProxyType
+
+from ..exceptions import QueryError, ValidationError
+from .schema import Schema
+
+__all__ = ["Row", "Database"]
+
+
+class Row(Mapping):
+    """An immutable, schema-validated row.
+
+    Behaves as a read-only mapping from attribute name to value.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[str, object], schema: Schema) -> None:
+        schema.validate_row(data)
+        self._data = MappingProxyType(dict(data))
+
+    def __getitem__(self, key: str):
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def replace(self, schema: Schema, **changes) -> "Row":
+        """Return a copy with some attributes changed (re-validated)."""
+        merged = dict(self._data)
+        merged.update(changes)
+        return Row(merged, schema)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return dict(self._data) == dict(other._data)
+        if isinstance(other, Mapping):
+            return dict(self._data) == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._data.items())))
+
+    def __repr__(self) -> str:
+        return f"Row({dict(self._data)!r})"
+
+
+class Database:
+    """An ordered collection of rows over a fixed schema.
+
+    Parameters
+    ----------
+    schema:
+        The row schema.
+    rows:
+        Initial rows (mappings; validated on insert).
+
+    Examples
+    --------
+    >>> from repro.db.schema import Attribute, Schema
+    >>> schema = Schema([Attribute("has_flu", "bool")])
+    >>> db = Database(schema, [{"has_flu": True}, {"has_flu": False}])
+    >>> db.size
+    2
+    """
+
+    def __init__(
+        self, schema: Schema, rows: Iterable[Mapping[str, object]] = ()
+    ) -> None:
+        if not isinstance(schema, Schema):
+            raise ValidationError("schema must be a Schema instance")
+        self.schema = schema
+        self._rows: list[Row] = []
+        for row in rows:
+            self.add_row(row)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of rows ``n`` (the count-query range is ``{0..n}``)."""
+        return len(self._rows)
+
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        return tuple(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    # ------------------------------------------------------------------
+    def add_row(self, row: Mapping[str, object]) -> None:
+        """Validate and append one row."""
+        self._rows.append(
+            row if isinstance(row, Row) else Row(row, self.schema)
+        )
+
+    def replace_row(self, index: int, row: Mapping[str, object]) -> "Database":
+        """Return a *neighboring* database with row ``index`` replaced.
+
+        This is the paper's adjacency relation: same size, one
+        individual's data changed. The original is not modified.
+        """
+        if not 0 <= index < len(self._rows):
+            raise ValidationError(
+                f"row index {index} outside [0, {len(self._rows) - 1}]"
+            )
+        neighbor = Database(self.schema)
+        for position, existing in enumerate(self._rows):
+            neighbor.add_row(row if position == index else existing)
+        return neighbor
+
+    def count(self, predicate) -> int:
+        """Evaluate a predicate count over all rows."""
+        if not callable(predicate):
+            raise QueryError("predicate must be callable on rows")
+        return sum(1 for row in self._rows if predicate(row))
+
+    def project(self, attribute: str) -> list:
+        """Column projection (for inspection and generators)."""
+        self.schema.attribute(attribute)
+        return [row[attribute] for row in self._rows]
+
+    def __repr__(self) -> str:
+        return f"<Database n={self.size} schema={self.schema!r}>"

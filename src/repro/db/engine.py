@@ -1,0 +1,119 @@
+"""Query engine: evaluate count queries and release them privately.
+
+Ties the database substrate to the mechanism core: the engine evaluates
+a count query exactly, then samples a differentially-private release
+through a mechanism — by default the geometric mechanism the paper
+proves universally optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.geometric import GeometricMechanism
+from ..core.mechanism import Mechanism
+from ..exceptions import QueryError, ValidationError
+from ..sampling.rng import ensure_generator
+from .database import Database
+from .queries import CountQuery
+
+__all__ = ["PrivateQueryResult", "QueryEngine"]
+
+
+@dataclass(frozen=True)
+class PrivateQueryResult:
+    """A privately-released query answer.
+
+    Attributes
+    ----------
+    query:
+        The count query that was answered.
+    value:
+        The *published* (perturbed) result.
+    true_value:
+        The exact result (kept for experiment bookkeeping; a production
+        deployment would not expose it).
+    alpha:
+        Privacy level of the release.
+    mechanism:
+        The mechanism that produced the release.
+    """
+
+    query: CountQuery
+    value: int
+    true_value: int
+    alpha: object
+    mechanism: Mechanism
+
+    def error(self) -> int:
+        """Absolute error of this release."""
+        return abs(self.value - self.true_value)
+
+
+class QueryEngine:
+    """Evaluates count queries over one database and releases them.
+
+    Parameters
+    ----------
+    database:
+        The underlying database.
+
+    Examples
+    --------
+    >>> from repro.db import Attribute, Schema, Database, Eq, CountQuery
+    >>> schema = Schema([Attribute("has_flu", "bool")])
+    >>> db = Database(schema, [{"has_flu": True}, {"has_flu": False}])
+    >>> engine = QueryEngine(db)
+    >>> engine.answer_exact(CountQuery(Eq("has_flu", True)))
+    1
+    """
+
+    def __init__(self, database: Database) -> None:
+        if not isinstance(database, Database):
+            raise ValidationError(
+                f"expected a Database, got {type(database).__name__}"
+            )
+        self.database = database
+
+    def answer_exact(self, query: CountQuery) -> int:
+        """The unperturbed query result."""
+        return query.evaluate(self.database)
+
+    def answer_private(
+        self,
+        query: CountQuery,
+        alpha=None,
+        *,
+        mechanism: Mechanism | None = None,
+        rng=None,
+    ) -> PrivateQueryResult:
+        """Release a differentially private answer.
+
+        Exactly one of ``alpha`` (deploy the geometric mechanism at that
+        level — the paper's universally optimal choice) or ``mechanism``
+        (deploy a custom one) must be provided.
+        """
+        if (alpha is None) == (mechanism is None):
+            raise QueryError(
+                "provide exactly one of alpha or mechanism"
+            )
+        true_value = self.answer_exact(query)
+        n = self.database.size
+        if mechanism is None:
+            mechanism = GeometricMechanism(n, alpha)
+        else:
+            if mechanism.n != n:
+                raise QueryError(
+                    f"mechanism covers n={mechanism.n}, database has "
+                    f"n={n} rows"
+                )
+            alpha = getattr(mechanism, "alpha", None)
+        rng = ensure_generator(rng)
+        published = mechanism.sample(true_value, rng)
+        return PrivateQueryResult(
+            query=query,
+            value=published,
+            true_value=true_value,
+            alpha=alpha,
+            mechanism=mechanism,
+        )

@@ -1,0 +1,153 @@
+"""Synthetic population generators.
+
+The paper's running example — "How many adults from San Diego contracted
+the flu this October?" — needs a population with cities, ages, flu
+status, and drug purchases. No real survey data ships with the paper (or
+is needed: only the count matters), so these generators synthesize
+populations with controlled statistics, preserving the relevant
+behaviour: sensitivity-1 counts over a realistic schema.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..sampling.rng import ensure_generator
+from .database import Database
+from .predicates import And, Eq, Ge
+from .queries import CountQuery
+from .schema import Attribute, Schema
+
+__all__ = [
+    "FLU_SCHEMA",
+    "flu_population",
+    "flu_query",
+    "drug_purchases_lower_bound",
+    "random_population",
+]
+
+#: Schema of the paper's flu-survey example.
+FLU_SCHEMA = Schema(
+    [
+        Attribute("city", "categorical", ("san_diego", "los_angeles", "sacramento")),
+        Attribute("age", "int", (0, 100)),
+        Attribute("has_flu", "bool"),
+        Attribute("bought_flu_drug", "bool"),
+    ]
+)
+
+
+def flu_population(
+    size: int,
+    rng=None,
+    *,
+    flu_rate: float = 0.2,
+    san_diego_share: float = 0.5,
+    drug_uptake: float = 0.6,
+) -> Database:
+    """Generate a synthetic flu-survey population.
+
+    Parameters
+    ----------
+    size:
+        Number of individuals (database rows).
+    rng:
+        Seed or generator for reproducibility.
+    flu_rate:
+        Probability an individual has the flu.
+    san_diego_share:
+        Probability an individual lives in San Diego.
+    drug_uptake:
+        Probability a flu sufferer bought the drug (non-sufferers may
+        buy it too, at a fifth of this rate) — this is what makes drug
+        sales a *lower bound*, not the exact count, matching Example 1.
+    """
+    if size < 1:
+        raise ValidationError(f"size must be >= 1, got {size}")
+    for label, value in (
+        ("flu_rate", flu_rate),
+        ("san_diego_share", san_diego_share),
+        ("drug_uptake", drug_uptake),
+    ):
+        if not 0 <= value <= 1:
+            raise ValidationError(f"{label} must be in [0, 1], got {value}")
+    rng = ensure_generator(rng)
+    database = Database(FLU_SCHEMA)
+    other_cities = ("los_angeles", "sacramento")
+    for _ in range(size):
+        in_san_diego = rng.random() < san_diego_share
+        city = (
+            "san_diego"
+            if in_san_diego
+            else other_cities[int(rng.integers(0, len(other_cities)))]
+        )
+        has_flu = bool(rng.random() < flu_rate)
+        if has_flu:
+            bought = bool(rng.random() < drug_uptake)
+        else:
+            bought = bool(rng.random() < drug_uptake / 5.0)
+        database.add_row(
+            {
+                "city": city,
+                "age": int(rng.integers(0, 101)),
+                "has_flu": has_flu,
+                "bought_flu_drug": bought,
+            }
+        )
+    return database
+
+
+def flu_query(*, adults_only: bool = True) -> CountQuery:
+    """The paper's query Q: adults from San Diego who contracted flu."""
+    parts = [Eq("city", "san_diego"), Eq("has_flu", True)]
+    if adults_only:
+        parts.append(Ge("age", 18))
+    return CountQuery(
+        And(tuple(parts)),
+        name="Q: adults from San Diego who contracted the flu",
+    )
+
+
+def drug_purchases_lower_bound(database: Database) -> int:
+    """The drug company's side information from Example 1.
+
+    Counts San Diego drug purchases by individuals *with* flu — the
+    company knows at least this many San Diegans are infected. (Its
+    actual knowledge is total sales; purchases by healthy individuals
+    are why the bound is conservative.)
+    """
+    return database.count(
+        And(
+            (
+                Eq("city", "san_diego"),
+                Eq("has_flu", True),
+                Eq("bought_flu_drug", True),
+                Ge("age", 18),
+            )
+        )
+    )
+
+
+def random_population(
+    schema: Schema, size: int, rng=None
+) -> Database:
+    """Generate a uniform random population for an arbitrary schema."""
+    if size < 1:
+        raise ValidationError(f"size must be >= 1, got {size}")
+    rng = ensure_generator(rng)
+    database = Database(schema)
+    for _ in range(size):
+        row: dict[str, object] = {}
+        for attribute in schema.attributes:
+            if attribute.kind == "bool":
+                row[attribute.name] = bool(rng.integers(0, 2))
+            elif attribute.kind == "int":
+                low, high = attribute.domain or (0, 100)
+                row[attribute.name] = int(rng.integers(low, high + 1))
+            else:
+                row[attribute.name] = attribute.domain[
+                    int(rng.integers(0, len(attribute.domain)))
+                ]
+        database.add_row(row)
+    return database

@@ -1,0 +1,103 @@
+"""CSV import/export for databases.
+
+Survey data usually arrives as CSV; these helpers round-trip a
+:class:`~repro.db.database.Database` through the format with full schema
+validation on load — bools are serialized as ``true``/``false``, ints as
+decimal text, categorical values verbatim.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+
+from ..exceptions import SchemaError, ValidationError
+from .database import Database
+from .schema import Schema
+
+__all__ = ["database_to_csv", "database_from_csv", "load_csv", "save_csv"]
+
+
+def _encode(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _decode(text: str, kind: str) -> object:
+    if kind == "bool":
+        lowered = text.strip().lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise SchemaError(f"cannot parse bool from {text!r}")
+    if kind == "int":
+        try:
+            return int(text.strip())
+        except ValueError:
+            raise SchemaError(f"cannot parse int from {text!r}") from None
+    return text
+
+
+def database_to_csv(database: Database) -> str:
+    """Serialize a database to CSV text (header = attribute names)."""
+    if not isinstance(database, Database):
+        raise ValidationError(
+            f"expected a Database, got {type(database).__name__}"
+        )
+    buffer = io.StringIO()
+    names = database.schema.names
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(names)
+    for row in database:
+        writer.writerow([_encode(row[name]) for name in names])
+    return buffer.getvalue()
+
+
+def database_from_csv(text: str, schema: Schema) -> Database:
+    """Parse CSV text into a schema-validated database.
+
+    The header must list exactly the schema's attributes (any order);
+    every row is validated on insert.
+    """
+    if not isinstance(schema, Schema):
+        raise ValidationError("schema must be a Schema instance")
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SchemaError("CSV input is empty (no header)") from None
+    header = [column.strip() for column in header]
+    if sorted(header) != sorted(schema.names):
+        raise SchemaError(
+            f"CSV header {header} does not match schema attributes "
+            f"{list(schema.names)}"
+        )
+    kinds = {name: schema.attribute(name).kind for name in header}
+    database = Database(schema)
+    for line_number, cells in enumerate(reader, start=2):
+        if not cells:
+            continue  # tolerate trailing blank lines
+        if len(cells) != len(header):
+            raise SchemaError(
+                f"CSV line {line_number}: expected {len(header)} cells, "
+                f"got {len(cells)}"
+            )
+        row = {
+            name: _decode(cell, kinds[name])
+            for name, cell in zip(header, cells)
+        }
+        database.add_row(row)
+    return database
+
+
+def save_csv(database: Database, path) -> None:
+    """Write a database to a CSV file."""
+    pathlib.Path(path).write_text(database_to_csv(database))
+
+
+def load_csv(path, schema: Schema) -> Database:
+    """Read a CSV file into a schema-validated database."""
+    return database_from_csv(pathlib.Path(path).read_text(), schema)

@@ -1,0 +1,55 @@
+"""Neighbor enumeration and sensitivity verification.
+
+The paper's privacy definition quantifies over *neighboring* databases —
+those differing in a single individual's data. For concrete (small)
+databases these helpers enumerate neighbors over a finite row universe
+and verify that count queries really have unit sensitivity, turning the
+paper's modeling assumption into an executable check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from ..exceptions import ValidationError
+from .database import Database
+from .queries import CountQuery
+
+__all__ = ["enumerate_neighbors", "verify_unit_sensitivity"]
+
+
+def enumerate_neighbors(
+    database: Database, row_universe: Iterable[Mapping[str, object]]
+) -> Iterator[Database]:
+    """Yield every neighbor obtained by swapping one row.
+
+    ``row_universe`` is the set of candidate replacement rows (the finite
+    row domain ``D``). Unchanged replacements are skipped.
+    """
+    universe = list(row_universe)
+    if not universe:
+        raise ValidationError("row universe must be non-empty")
+    for index in range(database.size):
+        current = database[index]
+        for candidate in universe:
+            if dict(candidate) == dict(current):
+                continue
+            yield database.replace_row(index, candidate)
+
+
+def verify_unit_sensitivity(
+    query: CountQuery,
+    database: Database,
+    row_universe: Iterable[Mapping[str, object]],
+) -> bool:
+    """Exhaustively check ``|q(d) - q(d')| <= 1`` over all neighbors.
+
+    Returns True when the bound holds for every neighbor (it always does
+    for count queries; the check exists so the substrate's core privacy
+    assumption is tested rather than assumed).
+    """
+    baseline = query.evaluate(database)
+    for neighbor in enumerate_neighbors(database, row_universe):
+        if abs(query.evaluate(neighbor) - baseline) > 1:
+            return False
+    return True

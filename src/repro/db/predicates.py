@@ -1,0 +1,200 @@
+"""Predicate DSL for count queries.
+
+Section 2.1: "Given a predicate p : D -> {True, False}, the result of a
+count query is the number of rows that satisfy this predicate. [...]
+Though simple in form, count queries are expressive because varying the
+predicate naturally yields a rich space of queries."
+
+Predicates here are small composable objects evaluated against row
+mappings; combinators (:class:`And`, :class:`Or`, :class:`Not`) build
+the paper's example — *adult, resides in San Diego, contracted flu in
+October* — from atomic comparisons.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping, Sequence
+
+from ..exceptions import QueryError
+
+__all__ = [
+    "Predicate",
+    "TruePredicate",
+    "Eq",
+    "Ge",
+    "Le",
+    "Between",
+    "In",
+    "And",
+    "Or",
+    "Not",
+]
+
+
+class Predicate(abc.ABC):
+    """A boolean condition on a single row."""
+
+    @abc.abstractmethod
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        """Return whether ``row`` satisfies the predicate."""
+
+    def __call__(self, row: Mapping[str, object]) -> bool:
+        return self.evaluate(row)
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable rendering of the condition."""
+
+    def __repr__(self) -> str:
+        return f"<Predicate {self.describe()}>"
+
+
+def _fetch(row: Mapping[str, object], attribute: str):
+    try:
+        return row[attribute]
+    except KeyError:
+        raise QueryError(
+            f"row has no attribute {attribute!r}"
+        ) from None
+
+
+class TruePredicate(Predicate):
+    """Satisfied by every row — counts the database size."""
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "TRUE"
+
+
+class Eq(Predicate):
+    """``row[attribute] == value``."""
+
+    def __init__(self, attribute: str, value: object) -> None:
+        self.attribute = attribute
+        self.value = value
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return _fetch(row, self.attribute) == self.value
+
+    def describe(self) -> str:
+        return f"{self.attribute} == {self.value!r}"
+
+
+class Ge(Predicate):
+    """``row[attribute] >= bound``."""
+
+    def __init__(self, attribute: str, bound) -> None:
+        self.attribute = attribute
+        self.bound = bound
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return _fetch(row, self.attribute) >= self.bound
+
+    def describe(self) -> str:
+        return f"{self.attribute} >= {self.bound!r}"
+
+
+class Le(Predicate):
+    """``row[attribute] <= bound``."""
+
+    def __init__(self, attribute: str, bound) -> None:
+        self.attribute = attribute
+        self.bound = bound
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return _fetch(row, self.attribute) <= self.bound
+
+    def describe(self) -> str:
+        return f"{self.attribute} <= {self.bound!r}"
+
+
+class Between(Predicate):
+    """``low <= row[attribute] <= high``."""
+
+    def __init__(self, attribute: str, low, high) -> None:
+        if low > high:
+            raise QueryError(f"Between bounds reversed: {low} > {high}")
+        self.attribute = attribute
+        self.low = low
+        self.high = high
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        value = _fetch(row, self.attribute)
+        return self.low <= value <= self.high
+
+    def describe(self) -> str:
+        return f"{self.low!r} <= {self.attribute} <= {self.high!r}"
+
+
+class In(Predicate):
+    """``row[attribute] in values``."""
+
+    def __init__(self, attribute: str, values: Sequence) -> None:
+        values = tuple(values)
+        if not values:
+            raise QueryError("In predicate needs at least one value")
+        self.attribute = attribute
+        self.values = values
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return _fetch(row, self.attribute) in self.values
+
+    def describe(self) -> str:
+        return f"{self.attribute} in {list(self.values)!r}"
+
+
+class And(Predicate):
+    """Conjunction of sub-predicates."""
+
+    def __init__(self, parts: Sequence[Predicate]) -> None:
+        parts = tuple(parts)
+        if not parts:
+            raise QueryError("And needs at least one part")
+        self.parts = parts
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return all(part.evaluate(row) for part in self.parts)
+
+    def describe(self) -> str:
+        return "(" + " AND ".join(p.describe() for p in self.parts) + ")"
+
+
+class Or(Predicate):
+    """Disjunction of sub-predicates."""
+
+    def __init__(self, parts: Sequence[Predicate]) -> None:
+        parts = tuple(parts)
+        if not parts:
+            raise QueryError("Or needs at least one part")
+        self.parts = parts
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return any(part.evaluate(row) for part in self.parts)
+
+    def describe(self) -> str:
+        return "(" + " OR ".join(p.describe() for p in self.parts) + ")"
+
+
+class Not(Predicate):
+    """Negation of a sub-predicate."""
+
+    def __init__(self, part: Predicate) -> None:
+        self.part = part
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return not self.part.evaluate(row)
+
+    def describe(self) -> str:
+        return f"NOT {self.part.describe()}"

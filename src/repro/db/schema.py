@@ -1,0 +1,161 @@
+"""Typed schemas for database rows.
+
+A :class:`Schema` is an ordered collection of :class:`Attribute`
+definitions; each attribute is boolean, integer-ranged, or categorical
+over an explicit domain. Schemas validate rows at insertion time so
+that predicate evaluation never encounters malformed data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..exceptions import SchemaError
+
+__all__ = ["Attribute", "Schema"]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One column of a row domain.
+
+    Parameters
+    ----------
+    name:
+        Attribute name (non-empty, unique within a schema).
+    kind:
+        One of ``"bool"``, ``"int"``, ``"categorical"``.
+    domain:
+        For categorical attributes, the tuple of admissible values;
+        for int attributes an optional ``(low, high)`` inclusive range.
+    """
+
+    name: str
+    kind: str
+    domain: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be non-empty, got {self.name!r}")
+        if self.kind not in ("bool", "int", "categorical"):
+            raise SchemaError(
+                f"attribute kind must be bool/int/categorical, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "categorical":
+            if not self.domain:
+                raise SchemaError(
+                    f"categorical attribute {self.name!r} needs a domain"
+                )
+            object.__setattr__(self, "domain", tuple(self.domain))
+        elif self.kind == "int" and self.domain is not None:
+            domain = tuple(self.domain)
+            if (
+                len(domain) != 2
+                or not all(isinstance(v, int) for v in domain)
+                or domain[0] > domain[1]
+            ):
+                raise SchemaError(
+                    f"int attribute {self.name!r} domain must be "
+                    f"(low, high) with low <= high, got {self.domain!r}"
+                )
+            object.__setattr__(self, "domain", domain)
+        elif self.kind == "bool" and self.domain is not None:
+            raise SchemaError(
+                f"bool attribute {self.name!r} must not declare a domain"
+            )
+
+    def validate(self, value: object) -> None:
+        """Raise :class:`SchemaError` unless ``value`` fits this attribute."""
+        if self.kind == "bool":
+            if not isinstance(value, bool):
+                raise SchemaError(
+                    f"{self.name!r} expects a bool, got {value!r}"
+                )
+        elif self.kind == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(
+                    f"{self.name!r} expects an int, got {value!r}"
+                )
+            if self.domain is not None and not (
+                self.domain[0] <= value <= self.domain[1]
+            ):
+                raise SchemaError(
+                    f"{self.name!r}={value} outside range {self.domain}"
+                )
+        else:
+            if value not in self.domain:
+                raise SchemaError(
+                    f"{self.name!r}={value!r} not in domain {self.domain}"
+                )
+
+
+class Schema:
+    """An ordered, named collection of attributes.
+
+    Examples
+    --------
+    >>> schema = Schema([
+    ...     Attribute("city", "categorical", ("san_diego", "la")),
+    ...     Attribute("age", "int", (0, 120)),
+    ...     Attribute("has_flu", "bool"),
+    ... ])
+    >>> schema.validate_row({"city": "la", "age": 30, "has_flu": False})
+    """
+
+    def __init__(self, attributes: Iterable[Attribute]) -> None:
+        attributes = tuple(attributes)
+        if not attributes:
+            raise SchemaError("schema must have at least one attribute")
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in {names}")
+        if not all(isinstance(a, Attribute) for a in attributes):
+            raise SchemaError("schema entries must be Attribute instances")
+        self._attributes = attributes
+        self._by_name = {a.name: a for a in attributes}
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {list(self.names)}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def validate_row(self, row: Mapping[str, object]) -> None:
+        """Raise :class:`SchemaError` unless ``row`` matches exactly."""
+        if not isinstance(row, Mapping):
+            raise SchemaError(f"row must be a mapping, got {type(row).__name__}")
+        missing = [n for n in self.names if n not in row]
+        if missing:
+            raise SchemaError(f"row missing attributes: {missing}")
+        extra = [k for k in row if k not in self._by_name]
+        if extra:
+            raise SchemaError(f"row has unknown attributes: {extra}")
+        for attribute in self._attributes:
+            attribute.validate(row[attribute.name])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{a.name}:{a.kind}" for a in self._attributes
+        )
+        return f"<Schema {parts}>"

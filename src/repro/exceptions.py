@@ -1,0 +1,114 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so
+callers can catch everything the library raises with a single ``except``
+clause while still being able to discriminate finer failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "NotStochasticError",
+    "NotPrivateError",
+    "NotDerivableError",
+    "InfeasibleProgramError",
+    "UnboundedProgramError",
+    "SolverError",
+    "SchemaError",
+    "QueryError",
+    "SideInformationError",
+    "LossFunctionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, range, or type)."""
+
+
+class NotStochasticError(ValidationError):
+    """A matrix expected to be row-stochastic is not.
+
+    Attributes
+    ----------
+    row:
+        Index of the first offending row, if known.
+    """
+
+    def __init__(self, message: str, *, row: int | None = None) -> None:
+        super().__init__(message)
+        self.row = row
+
+
+class NotPrivateError(ReproError):
+    """A mechanism does not satisfy the requested differential privacy.
+
+    Attributes
+    ----------
+    witness:
+        A ``(row, column)`` pair exhibiting the violated ratio constraint,
+        if known.
+    """
+
+    def __init__(
+        self, message: str, *, witness: tuple[int, int] | None = None
+    ) -> None:
+        super().__init__(message)
+        self.witness = witness
+
+
+class NotDerivableError(ReproError):
+    """A mechanism cannot be derived from the geometric mechanism.
+
+    Raised by the strict factorization APIs; carries the three-entry
+    characterization witness of Theorem 2 when available.
+
+    Attributes
+    ----------
+    witness:
+        ``(row, column)`` of the middle entry violating
+        ``(1 + a^2) * x2 >= a * (x1 + x3)``, if known.
+    """
+
+    def __init__(
+        self, message: str, *, witness: tuple[int, int] | None = None
+    ) -> None:
+        super().__init__(message)
+        self.witness = witness
+
+
+class SolverError(ReproError):
+    """A linear-programming backend failed to produce a solution."""
+
+
+class InfeasibleProgramError(SolverError):
+    """The linear program has no feasible point."""
+
+
+class UnboundedProgramError(SolverError):
+    """The linear program is unbounded below."""
+
+
+class SchemaError(ValidationError):
+    """A database row does not conform to its schema."""
+
+
+class QueryError(ReproError):
+    """A query could not be evaluated against a database."""
+
+
+class SideInformationError(ValidationError):
+    """Side information is empty or outside the result range."""
+
+
+class LossFunctionError(ValidationError):
+    """A loss function violates the model's assumptions.
+
+    The paper requires ``l(i, r)`` to be monotone non-decreasing in
+    ``|i - r|`` for every fixed ``i`` (Section 2.3).
+    """

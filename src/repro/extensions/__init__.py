@@ -1,0 +1,27 @@
+"""Extensions beyond the paper's single-query scope.
+
+The paper's conclusion poses an open question — "whether similar
+guarantees are possible for multiple queries" — and its Section 2.8
+surveys the composition obstacles. This subpackage builds the machinery
+to *explore* that territory with the library's primitives:
+
+* :mod:`repro.extensions.multiquery` — answering several count queries
+  with independent geometric mechanisms: exact joint-privacy accounting
+  (levels multiply), budget splitting, and a demonstration that
+  per-query universality survives while the joint guarantee degrades —
+  the precise sense in which the open problem is open.
+"""
+
+from .multiquery import (
+    MultiQueryAnswer,
+    MultiQueryPublisher,
+    compose_alphas,
+    split_budget,
+)
+
+__all__ = [
+    "compose_alphas",
+    "split_budget",
+    "MultiQueryAnswer",
+    "MultiQueryPublisher",
+]

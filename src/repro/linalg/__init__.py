@@ -1,0 +1,47 @@
+"""Exact rational linear algebra substrate.
+
+The paper's proofs are exact linear algebra over the field of rationals:
+determinants of the geometric-mechanism matrix (Lemma 1), Cramer's rule
+with closed-form determinants (Lemma 2), and the group structure of
+generalized stochastic matrices (Poole 1995, used in Theorem 2). This
+subpackage provides those tools with :class:`fractions.Fraction`
+arithmetic so the paper's identities can be verified *exactly*, not only
+to floating tolerance.
+
+Modules
+-------
+:mod:`repro.linalg.rational`
+    :class:`RationalMatrix` — exact dense matrices (multiply, determinant,
+    inverse, solve).
+:mod:`repro.linalg.toeplitz`
+    The Kac-Murdock-Szego matrix ``K[i,j] = alpha^{|i-j|}`` (the paper's
+    ``G'``), its closed-form determinant and tridiagonal inverse.
+:mod:`repro.linalg.stochastic`
+    Row-stochastic and generalized-stochastic matrix utilities.
+"""
+
+from .rational import RationalMatrix
+from .stochastic import (
+    is_generalized_stochastic,
+    is_row_stochastic,
+    random_stochastic_matrix,
+    row_sums,
+)
+from .toeplitz import (
+    kms_determinant,
+    kms_inverse,
+    kms_matrix,
+    tridiagonal_premultiply,
+)
+
+__all__ = [
+    "RationalMatrix",
+    "is_generalized_stochastic",
+    "is_row_stochastic",
+    "random_stochastic_matrix",
+    "row_sums",
+    "kms_determinant",
+    "kms_inverse",
+    "kms_matrix",
+    "tridiagonal_premultiply",
+]

@@ -1,0 +1,389 @@
+"""Exact dense matrices over the rationals.
+
+:class:`RationalMatrix` is a small, dependency-free exact matrix type used
+wherever the paper states exact identities: Lemma 1's determinant formula,
+the factorization ``T = G^{-1} M`` of Theorem 2, and the reproduction of
+the paper's Tables 1 and 2. Entries are :class:`fractions.Fraction`.
+
+The implementation favors clarity over asymptotics; mechanism matrices in
+this library are ``(n+1) x (n+1)`` for database sizes ``n`` small enough
+that cubic-time fraction arithmetic is instantaneous.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..validation import as_fraction
+
+__all__ = ["RationalMatrix"]
+
+
+class RationalMatrix:
+    """An immutable exact matrix with :class:`~fractions.Fraction` entries.
+
+    Parameters
+    ----------
+    rows:
+        Nested iterable of rational entries (ints, Fractions, or floats
+        with exact binary representations).
+
+    Examples
+    --------
+    >>> m = RationalMatrix([[1, Fraction(1, 2)], [0, 1]])
+    >>> m.determinant()
+    Fraction(1, 1)
+    >>> (m @ m.inverse()).is_identity()
+    True
+    """
+
+    __slots__ = ("_rows", "_shape")
+
+    def __init__(self, rows: Iterable[Iterable[object]]) -> None:
+        data = [tuple(as_fraction(entry) for entry in row) for row in rows]
+        if not data:
+            raise ValidationError("matrix must have at least one row")
+        width = len(data[0])
+        if width == 0 or any(len(row) != width for row in data):
+            raise ValidationError(
+                "matrix rows must be non-empty and of equal length"
+            )
+        self._rows: tuple[tuple[Fraction, ...], ...] = tuple(data)
+        self._shape = (len(data), width)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, size: int) -> "RationalMatrix":
+        """Return the ``size x size`` identity matrix."""
+        if size < 1:
+            raise ValidationError(f"size must be >= 1, got {size}")
+        return cls(
+            [
+                [Fraction(int(i == j)) for j in range(size)]
+                for i in range(size)
+            ]
+        )
+
+    @classmethod
+    def zeros(cls, rows: int, cols: int | None = None) -> "RationalMatrix":
+        """Return a ``rows x cols`` matrix of zeros (square by default)."""
+        cols = rows if cols is None else cols
+        if rows < 1 or cols < 1:
+            raise ValidationError("matrix dimensions must be >= 1")
+        return cls([[Fraction(0)] * cols for _ in range(rows)])
+
+    @classmethod
+    def diagonal(cls, entries: Sequence[object]) -> "RationalMatrix":
+        """Return a diagonal matrix with the given ``entries``."""
+        values = [as_fraction(entry) for entry in entries]
+        size = len(values)
+        return cls(
+            [
+                [values[i] if i == j else Fraction(0) for j in range(size)]
+                for i in range(size)
+            ]
+        )
+
+    @classmethod
+    def from_numpy(cls, array: np.ndarray) -> "RationalMatrix":
+        """Build from a 2-D numpy array of rational-valued entries."""
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise ValidationError(f"array must be 2-D, got ndim={array.ndim}")
+        return cls(array.tolist())
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """The ``(rows, cols)`` dimensions."""
+        return self._shape
+
+    @property
+    def is_square(self) -> bool:
+        """Whether the matrix is square."""
+        return self._shape[0] == self._shape[1]
+
+    def __getitem__(self, key: tuple[int, int]) -> Fraction:
+        i, j = key
+        return self._rows[i][j]
+
+    def row(self, i: int) -> tuple[Fraction, ...]:
+        """Return row ``i`` as a tuple of Fractions."""
+        return self._rows[i]
+
+    def column(self, j: int) -> tuple[Fraction, ...]:
+        """Return column ``j`` as a tuple of Fractions."""
+        return tuple(row[j] for row in self._rows)
+
+    def rows(self) -> tuple[tuple[Fraction, ...], ...]:
+        """Return all rows (the underlying immutable data)."""
+        return self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RationalMatrix):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(self._rows)
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            "[" + ", ".join(str(entry) for entry in row) + "]"
+            for row in self._rows
+        )
+        return f"RationalMatrix([{body}])"
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "RationalMatrix") -> "RationalMatrix":
+        self._check_same_shape(other, "add")
+        return RationalMatrix(
+            [
+                [a + b for a, b in zip(ra, rb)]
+                for ra, rb in zip(self._rows, other._rows)
+            ]
+        )
+
+    def __sub__(self, other: "RationalMatrix") -> "RationalMatrix":
+        self._check_same_shape(other, "subtract")
+        return RationalMatrix(
+            [
+                [a - b for a, b in zip(ra, rb)]
+                for ra, rb in zip(self._rows, other._rows)
+            ]
+        )
+
+    def scale(self, factor: object) -> "RationalMatrix":
+        """Return the matrix with every entry multiplied by ``factor``."""
+        factor = as_fraction(factor, name="factor")
+        return RationalMatrix(
+            [[factor * entry for entry in row] for row in self._rows]
+        )
+
+    def scale_column(self, j: int, factor: object) -> "RationalMatrix":
+        """Return a copy with column ``j`` multiplied by ``factor``."""
+        factor = as_fraction(factor, name="factor")
+        return RationalMatrix(
+            [
+                [
+                    entry * factor if k == j else entry
+                    for k, entry in enumerate(row)
+                ]
+                for row in self._rows
+            ]
+        )
+
+    def __matmul__(self, other: "RationalMatrix") -> "RationalMatrix":
+        if self._shape[1] != other._shape[0]:
+            raise ValidationError(
+                f"cannot multiply {self._shape} by {other._shape}"
+            )
+        other_cols = [other.column(j) for j in range(other._shape[1])]
+        return RationalMatrix(
+            [
+                [
+                    sum(a * b for a, b in zip(row, col))
+                    for col in other_cols
+                ]
+                for row in self._rows
+            ]
+        )
+
+    def matvec(self, vector: Sequence[object]) -> tuple[Fraction, ...]:
+        """Multiply the matrix by a column vector."""
+        values = [as_fraction(entry) for entry in vector]
+        if len(values) != self._shape[1]:
+            raise ValidationError(
+                f"vector length {len(values)} does not match width "
+                f"{self._shape[1]}"
+            )
+        return tuple(
+            sum(a * b for a, b in zip(row, values)) for row in self._rows
+        )
+
+    def transpose(self) -> "RationalMatrix":
+        """Return the transpose."""
+        return RationalMatrix(
+            [self.column(j) for j in range(self._shape[1])]
+        )
+
+    # ------------------------------------------------------------------
+    # Elimination-based operations
+    # ------------------------------------------------------------------
+    def determinant(self) -> Fraction:
+        """Return the exact determinant (Gaussian elimination).
+
+        Raises
+        ------
+        ValidationError
+            If the matrix is not square.
+        """
+        if not self.is_square:
+            raise ValidationError("determinant requires a square matrix")
+        size = self._shape[0]
+        work = [list(row) for row in self._rows]
+        det = Fraction(1)
+        for col in range(size):
+            pivot_row = next(
+                (r for r in range(col, size) if work[r][col] != 0), None
+            )
+            if pivot_row is None:
+                return Fraction(0)
+            if pivot_row != col:
+                work[col], work[pivot_row] = work[pivot_row], work[col]
+                det = -det
+            pivot = work[col][col]
+            det *= pivot
+            for r in range(col + 1, size):
+                if work[r][col] == 0:
+                    continue
+                factor = work[r][col] / pivot
+                work[r] = [
+                    entry - factor * top
+                    for entry, top in zip(work[r], work[col])
+                ]
+        return det
+
+    def inverse(self) -> "RationalMatrix":
+        """Return the exact inverse (Gauss-Jordan elimination).
+
+        Raises
+        ------
+        ValidationError
+            If the matrix is not square or is singular.
+        """
+        if not self.is_square:
+            raise ValidationError("inverse requires a square matrix")
+        size = self._shape[0]
+        work = [
+            list(row) + [Fraction(int(i == j)) for j in range(size)]
+            for i, row in enumerate(self._rows)
+        ]
+        for col in range(size):
+            pivot_row = next(
+                (r for r in range(col, size) if work[r][col] != 0), None
+            )
+            if pivot_row is None:
+                raise ValidationError("matrix is singular; no inverse exists")
+            if pivot_row != col:
+                work[col], work[pivot_row] = work[pivot_row], work[col]
+            pivot = work[col][col]
+            work[col] = [entry / pivot for entry in work[col]]
+            for r in range(size):
+                if r == col or work[r][col] == 0:
+                    continue
+                factor = work[r][col]
+                work[r] = [
+                    entry - factor * top
+                    for entry, top in zip(work[r], work[col])
+                ]
+        return RationalMatrix([row[size:] for row in work])
+
+    def solve(self, rhs: Sequence[object]) -> tuple[Fraction, ...]:
+        """Solve ``A x = rhs`` exactly for a square nonsingular ``A``."""
+        if not self.is_square:
+            raise ValidationError("solve requires a square matrix")
+        values = [as_fraction(entry) for entry in rhs]
+        if len(values) != self._shape[0]:
+            raise ValidationError(
+                f"rhs length {len(values)} does not match size "
+                f"{self._shape[0]}"
+            )
+        size = self._shape[0]
+        work = [list(row) + [values[i]] for i, row in enumerate(self._rows)]
+        for col in range(size):
+            pivot_row = next(
+                (r for r in range(col, size) if work[r][col] != 0), None
+            )
+            if pivot_row is None:
+                raise ValidationError("matrix is singular; cannot solve")
+            if pivot_row != col:
+                work[col], work[pivot_row] = work[pivot_row], work[col]
+            pivot = work[col][col]
+            work[col] = [entry / pivot for entry in work[col]]
+            for r in range(size):
+                if r == col or work[r][col] == 0:
+                    continue
+                factor = work[r][col]
+                work[r] = [
+                    entry - factor * top
+                    for entry, top in zip(work[r], work[col])
+                ]
+        return tuple(work[i][size] for i in range(size))
+
+    def replace_column(
+        self, j: int, column: Sequence[object]
+    ) -> "RationalMatrix":
+        """Return ``G(j, x)``: this matrix with column ``j`` replaced.
+
+        This is the operation at the heart of Cramer's rule as used in
+        Lemma 2 of the paper.
+        """
+        values = [as_fraction(entry) for entry in column]
+        if len(values) != self._shape[0]:
+            raise ValidationError(
+                f"column length {len(values)} does not match height "
+                f"{self._shape[0]}"
+            )
+        return RationalMatrix(
+            [
+                [
+                    values[i] if k == j else entry
+                    for k, entry in enumerate(row)
+                ]
+                for i, row in enumerate(self._rows)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates and conversions
+    # ------------------------------------------------------------------
+    def is_identity(self) -> bool:
+        """Whether this is exactly the identity matrix."""
+        if not self.is_square:
+            return False
+        return all(
+            entry == (1 if i == j else 0)
+            for i, row in enumerate(self._rows)
+            for j, entry in enumerate(row)
+        )
+
+    def is_nonnegative(self) -> bool:
+        """Whether every entry is >= 0."""
+        return all(entry >= 0 for row in self._rows for entry in row)
+
+    def row_sums(self) -> tuple[Fraction, ...]:
+        """Return the exact sum of each row."""
+        return tuple(sum(row) for row in self._rows)
+
+    def to_numpy(self) -> np.ndarray:
+        """Return an object-dtype numpy array of Fractions."""
+        out = np.empty(self._shape, dtype=object)
+        for i, row in enumerate(self._rows):
+            for j, entry in enumerate(row):
+                out[i, j] = entry
+        return out
+
+    def to_float(self) -> np.ndarray:
+        """Return a float64 numpy array (lossy)."""
+        return np.array(
+            [[float(entry) for entry in row] for row in self._rows]
+        )
+
+    # ------------------------------------------------------------------
+    def _check_same_shape(self, other: "RationalMatrix", verb: str) -> None:
+        if self._shape != other._shape:
+            raise ValidationError(
+                f"cannot {verb} matrices of shapes {self._shape} and "
+                f"{other._shape}"
+            )

@@ -1,0 +1,119 @@
+"""Row-stochastic and generalized-stochastic matrix utilities.
+
+Lemma 1's proof relies on the fact (Poole, "The stochastic group",
+Amer. Math. Monthly 1995) that non-singular *generalized* stochastic
+matrices — square matrices whose rows sum to one with no sign condition —
+form a group under multiplication. Consequently ``T = G^{-1} M`` always
+has unit row sums, and derivability reduces to checking ``T >= 0``.
+
+This module provides the predicates for both matrix classes, plus a
+seeded random generator of row-stochastic matrices used throughout the
+test-suite and benchmarks.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..validation import ATOL, is_exact_array
+from .rational import RationalMatrix
+
+__all__ = [
+    "row_sums",
+    "is_row_stochastic",
+    "is_generalized_stochastic",
+    "random_stochastic_matrix",
+]
+
+
+def row_sums(matrix: np.ndarray | RationalMatrix) -> list:
+    """Return the per-row sums of a matrix (exact when entries are exact)."""
+    if isinstance(matrix, RationalMatrix):
+        return list(matrix.row_sums())
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValidationError(f"matrix must be 2-D, got ndim={matrix.ndim}")
+    return [sum(row.tolist()) for row in matrix]
+
+
+def is_generalized_stochastic(
+    matrix: np.ndarray | RationalMatrix, *, atol: float = ATOL
+) -> bool:
+    """Whether every row of ``matrix`` sums to 1 (entries may be negative).
+
+    Exact comparison for Fraction matrices, tolerance ``atol`` otherwise.
+    """
+    if isinstance(matrix, RationalMatrix):
+        return all(total == 1 for total in matrix.row_sums())
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        return False
+    if is_exact_array(matrix):
+        return all(sum(row.tolist()) == 1 for row in matrix)
+    sums = matrix.astype(float).sum(axis=1)
+    return bool(np.all(np.abs(sums - 1.0) <= max(atol, atol * matrix.shape[1])))
+
+
+def is_row_stochastic(
+    matrix: np.ndarray | RationalMatrix, *, atol: float = ATOL
+) -> bool:
+    """Whether ``matrix`` is row-stochastic (rows sum to 1, entries >= 0)."""
+    if isinstance(matrix, RationalMatrix):
+        return matrix.is_nonnegative() and is_generalized_stochastic(matrix)
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        return False
+    if is_exact_array(matrix):
+        nonnegative = all(entry >= 0 for entry in matrix.flat)
+    else:
+        nonnegative = bool(np.all(matrix.astype(float) >= -atol))
+    return nonnegative and is_generalized_stochastic(matrix, atol=atol)
+
+
+def random_stochastic_matrix(
+    size: int,
+    *,
+    rng: np.random.Generator | None = None,
+    exact: bool = False,
+    resolution: int = 1000,
+) -> np.ndarray:
+    """Sample a dense random row-stochastic ``size x size`` matrix.
+
+    Parameters
+    ----------
+    size:
+        Matrix dimension (>= 1).
+    rng:
+        Numpy random generator; a fresh default generator when omitted.
+    exact:
+        When true, return an object-dtype matrix of Fractions whose rows
+        sum to exactly 1 (entries are multiples of ``1/resolution``).
+    resolution:
+        Denominator used for exact sampling.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float64 matrix, or object-dtype Fraction matrix when ``exact``.
+    """
+    if size < 1:
+        raise ValidationError(f"size must be >= 1, got {size}")
+    if resolution < size:
+        raise ValidationError(
+            f"resolution must be >= size ({size}), got {resolution}"
+        )
+    rng = np.random.default_rng() if rng is None else rng
+    if not exact:
+        raw = rng.random((size, size)) + 1e-12
+        return raw / raw.sum(axis=1, keepdims=True)
+    out = np.empty((size, size), dtype=object)
+    for i in range(size):
+        # Random composition of `resolution` units into `size` parts.
+        cuts = np.sort(rng.integers(0, resolution + 1, size=size - 1))
+        parts = np.diff(np.concatenate(([0], cuts, [resolution])))
+        for j in range(size):
+            out[i, j] = Fraction(int(parts[j]), resolution)
+    return out

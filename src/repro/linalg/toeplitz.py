@@ -1,0 +1,146 @@
+"""The Kac-Murdock-Szego (KMS) matrix and its closed forms.
+
+The paper's matrix ``G'_{n,alpha}`` (Table 2) is, up to column scaling,
+the symmetric Toeplitz matrix ``K[i, j] = alpha^{|i - j|}`` — known in the
+literature as the Kac-Murdock-Szego matrix. Two classical facts drive the
+paper's proofs and this library's fast paths:
+
+* ``det K_m(alpha) = (1 - alpha^2)^(m-1)`` for the ``m x m`` matrix
+  (Lemma 1 of the paper, proved there by column elimination);
+* ``K_m(alpha)^{-1}`` is *tridiagonal*:
+
+  .. math::
+
+     K^{-1} = \\frac{1}{1-\\alpha^2}
+     \\begin{pmatrix}
+        1 & -\\alpha \\\\
+        -\\alpha & 1+\\alpha^2 & -\\alpha \\\\
+          & \\ddots & \\ddots & \\ddots \\\\
+          &  & -\\alpha & 1+\\alpha^2 & -\\alpha \\\\
+          &  &  & -\\alpha & 1
+     \\end{pmatrix}
+
+The tridiagonal inverse is what turns the paper's derivability test
+(Theorem 2) into three-entry column conditions, and what lets the library
+compute derivation factors ``T = G^{-1} M`` in closed form without a
+numeric inversion.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..validation import as_fraction, check_alpha, is_exact_array
+from .rational import RationalMatrix
+
+__all__ = [
+    "kms_matrix",
+    "kms_determinant",
+    "kms_inverse",
+    "tridiagonal_premultiply",
+]
+
+
+def kms_matrix(size: int, alpha: object) -> RationalMatrix:
+    """Return the ``size x size`` KMS matrix ``K[i,j] = alpha^{|i-j|}``.
+
+    This is the paper's ``G'`` matrix (Table 2) for a result range of
+    ``size`` values. ``alpha`` must be an exact rational in ``(0, 1)``.
+
+    Examples
+    --------
+    >>> kms_matrix(2, Fraction(1, 2)).rows()
+    ((Fraction(1, 1), Fraction(1, 2)), (Fraction(1, 2), Fraction(1, 1)))
+    """
+    if size < 1:
+        raise ValidationError(f"size must be >= 1, got {size}")
+    alpha = as_fraction(alpha, name="alpha")
+    check_alpha(alpha)
+    powers = [alpha**k for k in range(size)]
+    return RationalMatrix(
+        [[powers[abs(i - j)] for j in range(size)] for i in range(size)]
+    )
+
+
+def kms_determinant(size: int, alpha: object) -> Fraction:
+    """Return ``det K_size(alpha) = (1 - alpha^2)^(size-1)`` exactly.
+
+    This is the identity proved by induction in Lemma 1 of the paper.
+    The library's test suite cross-checks it against Gaussian elimination
+    on :func:`kms_matrix`.
+    """
+    if size < 1:
+        raise ValidationError(f"size must be >= 1, got {size}")
+    alpha = as_fraction(alpha, name="alpha")
+    check_alpha(alpha)
+    return (1 - alpha**2) ** (size - 1)
+
+
+def kms_inverse(size: int, alpha: object) -> RationalMatrix:
+    """Return the exact tridiagonal inverse of the KMS matrix.
+
+    The inverse has ``1/(1-alpha^2)`` times: ``1`` at the two diagonal
+    corners, ``1 + alpha^2`` on the interior diagonal, and ``-alpha`` on
+    the two off-diagonals.
+    """
+    if size < 1:
+        raise ValidationError(f"size must be >= 1, got {size}")
+    alpha = as_fraction(alpha, name="alpha")
+    check_alpha(alpha)
+    if size == 1:
+        return RationalMatrix([[Fraction(1)]])
+    scale = 1 / (1 - alpha**2)
+    rows: list[list[Fraction]] = []
+    for i in range(size):
+        row = [Fraction(0)] * size
+        if i in (0, size - 1):
+            row[i] = scale
+        else:
+            row[i] = (1 + alpha**2) * scale
+        if i > 0:
+            row[i - 1] = -alpha * scale
+        if i < size - 1:
+            row[i + 1] = -alpha * scale
+        rows.append(row)
+    return RationalMatrix(rows)
+
+
+def tridiagonal_premultiply(alpha: object, matrix: np.ndarray) -> np.ndarray:
+    """Compute ``K^{-1} @ matrix`` without forming the inverse.
+
+    ``K`` is the KMS matrix whose size matches ``matrix.shape[0]``. The
+    product is computed row-by-row from the tridiagonal stencil:
+
+    * row 0:       ``(M[0] - alpha * M[1]) / (1 - alpha^2)``
+    * interior r:  ``((1+alpha^2) M[r] - alpha (M[r-1]+M[r+1])) / (1-alpha^2)``
+    * row m-1:     ``(M[m-1] - alpha * M[m-2]) / (1 - alpha^2)``
+
+    Works for both float arrays and exact object (Fraction) arrays; the
+    result has the same regime as the input.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValidationError(f"matrix must be 2-D, got ndim={matrix.ndim}")
+    size = matrix.shape[0]
+    exact = is_exact_array(matrix)
+    if exact:
+        alpha = as_fraction(alpha, name="alpha")
+    else:
+        alpha = float(alpha)
+        matrix = matrix.astype(float)
+    check_alpha(alpha)
+    if size == 1:
+        return matrix.copy()
+    scale = 1 / (1 - alpha**2) if exact else 1.0 / (1.0 - alpha * alpha)
+    out = np.empty_like(matrix)
+    out[0] = (matrix[0] - alpha * matrix[1]) * scale
+    out[size - 1] = (matrix[size - 1] - alpha * matrix[size - 2]) * scale
+    middle_factor = 1 + alpha**2 if exact else 1.0 + alpha * alpha
+    for r in range(1, size - 1):
+        out[r] = (
+            middle_factor * matrix[r] - alpha * (matrix[r - 1] + matrix[r + 1])
+        ) * scale
+    return out

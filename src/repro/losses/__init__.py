@@ -1,0 +1,55 @@
+"""Loss functions for information consumers.
+
+Section 2.3 of the paper models each information consumer with a loss
+function ``l(i, r)`` — the consumer's loss when the mechanism outputs
+``r`` and the true query result is ``i`` — required to be *monotone
+non-decreasing in* ``|i - r|`` for every fixed ``i``. Equivalently,
+``l(i, r) = g_i(|i - r|)`` for a non-decreasing ``g_i``.
+
+This subpackage provides:
+
+* the standard losses the paper names: absolute error ``|i - r|``,
+  squared error ``(i - r)^2`` and the zero-one loss;
+* composition combinators (scaling, shifting, capping, maxima, sums)
+  that preserve the monotonicity requirement;
+* tabular losses backed by an explicit matrix;
+* seeded random monotone losses for property-based testing; and
+* a validator for the paper's monotonicity assumption.
+"""
+
+from .base import LossFunction, check_monotone, loss_matrix
+from .composite import (
+    CappedLoss,
+    MaxLoss,
+    ScaledLoss,
+    ShiftedLoss,
+    SumLoss,
+    ThresholdLoss,
+)
+from .matrix import TabularLoss
+from .random import random_monotone_loss, random_nonmonotone_loss
+from .standard import (
+    AbsoluteLoss,
+    PowerLoss,
+    SquaredLoss,
+    ZeroOneLoss,
+)
+
+__all__ = [
+    "LossFunction",
+    "check_monotone",
+    "loss_matrix",
+    "AbsoluteLoss",
+    "SquaredLoss",
+    "ZeroOneLoss",
+    "PowerLoss",
+    "ScaledLoss",
+    "ShiftedLoss",
+    "CappedLoss",
+    "MaxLoss",
+    "SumLoss",
+    "ThresholdLoss",
+    "TabularLoss",
+    "random_monotone_loss",
+    "random_nonmonotone_loss",
+]

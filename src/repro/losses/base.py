@@ -1,0 +1,145 @@
+"""Base class and validation for loss functions.
+
+A loss function maps ``(true_result, reported_result)`` pairs to
+non-negative losses. The paper's only model assumption (Section 2.3) is
+monotonicity in the absolute error: for every fixed true result ``i``,
+``l(i, r)`` must depend on ``r`` only through ``|i - r|`` and be
+non-decreasing in that distance. :func:`check_monotone` verifies exactly
+this on the finite range ``{0..n}``.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..exceptions import LossFunctionError
+from ..validation import check_result_range
+
+__all__ = ["LossFunction", "check_monotone", "loss_matrix"]
+
+
+class LossFunction(abc.ABC):
+    """Abstract base class for consumer loss functions.
+
+    Subclasses implement :meth:`loss`. Instances are callable:
+    ``loss_fn(i, r)`` is a synonym for ``loss_fn.loss(i, r)``.
+    """
+
+    @abc.abstractmethod
+    def loss(self, true_result: int, reported_result: int):
+        """Return the loss ``l(i, r)`` (a non-negative number).
+
+        Exact subclasses may return ``int`` or ``Fraction``; float
+        subclasses return ``float``. All numeric types interoperate with
+        both LP backends.
+        """
+
+    def __call__(self, true_result: int, reported_result: int):
+        return self.loss(true_result, reported_result)
+
+    def matrix(self, n: int) -> np.ndarray:
+        """Return the ``(n+1) x (n+1)`` loss matrix ``L[i, r] = l(i, r)``.
+
+        The matrix is object-dtype so exact entries survive untouched.
+        """
+        n = check_result_range(n)
+        out = np.empty((n + 1, n + 1), dtype=object)
+        for i in range(n + 1):
+            for r in range(n + 1):
+                out[i, r] = self.loss(i, r)
+        return out
+
+    def describe(self) -> str:
+        """A short human-readable description (class name by default)."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
+
+def loss_matrix(loss: LossFunction | np.ndarray, n: int) -> np.ndarray:
+    """Normalize a loss (function or explicit matrix) to a matrix.
+
+    Accepts either a :class:`LossFunction` or an already-built
+    ``(n+1) x (n+1)`` array, enabling APIs that take both forms.
+    """
+    n = check_result_range(n)
+    if isinstance(loss, LossFunction):
+        return loss.matrix(n)
+    matrix = np.asarray(loss)
+    if matrix.shape != (n + 1, n + 1):
+        raise LossFunctionError(
+            f"loss matrix must have shape {(n + 1, n + 1)}, "
+            f"got {matrix.shape}"
+        )
+    return matrix
+
+
+def check_monotone(
+    loss: LossFunction | np.ndarray,
+    n: int,
+    *,
+    require_distance_symmetry: bool = True,
+) -> None:
+    """Validate the paper's monotonicity assumption on ``{0..n}``.
+
+    Parameters
+    ----------
+    loss:
+        Loss function or explicit loss matrix.
+    n:
+        Maximum query result.
+    require_distance_symmetry:
+        When true (the paper's model), also require that losses at equal
+        distance are equal: ``l(i, i-d) == l(i, i+d)`` whenever both
+        arguments are in range. Set to false to check only the weaker
+        one-sided monotonicity.
+
+    Raises
+    ------
+    LossFunctionError
+        With the offending ``(i, r)`` pair in the message.
+    """
+    matrix = loss_matrix(loss, n)
+    for i in range(n + 1):
+        for r in range(n + 1):
+            if matrix[i, r] < 0:
+                raise LossFunctionError(
+                    f"loss must be non-negative; l({i}, {r}) = {matrix[i, r]}"
+                )
+        # Non-decreasing away from i on both sides.
+        for r in range(i, n):
+            if matrix[i, r + 1] < matrix[i, r]:
+                raise LossFunctionError(
+                    f"loss not monotone in |i - r| at i={i}: "
+                    f"l({i}, {r + 1}) < l({i}, {r})"
+                )
+        for r in range(i, 0, -1):
+            if matrix[i, r - 1] < matrix[i, r]:
+                raise LossFunctionError(
+                    f"loss not monotone in |i - r| at i={i}: "
+                    f"l({i}, {r - 1}) < l({i}, {r})"
+                )
+        if require_distance_symmetry:
+            for distance in range(1, n + 1):
+                left, right = i - distance, i + distance
+                if 0 <= left and right <= n and matrix[i, left] != matrix[i, right]:
+                    raise LossFunctionError(
+                        "loss must depend on r only through |i - r|: "
+                        f"l({i}, {left}) != l({i}, {right})"
+                    )
+        if matrix[i, i] > min(matrix[i, r] for r in range(n + 1)):
+            raise LossFunctionError(
+                f"loss must be minimized at r = i; violated at i={i}"
+            )
+
+
+def distances(n: int) -> Iterable[tuple[int, int, int]]:
+    """Yield ``(i, r, |i - r|)`` triples over the full range (test helper)."""
+    n = check_result_range(n)
+    for i in range(n + 1):
+        for r in range(n + 1):
+            yield i, r, abs(i - r)

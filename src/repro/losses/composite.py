@@ -1,0 +1,155 @@
+"""Loss-function combinators.
+
+Every combinator in this module preserves the paper's monotonicity
+requirement when its operands satisfy it (non-negative scaling, shifts,
+caps, maxima and sums of monotone functions of ``|i - r|`` are monotone
+in ``|i - r|``). This lets consumers be modeled compositionally — e.g.
+"absolute error, but any error beyond 10 is equally catastrophic" is
+``CappedLoss(AbsoluteLoss(), cap=10)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from fractions import Fraction
+
+from ..exceptions import LossFunctionError
+from .base import LossFunction
+
+__all__ = [
+    "ScaledLoss",
+    "ShiftedLoss",
+    "CappedLoss",
+    "MaxLoss",
+    "SumLoss",
+    "ThresholdLoss",
+]
+
+_Number = (int, float, Fraction)
+
+
+def _check_number(value: object, *, name: str, minimum: object = None):
+    if isinstance(value, bool) or not isinstance(value, _Number):
+        raise LossFunctionError(f"{name} must be a number, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise LossFunctionError(
+            f"{name} must be >= {minimum}, got {value!r}"
+        )
+    return value
+
+
+class ScaledLoss(LossFunction):
+    """``factor * base(i, r)`` for a non-negative ``factor``."""
+
+    def __init__(self, base: LossFunction, factor) -> None:
+        if not isinstance(base, LossFunction):
+            raise LossFunctionError("base must be a LossFunction")
+        self.base = base
+        self.factor = _check_number(factor, name="factor", minimum=0)
+
+    def loss(self, true_result: int, reported_result: int):
+        return self.factor * self.base.loss(true_result, reported_result)
+
+    def describe(self) -> str:
+        return f"{self.factor} * ({self.base.describe()})"
+
+
+class ShiftedLoss(LossFunction):
+    """``base(i, r) + offset`` for a non-negative ``offset``.
+
+    A constant offset changes no optimal decision but shifts reported
+    losses; useful for calibrating dashboards.
+    """
+
+    def __init__(self, base: LossFunction, offset) -> None:
+        if not isinstance(base, LossFunction):
+            raise LossFunctionError("base must be a LossFunction")
+        self.base = base
+        self.offset = _check_number(offset, name="offset", minimum=0)
+
+    def loss(self, true_result: int, reported_result: int):
+        return self.base.loss(true_result, reported_result) + self.offset
+
+    def describe(self) -> str:
+        return f"({self.base.describe()}) + {self.offset}"
+
+
+class CappedLoss(LossFunction):
+    """``min(base(i, r), cap)`` — losses saturate at ``cap``."""
+
+    def __init__(self, base: LossFunction, cap) -> None:
+        if not isinstance(base, LossFunction):
+            raise LossFunctionError("base must be a LossFunction")
+        self.base = base
+        self.cap = _check_number(cap, name="cap", minimum=0)
+
+    def loss(self, true_result: int, reported_result: int):
+        return min(self.base.loss(true_result, reported_result), self.cap)
+
+    def describe(self) -> str:
+        return f"min({self.base.describe()}, {self.cap})"
+
+
+class MaxLoss(LossFunction):
+    """Pointwise maximum of several losses."""
+
+    def __init__(self, parts: Sequence[LossFunction]) -> None:
+        parts = tuple(parts)
+        if not parts or not all(isinstance(p, LossFunction) for p in parts):
+            raise LossFunctionError(
+                "parts must be a non-empty sequence of LossFunction"
+            )
+        self.parts = parts
+
+    def loss(self, true_result: int, reported_result: int):
+        return max(p.loss(true_result, reported_result) for p in self.parts)
+
+    def describe(self) -> str:
+        return "max(" + ", ".join(p.describe() for p in self.parts) + ")"
+
+
+class SumLoss(LossFunction):
+    """Pointwise sum of several losses."""
+
+    def __init__(self, parts: Sequence[LossFunction]) -> None:
+        parts = tuple(parts)
+        if not parts or not all(isinstance(p, LossFunction) for p in parts):
+            raise LossFunctionError(
+                "parts must be a non-empty sequence of LossFunction"
+            )
+        self.parts = parts
+
+    def loss(self, true_result: int, reported_result: int):
+        return sum(p.loss(true_result, reported_result) for p in self.parts)
+
+    def describe(self) -> str:
+        return " + ".join(p.describe() for p in self.parts)
+
+
+class ThresholdLoss(LossFunction):
+    """Zero loss within ``tolerance`` of the truth, ``penalty`` beyond.
+
+    Models consumers who only care whether the report is "close enough":
+    ``l(i, r) = 0`` if ``|i - r| <= tolerance`` else ``penalty``.
+    ``tolerance = 0`` with ``penalty = 1`` recovers the zero-one loss.
+    """
+
+    def __init__(self, tolerance: int, penalty=1) -> None:
+        if isinstance(tolerance, bool) or not isinstance(tolerance, int):
+            raise LossFunctionError(
+                f"tolerance must be an integer >= 0, got {tolerance!r}"
+            )
+        if tolerance < 0:
+            raise LossFunctionError(
+                f"tolerance must be >= 0, got {tolerance}"
+            )
+        self.tolerance = tolerance
+        self.penalty = _check_number(penalty, name="penalty", minimum=0)
+
+    def loss(self, true_result: int, reported_result: int):
+        if abs(true_result - reported_result) <= self.tolerance:
+            return 0
+        return self.penalty
+
+    def describe(self) -> str:
+        return f"ThresholdLoss(tol={self.tolerance}, penalty={self.penalty})"

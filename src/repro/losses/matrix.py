@@ -1,0 +1,81 @@
+"""Tabular losses backed by an explicit matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import LossFunctionError
+from .base import LossFunction, check_monotone
+
+__all__ = ["TabularLoss"]
+
+
+class TabularLoss(LossFunction):
+    """A loss function defined by an explicit ``(n+1) x (n+1)`` table.
+
+    Parameters
+    ----------
+    table:
+        ``table[i][r]`` is the loss when the true result is ``i`` and the
+        report is ``r``. Entries must be non-negative numbers.
+    validate_monotone:
+        When true (default), reject tables that violate the paper's
+        monotonicity-in-``|i-r|`` assumption. Pass false to build
+        deliberately non-conforming losses (used by the ablation
+        benchmarks that probe where universality breaks).
+
+    Notes
+    -----
+    The table is copied; later mutation of the source does not affect the
+    loss function.
+    """
+
+    def __init__(self, table, *, validate_monotone: bool = True) -> None:
+        matrix = np.asarray(table, dtype=object)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise LossFunctionError(
+                f"loss table must be square 2-D, got shape {matrix.shape}"
+            )
+        if matrix.shape[0] < 2:
+            raise LossFunctionError(
+                "loss table must cover at least results {0, 1}"
+            )
+        for entry in matrix.flat:
+            if isinstance(entry, bool) or not isinstance(
+                entry, (int, float, type(matrix.flat[0]))
+            ) and not hasattr(entry, "__float__"):
+                raise LossFunctionError(
+                    f"loss table entries must be numbers, got {entry!r}"
+                )
+            if entry < 0:
+                raise LossFunctionError(
+                    f"loss table entries must be >= 0, got {entry!r}"
+                )
+        self._table = matrix.copy()
+        self.n = matrix.shape[0] - 1
+        self.validated = bool(validate_monotone)
+        if validate_monotone:
+            check_monotone(self._table, self.n)
+
+    def loss(self, true_result: int, reported_result: int):
+        if not 0 <= true_result <= self.n:
+            raise LossFunctionError(
+                f"true_result must lie in [0, {self.n}], got {true_result}"
+            )
+        if not 0 <= reported_result <= self.n:
+            raise LossFunctionError(
+                f"reported_result must lie in [0, {self.n}], "
+                f"got {reported_result}"
+            )
+        return self._table[true_result, reported_result]
+
+    def matrix(self, n: int) -> np.ndarray:
+        if n != self.n:
+            raise LossFunctionError(
+                f"tabular loss covers n={self.n}, requested n={n}"
+            )
+        return self._table.copy()
+
+    def describe(self) -> str:
+        suffix = "" if self.validated else ", unvalidated"
+        return f"TabularLoss(n={self.n}{suffix})"

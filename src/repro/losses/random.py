@@ -1,0 +1,112 @@
+"""Seeded random loss generators for property-based testing.
+
+:func:`random_monotone_loss` draws losses *inside* the paper's model
+(monotone non-decreasing in ``|i - r|``); the universality theorem must
+hold for every one of them. :func:`random_nonmonotone_loss` draws losses
+*outside* the model, used by the ablation benchmark that shows why the
+monotonicity assumption matters.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import LossFunctionError
+from ..validation import check_result_range
+from .matrix import TabularLoss
+
+__all__ = ["random_monotone_loss", "random_nonmonotone_loss"]
+
+
+def random_monotone_loss(
+    n: int,
+    *,
+    rng: np.random.Generator | None = None,
+    exact: bool = True,
+    max_increment: int = 5,
+    per_row: bool = True,
+) -> TabularLoss:
+    """Sample a random loss satisfying the paper's model on ``{0..n}``.
+
+    Construction: for each true result ``i`` (or once globally when
+    ``per_row`` is false), draw non-negative increments
+    ``delta_1 .. delta_n`` and set the loss at distance ``d`` to
+    ``delta_1 + ... + delta_d`` — a non-decreasing function of distance
+    with ``l(i, i) = 0``.
+
+    Parameters
+    ----------
+    n:
+        Maximum query result.
+    rng:
+        Numpy generator (fresh default generator when omitted).
+    exact:
+        Produce Fraction-valued losses (denominator 10) when true,
+        float-valued otherwise.
+    max_increment:
+        Upper bound (exclusive, in tenths) for each increment draw.
+    per_row:
+        When true every true result gets its own distance profile
+        ``g_i``; when false one shared profile is used.
+    """
+    n = check_result_range(n)
+    if max_increment < 1:
+        raise LossFunctionError(
+            f"max_increment must be >= 1, got {max_increment}"
+        )
+    rng = np.random.default_rng() if rng is None else rng
+
+    def draw_profile() -> list:
+        increments = rng.integers(0, max_increment, size=n)
+        profile = [Fraction(0)] if exact else [0.0]
+        for step in increments:
+            unit = Fraction(int(step), 10) if exact else float(step) / 10.0
+            profile.append(profile[-1] + unit)
+        return profile
+
+    shared = None if per_row else draw_profile()
+    table = np.empty((n + 1, n + 1), dtype=object)
+    for i in range(n + 1):
+        profile = draw_profile() if shared is None else shared
+        for r in range(n + 1):
+            table[i, r] = profile[abs(i - r)]
+    return TabularLoss(table)
+
+
+def random_nonmonotone_loss(
+    n: int,
+    *,
+    rng: np.random.Generator | None = None,
+    exact: bool = True,
+) -> TabularLoss:
+    """Sample a loss that deliberately violates the paper's model.
+
+    The table is random non-negative noise with the diagonal forced to
+    zero; monotonicity in ``|i - r|`` fails with overwhelming probability
+    (and resampling guarantees it). Used only by ablation benchmarks.
+    """
+    n = check_result_range(n)
+    rng = np.random.default_rng() if rng is None else rng
+    from .base import check_monotone  # local import avoids cycle at module load
+
+    for _ in range(100):
+        table = np.empty((n + 1, n + 1), dtype=object)
+        for i in range(n + 1):
+            for r in range(n + 1):
+                if i == r:
+                    table[i, r] = Fraction(0) if exact else 0.0
+                else:
+                    value = int(rng.integers(0, 20))
+                    table[i, r] = (
+                        Fraction(value, 10) if exact else value / 10.0
+                    )
+        try:
+            check_monotone(table, n)
+        except LossFunctionError:
+            return TabularLoss(table, validate_monotone=False)
+    raise LossFunctionError(
+        "failed to sample a non-monotone loss in 100 attempts "
+        f"(n={n} too small?)"
+    )

@@ -1,0 +1,86 @@
+"""The standard loss functions named by the paper.
+
+Section 2.3 motivates three losses:
+
+* ``l(i, r) = |i - r|`` — mean error; e.g. a government tracking the rise
+  of flu cases;
+* ``l(i, r) = (i - r)^2`` — error variance; e.g. a drug company planning
+  production;
+* the zero-one loss — frequency of error.
+
+All are exact (integer-valued), so downstream exact LP solves reproduce
+the paper's fractions without rounding. :class:`PowerLoss` generalizes to
+``|i - r|^p``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..exceptions import LossFunctionError
+from .base import LossFunction
+
+__all__ = ["AbsoluteLoss", "SquaredLoss", "ZeroOneLoss", "PowerLoss"]
+
+
+class AbsoluteLoss(LossFunction):
+    """Absolute-error loss ``l(i, r) = |i - r|``."""
+
+    def loss(self, true_result: int, reported_result: int) -> int:
+        return abs(true_result - reported_result)
+
+    def describe(self) -> str:
+        return "AbsoluteLoss |i-r|"
+
+
+class SquaredLoss(LossFunction):
+    """Squared-error loss ``l(i, r) = (i - r)^2``."""
+
+    def loss(self, true_result: int, reported_result: int) -> int:
+        return (true_result - reported_result) ** 2
+
+    def describe(self) -> str:
+        return "SquaredLoss (i-r)^2"
+
+
+class ZeroOneLoss(LossFunction):
+    """Zero-one loss: 0 when the report is exact, 1 otherwise."""
+
+    def loss(self, true_result: int, reported_result: int) -> int:
+        return int(true_result != reported_result)
+
+    def describe(self) -> str:
+        return "ZeroOneLoss 1[i != r]"
+
+
+class PowerLoss(LossFunction):
+    """Power loss ``l(i, r) = |i - r|^p`` for a rational exponent p >= 0.
+
+    ``p = 1`` recovers :class:`AbsoluteLoss`, ``p = 2`` recovers
+    :class:`SquaredLoss`. Integer exponents keep the loss exact; fractional
+    exponents produce floats.
+    """
+
+    def __init__(self, exponent: float | int | Fraction) -> None:
+        if isinstance(exponent, bool) or not isinstance(
+            exponent, (int, float, Fraction)
+        ):
+            raise LossFunctionError(
+                f"exponent must be a number >= 0, got {exponent!r}"
+            )
+        if exponent < 0:
+            raise LossFunctionError(
+                f"exponent must be >= 0, got {exponent!r}"
+            )
+        self.exponent = exponent
+
+    def loss(self, true_result: int, reported_result: int):
+        distance = abs(true_result - reported_result)
+        if isinstance(self.exponent, (int, Fraction)) and (
+            isinstance(self.exponent, int) or self.exponent.denominator == 1
+        ):
+            return distance ** int(self.exponent)
+        return float(distance) ** float(self.exponent)
+
+    def describe(self) -> str:
+        return f"PowerLoss |i-r|^{self.exponent}"

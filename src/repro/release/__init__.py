@@ -1,0 +1,35 @@
+"""Publication layer: publishers, multi-level releases, privacy audits.
+
+Where :mod:`repro.core` proves things about mechanism *matrices*, this
+subpackage operates at deployment granularity: publishing results from
+real databases, serving consumers at several trust levels (the paper's
+government-report vs Internet-report scenario), auditing deployed
+mechanisms empirically from samples, and simulating collusion attacks
+against naive multi-release schemes.
+"""
+
+from .audit import AuditReport, empirical_alpha, empirical_mechanism_matrix
+from .collusion import (
+    AveragingAttackResult,
+    averaging_attack,
+    compare_release_strategies,
+)
+from .ledger import BudgetExceededError, LedgerEntry, PrivacyLedger
+from .multilevel import MultiLevelPublisher, TieredRelease
+from .publisher import PublishedStatistic, Publisher
+
+__all__ = [
+    "Publisher",
+    "PublishedStatistic",
+    "MultiLevelPublisher",
+    "TieredRelease",
+    "AuditReport",
+    "empirical_alpha",
+    "empirical_mechanism_matrix",
+    "averaging_attack",
+    "AveragingAttackResult",
+    "compare_release_strategies",
+    "PrivacyLedger",
+    "LedgerEntry",
+    "BudgetExceededError",
+]

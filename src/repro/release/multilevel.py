@@ -1,0 +1,108 @@
+"""Deployment-level multi-tier release (wrapping Algorithm 1).
+
+The paper's motivating scenario: one version of the flu report for
+government executives (high utility, low alpha) and one for the public
+Internet (high privacy, larger alpha). :class:`MultiLevelPublisher`
+evaluates the query once and runs Algorithm 1's correlated chain so the
+tiers are collusion-resistant by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.multilevel import MultiLevelRelease
+from ..db.database import Database
+from ..db.engine import QueryEngine
+from ..db.queries import CountQuery
+from ..exceptions import ValidationError
+from ..sampling.rng import ensure_generator
+
+__all__ = ["TieredRelease", "MultiLevelPublisher"]
+
+
+@dataclass(frozen=True)
+class TieredRelease:
+    """Results of one multi-tier publication.
+
+    Attributes
+    ----------
+    query_description:
+        What was counted.
+    results:
+        Mapping from tier name to published value.
+    alphas:
+        Mapping from tier name to that tier's privacy level.
+    """
+
+    query_description: str
+    results: dict[str, int]
+    alphas: dict[str, object]
+
+
+class MultiLevelPublisher:
+    """Publishes one query at several named trust tiers.
+
+    Parameters
+    ----------
+    database:
+        The sensitive database.
+    tiers:
+        Mapping from tier name to privacy level; levels must be
+        pairwise distinct. Tiers are served least-private-first
+        internally, per Algorithm 1.
+
+    Examples
+    --------
+    >>> from fractions import Fraction as F
+    >>> from repro.db import Attribute, Schema, Database
+    >>> schema = Schema([Attribute("has_flu", "bool")])
+    >>> db = Database(schema, [{"has_flu": True}] * 3)
+    >>> pub = MultiLevelPublisher(db, {"gov": F(1, 4), "web": F(1, 2)})
+    >>> sorted(pub.tier_names)
+    ['gov', 'web']
+    """
+
+    def __init__(self, database: Database, tiers: dict) -> None:
+        if not isinstance(database, Database):
+            raise ValidationError(
+                f"expected a Database, got {type(database).__name__}"
+            )
+        if not tiers:
+            raise ValidationError("at least one tier is required")
+        levels = list(tiers.values())
+        if len(set(levels)) != len(levels):
+            raise ValidationError("tier privacy levels must be distinct")
+        self._engine = QueryEngine(database)
+        # Algorithm 1 wants levels ascending (least private first).
+        ordered = sorted(tiers.items(), key=lambda item: item[1])
+        self._tier_names = tuple(name for name, _ in ordered)
+        self._release = MultiLevelRelease(
+            database.size, [alpha for _, alpha in ordered]
+        )
+        self._alphas = dict(ordered)
+
+    @property
+    def tier_names(self) -> tuple[str, ...]:
+        """Tier names, least private first."""
+        return self._tier_names
+
+    @property
+    def chain(self) -> MultiLevelRelease:
+        """The underlying Algorithm 1 release chain."""
+        return self._release
+
+    def publish(self, query: CountQuery, rng=None) -> TieredRelease:
+        """Evaluate the query once and release every tier's value."""
+        rng = ensure_generator(rng)
+        true_value = self._engine.answer_exact(query)
+        values = self._release.release(true_value, rng)
+        return TieredRelease(
+            query_description=query.describe(),
+            results=dict(zip(self._tier_names, values)),
+            alphas=dict(self._alphas),
+        )
+
+    def verify_collusion_resistance(self):
+        """Run Lemma 4's check over every coalition of tiers."""
+        return self._release.verify_all_coalitions()

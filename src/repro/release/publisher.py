@@ -1,0 +1,103 @@
+"""Single-level publication of count-query results.
+
+The non-interactive setting the paper targets (Section 1): a statistic is
+computed once and *published* — to mass media, a report, the Internet —
+for consumers whose loss functions and side information are unknown at
+release time. By Theorem 1 the right mechanism to deploy is geometric;
+the publisher does exactly that and records everything an auditor needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.geometric import GeometricMechanism
+from ..core.mechanism import Mechanism
+from ..db.database import Database
+from ..db.engine import QueryEngine
+from ..db.queries import CountQuery
+from ..exceptions import ValidationError
+from ..sampling.rng import ensure_generator
+
+__all__ = ["PublishedStatistic", "Publisher"]
+
+
+@dataclass(frozen=True)
+class PublishedStatistic:
+    """One published aggregate statistic.
+
+    Attributes
+    ----------
+    query_description:
+        Human-readable description of what was counted.
+    value:
+        The published (perturbed) count.
+    alpha:
+        Privacy level of the release.
+    n:
+        Database size (the public result range is ``{0..n}``).
+    """
+
+    query_description: str
+    value: int
+    alpha: object
+    n: int
+
+
+class Publisher:
+    """Publishes geometric-mechanism releases for one database.
+
+    Parameters
+    ----------
+    database:
+        The sensitive database.
+    alpha:
+        Default privacy level for releases.
+    """
+
+    def __init__(self, database: Database, alpha) -> None:
+        if not isinstance(database, Database):
+            raise ValidationError(
+                f"expected a Database, got {type(database).__name__}"
+            )
+        self._engine = QueryEngine(database)
+        self.alpha = alpha
+        self._mechanism = GeometricMechanism(database.size, alpha)
+
+    @property
+    def n(self) -> int:
+        """Database size / maximum count."""
+        return self._engine.database.size
+
+    @property
+    def mechanism(self) -> Mechanism:
+        """The deployed geometric mechanism."""
+        return self._mechanism
+
+    def publish(self, query: CountQuery, rng=None) -> PublishedStatistic:
+        """Evaluate ``query`` and release one geometric perturbation."""
+        rng = ensure_generator(rng)
+        result = self._engine.answer_private(
+            query, mechanism=self._mechanism, rng=rng
+        )
+        return PublishedStatistic(
+            query_description=query.describe(),
+            value=result.value,
+            alpha=self.alpha,
+            n=self.n,
+        )
+
+    def publish_many(
+        self, query: CountQuery, count: int, rng=None
+    ) -> list[PublishedStatistic]:
+        """Release ``count`` independent perturbations of one query.
+
+        Intended for calibration experiments only — publishing many
+        independent releases of the same statistic composes privacy loss
+        (each release is a fresh alpha-DP computation) and is exactly the
+        collusion weakness Algorithm 1 exists to avoid.
+        """
+        if count < 0:
+            raise ValidationError(f"count must be >= 0, got {count}")
+        rng = ensure_generator(rng)
+        return [self.publish(query, rng) for _ in range(count)]

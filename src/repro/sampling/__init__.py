@@ -1,0 +1,20 @@
+"""Random sampling utilities.
+
+Samplers for the noise distributions used by the library's mechanisms,
+plus seeding helpers. All samplers take an explicit
+:class:`numpy.random.Generator` so experiments are reproducible.
+"""
+
+from .geometric import (
+    sample_geometric_failures,
+    sample_two_sided_geometric,
+    two_sided_geometric_pmf,
+)
+from .rng import ensure_generator
+
+__all__ = [
+    "ensure_generator",
+    "sample_geometric_failures",
+    "sample_two_sided_geometric",
+    "two_sided_geometric_pmf",
+]

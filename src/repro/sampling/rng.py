@@ -1,0 +1,32 @@
+"""Seeding helpers for reproducible experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["ensure_generator"]
+
+
+def ensure_generator(
+    seed_or_rng: int | np.random.Generator | None = None,
+) -> np.random.Generator:
+    """Normalize a seed / generator / ``None`` into a Generator.
+
+    * ``None`` — a fresh nondeterministic generator;
+    * ``int`` — ``np.random.default_rng(seed)``;
+    * a Generator — returned unchanged.
+    """
+    if seed_or_rng is None:
+        return np.random.default_rng()
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if isinstance(seed_or_rng, bool) or not isinstance(
+        seed_or_rng, (int, np.integer)
+    ):
+        raise ValidationError(
+            f"expected None, an int seed, or a numpy Generator; "
+            f"got {seed_or_rng!r}"
+        )
+    return np.random.default_rng(int(seed_or_rng))

@@ -1,0 +1,34 @@
+"""Linear-programming backends.
+
+Both of the paper's optimization problems — the bespoke optimal mechanism
+(Section 2.5) and the consumer's optimal interaction (Section 2.4.3) —
+are linear programs. This subpackage provides:
+
+* a backend-neutral problem description (:class:`LinearProgram`);
+* a float backend on :func:`scipy.optimize.linprog` (HiGHS);
+* an exact two-phase simplex over :class:`fractions.Fraction` with
+  Bland's anti-cycling rule, so small instances reproduce the paper's
+  exact fractions (Table 1); and
+* a lexicographic two-stage solve used for the paper's ``(L, L')``
+  refinement (Lemma 5).
+"""
+
+from .base import (
+    LinearProgram,
+    LinearTerm,
+    LPSolution,
+    choose_backend,
+)
+from .lexicographic import solve_lexicographic
+from .scipy_backend import ScipyBackend
+from .simplex import ExactSimplexBackend
+
+__all__ = [
+    "LinearProgram",
+    "LinearTerm",
+    "LPSolution",
+    "choose_backend",
+    "ScipyBackend",
+    "ExactSimplexBackend",
+    "solve_lexicographic",
+]

@@ -1,0 +1,171 @@
+"""Backend-neutral linear-program description.
+
+The canonical form used throughout the library:
+
+.. math::
+
+   \\min c^T z \\quad \\text{s.t.} \\quad
+   A_{ub} z \\le b_{ub}, \\; A_{eq} z = b_{eq}, \\; z \\ge 0.
+
+All decision variables are non-negative — the paper's LPs (mechanism
+entries, kernel entries, and the worst-case-loss epigraph variable) are
+naturally so. Constraints are stored sparsely as ``(variable, coeff)``
+term lists, which both backends consume directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..exceptions import ValidationError
+
+__all__ = ["LinearTerm", "LinearProgram", "LPSolution", "choose_backend"]
+
+#: A single ``coeff * variable`` term: ``(variable_index, coefficient)``.
+LinearTerm = tuple[int, object]
+
+
+@dataclass
+class _Constraint:
+    terms: list[LinearTerm]
+    rhs: object
+
+
+@dataclass
+class LPSolution:
+    """Result of an LP solve.
+
+    Attributes
+    ----------
+    values:
+        Optimal variable assignment (list, Fractions for the exact
+        backend, floats for scipy).
+    objective:
+        Optimal objective value.
+    backend:
+        Name of the backend that produced the solution.
+    """
+
+    values: list
+    objective: object
+    backend: str
+
+    def value(self, index: int):
+        """Return the optimal value of variable ``index``."""
+        return self.values[index]
+
+
+class LinearProgram:
+    """A minimization LP over non-negative variables.
+
+    Build incrementally::
+
+        lp = LinearProgram(num_vars=3)
+        lp.set_objective([(0, 1), (2, 5)])        # minimize z0 + 5 z2
+        lp.add_le([(0, 1), (1, 1)], 1)            # z0 + z1 <= 1
+        lp.add_eq([(1, 2), (2, -1)], 0)           # 2 z1 - z2 == 0
+    """
+
+    def __init__(self, num_vars: int) -> None:
+        if num_vars < 1:
+            raise ValidationError(f"num_vars must be >= 1, got {num_vars}")
+        self.num_vars = int(num_vars)
+        self._objective: list[LinearTerm] = []
+        self._le: list[_Constraint] = []
+        self._eq: list[_Constraint] = []
+
+    # ------------------------------------------------------------------
+    def _check_terms(self, terms) -> list[LinearTerm]:
+        cleaned: list[LinearTerm] = []
+        for variable, coeff in terms:
+            if not 0 <= int(variable) < self.num_vars:
+                raise ValidationError(
+                    f"variable index {variable} out of range "
+                    f"[0, {self.num_vars})"
+                )
+            if coeff != 0:
+                cleaned.append((int(variable), coeff))
+        return cleaned
+
+    def set_objective(self, terms) -> None:
+        """Set the (sparse) objective ``min sum coeff * z[var]``."""
+        self._objective = self._check_terms(terms)
+
+    def add_le(self, terms, rhs) -> None:
+        """Add an inequality ``sum coeff * z[var] <= rhs``."""
+        self._le.append(_Constraint(self._check_terms(terms), rhs))
+
+    def add_eq(self, terms, rhs) -> None:
+        """Add an equality ``sum coeff * z[var] == rhs``."""
+        self._eq.append(_Constraint(self._check_terms(terms), rhs))
+
+    # ------------------------------------------------------------------
+    @property
+    def objective_terms(self) -> list[LinearTerm]:
+        return list(self._objective)
+
+    @property
+    def le_constraints(self) -> list[tuple[list[LinearTerm], object]]:
+        return [(list(c.terms), c.rhs) for c in self._le]
+
+    @property
+    def eq_constraints(self) -> list[tuple[list[LinearTerm], object]]:
+        return [(list(c.terms), c.rhs) for c in self._eq]
+
+    def num_constraints(self) -> int:
+        """Total number of constraints (both kinds)."""
+        return len(self._le) + len(self._eq)
+
+    def evaluate_objective(self, values) -> object:
+        """Evaluate the objective at a candidate point."""
+        return sum(coeff * values[var] for var, coeff in self._objective)
+
+    def copy(self) -> "LinearProgram":
+        """Deep-enough copy (terms are immutable tuples)."""
+        clone = LinearProgram(self.num_vars)
+        clone._objective = list(self._objective)
+        clone._le = [_Constraint(list(c.terms), c.rhs) for c in self._le]
+        clone._eq = [_Constraint(list(c.terms), c.rhs) for c in self._eq]
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"<LinearProgram vars={self.num_vars} "
+            f"le={len(self._le)} eq={len(self._eq)}>"
+        )
+
+
+def choose_backend(*, exact: bool, size_hint: int = 0):
+    """Pick a default backend.
+
+    ``exact=True`` selects the Fraction simplex (appropriate for small
+    instances — the paper's tables); otherwise scipy/HiGHS.
+    ``size_hint`` (number of variables) guards against accidentally
+    running the exact solver on huge programs.
+    """
+    # Imports deferred to avoid a circular import at package load.
+    from .scipy_backend import ScipyBackend
+    from .simplex import ExactSimplexBackend
+
+    if exact:
+        if size_hint > 2500:
+            raise ValidationError(
+                "exact simplex requested for a very large program "
+                f"({size_hint} variables); use the scipy backend"
+            )
+        return ExactSimplexBackend()
+    return ScipyBackend()
+
+
+def coerce_exact(value) -> Fraction:
+    """Convert an LP coefficient to a Fraction (helper for the exact path)."""
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(value)
+    raise ValidationError(
+        f"cannot use {value!r} as an exact LP coefficient"
+    )

@@ -1,0 +1,57 @@
+"""Lexicographic (two-stage) LP solves.
+
+Lemma 5 of the paper refines optimality: among all mechanisms minimizing
+the worst-case loss ``L``, pick one also minimizing the secondary
+objective ``L'(x) = sum_{i,r} x[i,r] |i - r|`` under the total order
+``(a, b) >= (c, d) iff a > c or (a = c and b >= d)``. Computationally
+that is a two-stage solve: minimize ``L``; then add ``L <= L*`` as a
+constraint and minimize ``L'``.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import SolverError
+from .base import LinearProgram, LPSolution
+
+__all__ = ["solve_lexicographic"]
+
+
+def solve_lexicographic(
+    program: LinearProgram,
+    secondary_terms,
+    backend,
+    *,
+    slack=0,
+) -> tuple[LPSolution, LPSolution]:
+    """Solve ``program``, then re-optimize ``secondary_terms`` at optimum.
+
+    Parameters
+    ----------
+    program:
+        The primary LP (its objective is the primary criterion).
+    secondary_terms:
+        Sparse term list for the secondary objective (same variable
+        space).
+    backend:
+        Any solver backend (exact or scipy).
+    slack:
+        Extra allowance on the pinned primary objective; keep 0 for the
+        exact backend, use ~1e-9 for the float backend to avoid
+        numerically-empty optimal faces.
+
+    Returns
+    -------
+    (primary_solution, refined_solution)
+    """
+    primary = backend.solve(program)
+    refined_program = program.copy()
+    objective_terms = program.objective_terms
+    if not objective_terms:
+        raise SolverError("primary program has an empty objective")
+    # Adding a float 0.0 to an exact Fraction would silently degrade it
+    # to a float, so the slack is only applied when non-zero.
+    pinned_rhs = primary.objective if slack == 0 else primary.objective + slack
+    refined_program.add_le(objective_terms, pinned_rhs)
+    refined_program.set_objective(secondary_terms)
+    refined = backend.solve(refined_program)
+    return primary, refined

@@ -1,0 +1,89 @@
+"""Float LP backend on :func:`scipy.optimize.linprog` (HiGHS)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from ..exceptions import (
+    InfeasibleProgramError,
+    SolverError,
+    UnboundedProgramError,
+)
+from .base import LinearProgram, LPSolution
+
+__all__ = ["ScipyBackend"]
+
+
+def _sparse_from_constraints(constraints, num_vars: int):
+    """Build a CSR matrix and RHS vector from sparse term lists."""
+    if not constraints:
+        return None, None
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    rhs: list[float] = []
+    for row_index, (terms, bound) in enumerate(constraints):
+        rhs.append(float(bound))
+        for var, coeff in terms:
+            rows.append(row_index)
+            cols.append(var)
+            data.append(float(coeff))
+    matrix = csr_matrix(
+        (data, (rows, cols)), shape=(len(constraints), num_vars)
+    )
+    return matrix, np.asarray(rhs)
+
+
+class ScipyBackend:
+    """Solve a :class:`LinearProgram` with HiGHS through scipy.
+
+    Suitable for any problem size; results are float64 and accurate to
+    roughly 1e-9, so callers compare against paper values with a small
+    tolerance.
+    """
+
+    name = "scipy-highs"
+
+    def solve(self, program: LinearProgram) -> LPSolution:
+        """Solve and return an :class:`LPSolution`.
+
+        Raises
+        ------
+        InfeasibleProgramError, UnboundedProgramError, SolverError
+            On the corresponding HiGHS statuses.
+        """
+        objective = np.zeros(program.num_vars)
+        for var, coeff in program.objective_terms:
+            objective[var] += float(coeff)
+        a_ub, b_ub = _sparse_from_constraints(
+            program.le_constraints, program.num_vars
+        )
+        a_eq, b_eq = _sparse_from_constraints(
+            program.eq_constraints, program.num_vars
+        )
+        result = linprog(
+            objective,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=(0, None),
+            method="highs",
+        )
+        if result.status == 2:
+            raise InfeasibleProgramError(
+                f"linear program infeasible: {result.message}"
+            )
+        if result.status == 3:
+            raise UnboundedProgramError(
+                f"linear program unbounded: {result.message}"
+            )
+        if result.status != 0:
+            raise SolverError(f"HiGHS failed: {result.message}")
+        return LPSolution(
+            values=[float(v) for v in result.x],
+            objective=float(result.fun),
+            backend=self.name,
+        )

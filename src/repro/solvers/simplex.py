@@ -1,0 +1,291 @@
+"""Exact two-phase simplex over :class:`fractions.Fraction`.
+
+The paper's Table 1 reports an optimal mechanism with exact rational
+entries. Reproducing those requires an LP solver that never rounds —
+hence this from-scratch dense-tableau simplex with Bland's anti-cycling
+pivot rule (guaranteeing termination despite degeneracy, which the
+paper's LPs exhibit: optimal mechanisms sit on many tight privacy
+constraints at once).
+
+Scope: intended for the small programs that arise from mechanisms with
+``n`` up to roughly 8 (hundreds of variables). Larger instances should
+use :class:`repro.solvers.scipy_backend.ScipyBackend`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..exceptions import (
+    InfeasibleProgramError,
+    SolverError,
+    UnboundedProgramError,
+)
+from .base import LinearProgram, LPSolution, coerce_exact
+
+__all__ = ["ExactSimplexBackend"]
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+class _Tableau:
+    """Dense simplex tableau with an explicit basis.
+
+    ``rows`` holds ``[A | b]`` with exactly one identity column per row
+    (the basis); ``objective`` holds the reduced-cost row with the
+    negated objective value in its last entry.
+    """
+
+    def __init__(
+        self,
+        rows: list[list[Fraction]],
+        basis: list[int],
+        num_columns: int,
+    ) -> None:
+        self.rows = rows
+        self.basis = basis
+        self.num_columns = num_columns  # structural + auxiliary (no RHS)
+        self.objective: list[Fraction] = []
+
+    def set_objective(self, costs: list[Fraction]) -> None:
+        """Install reduced costs for ``costs`` against the current basis."""
+        reduced = list(costs) + [_ZERO]
+        for row_index, basic_var in enumerate(self.basis):
+            coeff = reduced[basic_var]
+            if coeff != 0:
+                row = self.rows[row_index]
+                for j in range(self.num_columns + 1):
+                    reduced[j] -= coeff * row[j]
+        self.objective = reduced
+
+    def objective_value(self) -> Fraction:
+        return -self.objective[self.num_columns]
+
+    def pivot(self, pivot_row: int, pivot_col: int) -> None:
+        row = self.rows[pivot_row]
+        pivot = row[pivot_col]
+        if pivot == 0:
+            raise SolverError("internal error: zero pivot")
+        inv = _ONE / pivot
+        self.rows[pivot_row] = [entry * inv for entry in row]
+        row = self.rows[pivot_row]
+        for other_index, other in enumerate(self.rows):
+            if other_index == pivot_row or other[pivot_col] == 0:
+                continue
+            factor = other[pivot_col]
+            self.rows[other_index] = [
+                entry - factor * pivot_entry
+                for entry, pivot_entry in zip(other, row)
+            ]
+        if self.objective and self.objective[pivot_col] != 0:
+            factor = self.objective[pivot_col]
+            self.objective = [
+                entry - factor * pivot_entry
+                for entry, pivot_entry in zip(self.objective, row)
+            ]
+        self.basis[pivot_row] = pivot_col
+
+    def run(self, allowed_columns) -> None:
+        """Iterate pivots to optimality over ``allowed_columns``.
+
+        Pivot rule: Dantzig (most negative reduced cost) for speed; after
+        a stretch of degenerate pivots with no objective progress, switch
+        to Bland's rule, whose termination guarantee rules out cycling.
+        """
+        allowed = sorted(allowed_columns)
+        stall_budget = 12 * (len(self.rows) + 1)
+        stalled = 0
+        last_objective = self.objective_value()
+        use_bland = False
+        while True:
+            entering = self._entering_column(allowed, use_bland)
+            if entering is None:
+                return
+            pivot_row = None
+            best_ratio = None
+            for row_index, row in enumerate(self.rows):
+                coeff = row[entering]
+                if coeff <= 0:
+                    continue
+                ratio = row[self.num_columns] / coeff
+                if (
+                    best_ratio is None
+                    or ratio < best_ratio
+                    or (
+                        ratio == best_ratio
+                        and self.basis[row_index] < self.basis[pivot_row]
+                    )
+                ):
+                    best_ratio = ratio
+                    pivot_row = row_index
+            if pivot_row is None:
+                raise UnboundedProgramError(
+                    "linear program is unbounded below"
+                )
+            self.pivot(pivot_row, entering)
+            objective = self.objective_value()
+            if objective == last_objective:
+                stalled += 1
+                if stalled >= stall_budget:
+                    use_bland = True
+            else:
+                stalled = 0
+                use_bland = False
+                last_objective = objective
+
+    def _entering_column(self, allowed, use_bland: bool):
+        if use_bland:
+            return next(
+                (j for j in allowed if self.objective[j] < 0), None
+            )
+        entering = None
+        most_negative = _ZERO
+        for j in allowed:
+            reduced = self.objective[j]
+            if reduced < most_negative:
+                most_negative = reduced
+                entering = j
+        return entering
+
+
+class ExactSimplexBackend:
+    """Exact LP solver: two-phase dense simplex with Bland's rule.
+
+    Produces :class:`~fractions.Fraction` optimal values; every
+    coefficient of the program must be rational (ints, Fractions, or
+    exactly-representable floats).
+    """
+
+    name = "exact-simplex"
+
+    def solve(self, program: LinearProgram) -> LPSolution:
+        """Solve and return exact optimal values.
+
+        Raises
+        ------
+        InfeasibleProgramError, UnboundedProgramError
+            For infeasible / unbounded programs.
+        """
+        tableau, structural = self._build(program)
+        self._phase_one(tableau)
+        objective = self._phase_two(tableau, program, structural)
+        solution = [_ZERO] * program.num_vars
+        for row_index, basic_var in enumerate(tableau.basis):
+            if basic_var < program.num_vars:
+                solution[basic_var] = tableau.rows[row_index][
+                    tableau.num_columns
+                ]
+        return LPSolution(
+            values=solution, objective=objective, backend=self.name
+        )
+
+    # ------------------------------------------------------------------
+    def _build(self, program: LinearProgram):
+        """Assemble the initial tableau with slacks and artificials."""
+        num_structural = program.num_vars
+        prepared: list[tuple[list[Fraction], Fraction, str]] = []
+        for terms, rhs in program.le_constraints:
+            dense = [_ZERO] * num_structural
+            for var, coeff in terms:
+                dense[var] += coerce_exact(coeff)
+            rhs = coerce_exact(rhs)
+            if rhs < 0:
+                dense = [-entry for entry in dense]
+                prepared.append((dense, -rhs, "ge"))
+            else:
+                prepared.append((dense, rhs, "le"))
+        for terms, rhs in program.eq_constraints:
+            dense = [_ZERO] * num_structural
+            for var, coeff in terms:
+                dense[var] += coerce_exact(coeff)
+            rhs = coerce_exact(rhs)
+            if rhs < 0:
+                dense = [-entry for entry in dense]
+                rhs = -rhs
+            prepared.append((dense, rhs, "eq"))
+
+        num_rows = len(prepared)
+        num_slack = sum(1 for _, _, kind in prepared if kind in ("le", "ge"))
+        num_artificial = sum(
+            1 for _, _, kind in prepared if kind in ("ge", "eq")
+        )
+        total = num_structural + num_slack + num_artificial
+        slack_cursor = num_structural
+        artificial_cursor = num_structural + num_slack
+        self._artificial_start = num_structural + num_slack
+        rows: list[list[Fraction]] = []
+        basis: list[int] = []
+        for dense, rhs, kind in prepared:
+            row = list(dense) + [_ZERO] * (num_slack + num_artificial)
+            row.append(rhs)
+            if kind == "le":
+                row[slack_cursor] = _ONE
+                basis.append(slack_cursor)
+                slack_cursor += 1
+            elif kind == "ge":
+                row[slack_cursor] = -_ONE
+                slack_cursor += 1
+                row[artificial_cursor] = _ONE
+                basis.append(artificial_cursor)
+                artificial_cursor += 1
+            else:
+                row[artificial_cursor] = _ONE
+                basis.append(artificial_cursor)
+                artificial_cursor += 1
+            rows.append(row)
+        if not rows:
+            raise SolverError("program has no constraints")
+        tableau = _Tableau(rows, basis, total)
+        return tableau, num_structural
+
+    def _phase_one(self, tableau: _Tableau) -> None:
+        artificial_start = self._artificial_start
+        total = tableau.num_columns
+        if artificial_start == total:
+            return  # no artificials: already feasible
+        costs = [_ZERO] * total
+        for j in range(artificial_start, total):
+            costs[j] = _ONE
+        tableau.set_objective(costs)
+        tableau.run(range(artificial_start))
+        if tableau.objective_value() != 0:
+            raise InfeasibleProgramError(
+                "linear program infeasible (phase-1 optimum "
+                f"{tableau.objective_value()} > 0)"
+            )
+        self._evict_artificials(tableau)
+
+    def _evict_artificials(self, tableau: _Tableau) -> None:
+        """Pivot residual zero-level artificials out of the basis."""
+        artificial_start = self._artificial_start
+        removable: list[int] = []
+        for row_index, basic_var in enumerate(tableau.basis):
+            if basic_var < artificial_start:
+                continue
+            row = tableau.rows[row_index]
+            pivot_col = next(
+                (
+                    j
+                    for j in range(artificial_start)
+                    if row[j] != 0
+                ),
+                None,
+            )
+            if pivot_col is None:
+                removable.append(row_index)  # redundant constraint row
+            else:
+                tableau.pivot(row_index, pivot_col)
+        for row_index in sorted(removable, reverse=True):
+            del tableau.rows[row_index]
+            del tableau.basis[row_index]
+
+    def _phase_two(
+        self, tableau: _Tableau, program: LinearProgram, structural: int
+    ) -> Fraction:
+        costs = [_ZERO] * tableau.num_columns
+        for var, coeff in program.objective_terms:
+            costs[var] += coerce_exact(coeff)
+        tableau.set_objective(costs)
+        tableau.run(range(self._artificial_start))
+        return tableau.objective_value()

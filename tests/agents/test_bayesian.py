@@ -1,0 +1,125 @@
+"""Tests for the Bayesian (GRS09) baseline agents."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.agents.bayesian import BayesianAgent, bayesian_optimal_mechanism
+from repro.core.geometric import GeometricMechanism
+from repro.core.mechanism import Mechanism
+from repro.core.privacy import is_differentially_private
+from repro.exceptions import ValidationError
+from repro.losses import AbsoluteLoss, SquaredLoss, ZeroOneLoss
+
+UNIFORM4 = [Fraction(1, 4)] * 4
+
+
+class TestConstruction:
+    def test_prior_must_sum_to_one(self):
+        with pytest.raises(ValidationError):
+            BayesianAgent(AbsoluteLoss(), [Fraction(1, 2)] * 4, n=3)
+
+    def test_prior_length_checked(self):
+        with pytest.raises(ValidationError):
+            BayesianAgent(AbsoluteLoss(), [Fraction(1, 2)] * 2, n=3)
+
+    def test_negative_prior_rejected(self):
+        with pytest.raises(ValidationError):
+            BayesianAgent(
+                AbsoluteLoss(),
+                [Fraction(3, 2), Fraction(-1, 2), 0, 0],
+                n=3,
+            )
+
+    def test_float_prior_accepted(self):
+        agent = BayesianAgent(AbsoluteLoss(), [0.25] * 4, n=3)
+        assert agent.prior == (0.25,) * 4
+
+
+class TestExpectedLoss:
+    def test_identity_mechanism_zero_loss(self):
+        agent = BayesianAgent(AbsoluteLoss(), UNIFORM4, n=3)
+        assert agent.expected_loss(Mechanism.identity(3)) == 0
+
+    def test_uniform_mechanism_loss(self):
+        agent = BayesianAgent(AbsoluteLoss(), UNIFORM4, n=3)
+        # E over i,r uniform of |i-r| = (1/16) * sum|i-r| = 20/16.
+        assert agent.expected_loss(Mechanism.uniform(3)) == Fraction(5, 4)
+
+    def test_point_prior_reduces_to_row_loss(self, g3_quarter):
+        prior = [0, 0, Fraction(1), 0]
+        agent = BayesianAgent(SquaredLoss(), prior, n=3)
+        assert agent.expected_loss(g3_quarter) == g3_quarter.expected_loss(
+            SquaredLoss(), 2
+        )
+
+
+class TestDeterministicInteraction:
+    def test_remap_is_deterministic(self, g3_quarter):
+        """Section 2.7: Bayesian post-processing is a deterministic map."""
+        agent = BayesianAgent(AbsoluteLoss(), UNIFORM4, n=3)
+        interaction = agent.best_interaction(g3_quarter)
+        for r in range(4):
+            row = interaction.kernel[r]
+            assert sum(1 for entry in row if entry != 0) == 1
+
+    def test_point_prior_maps_everything_to_the_point(self, g3_quarter):
+        prior = [0, Fraction(1), 0, 0]
+        agent = BayesianAgent(AbsoluteLoss(), prior, n=3)
+        interaction = agent.best_interaction(g3_quarter)
+        assert interaction.remap == (1, 1, 1, 1)
+        assert interaction.loss == 0
+
+    def test_interaction_never_hurts(self, g3_quarter):
+        for loss in (AbsoluteLoss(), SquaredLoss(), ZeroOneLoss()):
+            agent = BayesianAgent(loss, UNIFORM4, n=3)
+            interaction = agent.best_interaction(g3_quarter)
+            assert interaction.loss <= agent.expected_loss(g3_quarter)
+
+    def test_induced_is_composition(self, g3_quarter):
+        agent = BayesianAgent(SquaredLoss(), UNIFORM4, n=3)
+        interaction = agent.best_interaction(g3_quarter)
+        assert g3_quarter.post_process(interaction.kernel) == interaction.induced
+
+
+class TestGRS09Universality:
+    """The baseline result this paper generalizes."""
+
+    @pytest.mark.parametrize(
+        "loss", [AbsoluteLoss(), SquaredLoss(), ZeroOneLoss()]
+    )
+    def test_geometric_universally_optimal_uniform_prior(
+        self, g3_half, loss
+    ):
+        agent = BayesianAgent(loss, UNIFORM4, n=3)
+        _, bespoke_loss = agent.bespoke_mechanism(Fraction(1, 2), exact=True)
+        interaction = agent.best_interaction(g3_half)
+        assert interaction.loss == bespoke_loss
+
+    def test_geometric_universally_optimal_skewed_prior(self, g3_half):
+        prior = [Fraction(1, 2), Fraction(1, 4), Fraction(1, 8), Fraction(1, 8)]
+        agent = BayesianAgent(AbsoluteLoss(), prior, n=3)
+        _, bespoke_loss = agent.bespoke_mechanism(Fraction(1, 2), exact=True)
+        interaction = agent.best_interaction(g3_half)
+        assert interaction.loss == bespoke_loss
+
+    def test_bespoke_lp_output_is_private(self):
+        mechanism, _ = bayesian_optimal_mechanism(
+            3, Fraction(1, 2), AbsoluteLoss(), UNIFORM4, exact=True
+        )
+        assert is_differentially_private(mechanism, Fraction(1, 2))
+
+    def test_scipy_and_exact_agree(self):
+        _, exact_loss = bayesian_optimal_mechanism(
+            3, Fraction(1, 2), AbsoluteLoss(), UNIFORM4, exact=True
+        )
+        _, float_loss = bayesian_optimal_mechanism(
+            3, 0.5, AbsoluteLoss(), [0.25] * 4, exact=False
+        )
+        assert float_loss == pytest.approx(float(exact_loss), abs=1e-7)
+
+    def test_prior_length_validated(self):
+        with pytest.raises(ValidationError):
+            bayesian_optimal_mechanism(
+                3, Fraction(1, 2), AbsoluteLoss(), [Fraction(1)], exact=True
+            )

@@ -1,0 +1,99 @@
+"""Tests for minimax agents."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.agents.minimax import MinimaxAgent
+from repro.agents.side_information import SideInformation
+from repro.core.mechanism import Mechanism
+from repro.exceptions import LossFunctionError, ValidationError
+from repro.losses import AbsoluteLoss, SquaredLoss, TabularLoss
+
+
+class TestConstruction:
+    def test_defaults_to_full_side_information(self):
+        agent = MinimaxAgent(AbsoluteLoss(), None, n=3)
+        assert agent.side_information.is_trivial
+
+    def test_accepts_iterable_side_information(self):
+        agent = MinimaxAgent(AbsoluteLoss(), [1, 2], n=3)
+        assert agent.side_information.members == (1, 2)
+
+    def test_accepts_side_information_object(self):
+        side = SideInformation.at_least(1, n=3)
+        agent = MinimaxAgent(AbsoluteLoss(), side, n=3)
+        assert agent.side_information is side
+
+    def test_mismatched_side_information_rejected(self):
+        side = SideInformation.full(4)
+        with pytest.raises(ValidationError):
+            MinimaxAgent(AbsoluteLoss(), side, n=3)
+
+    def test_non_loss_rejected(self):
+        with pytest.raises(ValidationError):
+            MinimaxAgent(lambda i, r: 0, None, n=3)
+
+    def test_loss_validated_against_model(self):
+        bad = np.array([[0, 2, 1], [1, 0, 1], [1, 2, 0]], dtype=object)
+        loss = TabularLoss(bad, validate_monotone=False)
+        with pytest.raises(LossFunctionError):
+            MinimaxAgent(loss, None, n=2)
+
+    def test_validation_can_be_skipped(self):
+        bad = np.array([[0, 2, 1], [1, 0, 1], [1, 2, 0]], dtype=object)
+        loss = TabularLoss(bad, validate_monotone=False)
+        agent = MinimaxAgent(loss, None, n=2, validate=False)
+        assert agent.n == 2
+
+
+class TestEvaluation:
+    def test_disutility_is_equation_one(self, g3_quarter):
+        agent = MinimaxAgent(AbsoluteLoss(), [0, 3], n=3)
+        expected = max(
+            g3_quarter.expected_loss(AbsoluteLoss(), 0),
+            g3_quarter.expected_loss(AbsoluteLoss(), 3),
+        )
+        assert agent.disutility(g3_quarter) == expected
+
+    def test_interaction_beats_face_value(self, g3_quarter):
+        agent = MinimaxAgent(SquaredLoss(), [2, 3], n=3)
+        interaction = agent.best_interaction(g3_quarter, exact=True)
+        assert interaction.loss <= agent.disutility(g3_quarter)
+
+    def test_theorem1_via_agent_api(self, g3_quarter):
+        """bespoke == interaction, through the agent-facing API."""
+        agent = MinimaxAgent(AbsoluteLoss(), [1, 2, 3], n=3)
+        interaction = agent.best_interaction(g3_quarter, exact=True)
+        bespoke = agent.bespoke_mechanism(Fraction(1, 4), exact=True)
+        assert interaction.loss == bespoke.loss
+
+    def test_bespoke_respects_side_information(self):
+        agent = MinimaxAgent(AbsoluteLoss(), [0, 1], n=3)
+        result = agent.bespoke_mechanism(Fraction(1, 2), exact=True)
+        assert result.side_information == (0, 1)
+
+
+class TestReinterpret:
+    def test_deterministic_kernel(self, rng):
+        agent = MinimaxAgent(AbsoluteLoss(), None, n=2)
+        kernel = Mechanism.identity(2).matrix
+        assert agent.reinterpret(1, kernel, rng) == 1
+
+    def test_remapping_kernel(self, rng):
+        agent = MinimaxAgent(AbsoluteLoss(), None, n=2)
+        kernel = np.zeros((3, 3))
+        kernel[:, 2] = 1.0
+        for observed in range(3):
+            assert agent.reinterpret(observed, kernel, rng) == 2
+
+    def test_out_of_range_observation(self, rng):
+        agent = MinimaxAgent(AbsoluteLoss(), None, n=2)
+        with pytest.raises(ValidationError):
+            agent.reinterpret(5, Mechanism.identity(2).matrix, rng)
+
+    def test_repr_mentions_loss(self):
+        agent = MinimaxAgent(AbsoluteLoss(), None, n=2, name="gov")
+        assert "gov" in repr(agent)
+        assert "AbsoluteLoss" in repr(agent)

@@ -1,0 +1,50 @@
+"""Tests for the rational-interaction pipeline."""
+
+from fractions import Fraction
+
+from repro.agents.minimax import MinimaxAgent
+from repro.agents.rationality import interact_and_report, tailored_loss
+from repro.losses import AbsoluteLoss
+
+
+class TestTailoredLoss:
+    def test_matches_interaction_result(self, g3_quarter):
+        agent = MinimaxAgent(AbsoluteLoss(), [1, 2], n=3)
+        direct = agent.best_interaction(g3_quarter, exact=True).loss
+        assert tailored_loss(agent, g3_quarter, exact=True) == direct
+
+    def test_theorem1_statement(self, g3_quarter):
+        agent = MinimaxAgent(AbsoluteLoss(), None, n=3)
+        assert tailored_loss(agent, g3_quarter, exact=True) == (
+            agent.bespoke_mechanism(Fraction(1, 4), exact=True).loss
+        )
+
+
+class TestInteractAndReport:
+    def test_trace_fields(self, g3_quarter, rng):
+        agent = MinimaxAgent(AbsoluteLoss(), [2, 3], n=3)
+        trace = interact_and_report(agent, g3_quarter, 2, rng, exact=True)
+        assert trace.true_result == 2
+        assert 0 <= trace.published <= 3
+        assert 0 <= trace.reinterpreted <= 3
+
+    def test_reinterpreted_respects_side_information(self, g3_quarter, rng):
+        """With S = {2, 3} the rational agent never reports below 2."""
+        agent = MinimaxAgent(AbsoluteLoss(), [2, 3], n=3)
+        for _ in range(25):
+            trace = interact_and_report(
+                agent, g3_quarter, 3, rng, exact=True
+            )
+            assert trace.reinterpreted >= 2
+
+    def test_deterministic_with_seed(self, g3_quarter):
+        import numpy as np
+
+        agent = MinimaxAgent(AbsoluteLoss(), None, n=3)
+        a = interact_and_report(
+            agent, g3_quarter, 1, np.random.default_rng(3), exact=True
+        )
+        b = interact_and_report(
+            agent, g3_quarter, 1, np.random.default_rng(3), exact=True
+        )
+        assert a == b

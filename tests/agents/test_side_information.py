@@ -1,0 +1,89 @@
+"""Tests for side information."""
+
+import pytest
+
+from repro.agents.side_information import SideInformation
+from repro.exceptions import SideInformationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = SideInformation([2, 0, 2], n=3)
+        assert s.members == (0, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SideInformationError):
+            SideInformation([], n=3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SideInformationError):
+            SideInformation([4], n=3)
+        with pytest.raises(SideInformationError):
+            SideInformation([-1], n=3)
+
+    def test_full(self):
+        s = SideInformation.full(3)
+        assert s.members == (0, 1, 2, 3)
+        assert s.is_trivial
+
+    def test_interval(self):
+        s = SideInformation.interval(1, 2, n=5)
+        assert s.members == (1, 2)
+        assert not s.is_trivial
+
+    def test_interval_empty_rejected(self):
+        with pytest.raises(SideInformationError):
+            SideInformation.interval(3, 2, n=5)
+
+    def test_at_least(self):
+        """The drug company's bound from Example 1: S = {l..n}."""
+        s = SideInformation.at_least(3, n=5)
+        assert s.members == (3, 4, 5)
+
+    def test_at_most(self):
+        """A population upper bound: S = {0..high}."""
+        s = SideInformation.at_most(2, n=5)
+        assert s.members == (0, 1, 2)
+
+
+class TestProtocol:
+    def test_contains(self):
+        s = SideInformation([1, 3], n=4)
+        assert 1 in s
+        assert 2 not in s
+
+    def test_iteration_sorted(self):
+        assert list(SideInformation([3, 1], n=4)) == [1, 3]
+
+    def test_len(self):
+        assert len(SideInformation([1, 2, 3], n=4)) == 3
+
+    def test_equality_and_hash(self):
+        a = SideInformation([1, 2], n=4)
+        b = SideInformation([2, 1], n=4)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_across_n(self):
+        assert SideInformation([1], n=2) != SideInformation([1], n=3)
+
+    def test_repr_interval(self):
+        assert "1..3" in repr(SideInformation.interval(1, 3, n=5))
+
+
+class TestIntersect:
+    def test_combines_bounds(self):
+        lower = SideInformation.at_least(2, n=6)
+        upper = SideInformation.at_most(4, n=6)
+        combined = lower.intersect(upper)
+        assert combined.members == (2, 3, 4)
+
+    def test_contradictory_rejected(self):
+        lower = SideInformation.at_least(5, n=6)
+        upper = SideInformation.at_most(2, n=6)
+        with pytest.raises(SideInformationError):
+            lower.intersect(upper)
+
+    def test_mismatched_ranges_rejected(self):
+        with pytest.raises(SideInformationError):
+            SideInformation.full(3).intersect(SideInformation.full(4))

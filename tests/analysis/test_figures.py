@@ -1,0 +1,67 @@
+"""Tests for Figure 1 reproduction."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.figures import ascii_plot, figure1_series
+from repro.exceptions import ValidationError
+
+
+class TestFigure1Series:
+    def test_default_parameters_match_paper(self):
+        series = figure1_series()
+        xs = [x for x, _ in series]
+        assert xs[0] == -20
+        assert xs[-1] == 20
+        assert len(series) == 41
+
+    def test_peak_at_true_result(self):
+        series = dict(figure1_series())
+        assert max(series, key=series.get) == 5
+
+    def test_peak_value(self):
+        """Pr[output = 5] = (1 - 0.2)/(1 + 0.2) = 2/3."""
+        series = dict(figure1_series())
+        assert series[5] == Fraction(2, 3)
+
+    def test_exact_decay_ratio(self):
+        series = dict(figure1_series())
+        assert series[6] / series[5] == Fraction(1, 5)
+        assert series[4] / series[5] == Fraction(1, 5)
+
+    def test_symmetric_around_center(self):
+        series = dict(figure1_series())
+        for offset in range(1, 10):
+            assert series[5 - offset] == series[5 + offset]
+
+    def test_custom_parameters(self):
+        series = figure1_series(Fraction(1, 2), center=0, low=-3, high=3)
+        assert dict(series)[0] == Fraction(1, 3)
+
+    def test_bad_range(self):
+        with pytest.raises(ValidationError):
+            figure1_series(low=5, high=4)
+
+
+class TestAsciiPlot:
+    def test_contains_every_x(self):
+        plot = ascii_plot(figure1_series(low=-3, high=3))
+        for x in range(-3, 4):
+            assert f"{x:>5}" in plot
+
+    def test_peak_has_longest_bar(self):
+        plot = ascii_plot(figure1_series(), width=40)
+        lines = plot.splitlines()[1:]
+        bars = {
+            int(line.split()[0]): line.count("#") for line in lines
+        }
+        assert bars[5] == max(bars.values())
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_plot([])
+
+    def test_width_validation(self):
+        with pytest.raises(ValidationError):
+            ascii_plot(figure1_series(), width=2)

@@ -1,0 +1,67 @@
+"""Tests for fraction/matrix rendering."""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.analysis.fractions_fmt import (
+    format_matrix,
+    format_value,
+    nearest_fractions,
+)
+from repro.core.mechanism import Mechanism
+
+
+class TestFormatValue:
+    def test_fraction(self):
+        assert format_value(Fraction(2, 3)) == "2/3"
+
+    def test_integral_fraction(self):
+        assert format_value(Fraction(4, 2)) == "2"
+
+    def test_int(self):
+        assert format_value(3) == "3"
+
+    def test_float(self):
+        assert format_value(0.25) == "0.250000"
+
+    def test_limit_denominator(self):
+        assert format_value(
+            Fraction(333, 1000), max_denominator=3
+        ) == "1/3"
+
+
+class TestFormatMatrix:
+    def test_exact_grid(self):
+        text = format_matrix(
+            np.array(
+                [[Fraction(1, 2), Fraction(1, 2)], [Fraction(1), Fraction(0)]],
+                dtype=object,
+            )
+        )
+        assert "1/2" in text
+        assert text.count("\n") == 1
+
+    def test_accepts_mechanism(self, g3_quarter):
+        text = format_matrix(g3_quarter)
+        assert "4/5" in text
+
+    def test_columns_aligned(self):
+        text = format_matrix(
+            np.array([[Fraction(1, 100), Fraction(1)], [Fraction(1), Fraction(1)]], dtype=object)
+        )
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[1])
+
+
+class TestNearestFractions:
+    def test_recovers_simple_fractions(self):
+        floats = np.array([[1 / 3, 2 / 3], [0.25, 0.75]])
+        exact = nearest_fractions(floats, max_denominator=10)
+        assert exact[0, 0] == Fraction(1, 3)
+        assert exact[1, 1] == Fraction(3, 4)
+
+    def test_round_trip_on_mechanism(self):
+        m = Mechanism([[0.5, 0.5], [0.2, 0.8]])
+        exact = nearest_fractions(m, max_denominator=10)
+        assert exact[1, 0] == Fraction(1, 5)

@@ -1,0 +1,56 @@
+"""Tests for the plain-text reports."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.report import (
+    render_figure1,
+    render_table1,
+    render_table2,
+)
+from repro.analysis.tables import reproduce_table1, reproduce_table2
+
+
+@pytest.fixture(scope="module")
+def table1_text():
+    return render_table1(reproduce_table1())
+
+
+class TestRenderTable1(object):
+    def test_mentions_all_panels(self, table1_text):
+        for marker in ("(a)", "(b)", "(c)"):
+            assert marker in table1_text
+
+    def test_shows_exact_optimal_loss(self, table1_text):
+        assert "168/415" in table1_text
+
+    def test_shows_printed_values(self, table1_text):
+        assert "9/11" in table1_text  # the paper's kernel corner
+        assert "4/3" in table1_text  # the paper's scaled (b)
+
+    def test_reports_zero_gap(self, table1_text):
+        assert "universality gap" in table1_text
+        assert table1_text.rstrip().endswith("0")
+
+
+class TestRenderTable2:
+    def test_contains_both_matrices(self):
+        text = render_table2(reproduce_table2(2, Fraction(1, 2)))
+        assert "G_{n,alpha}" in text
+        assert "G'" in text
+        assert "det G'" in text
+
+    def test_reports_identity_status(self):
+        text = render_table2(reproduce_table2(2, Fraction(1, 2)))
+        assert "True" in text
+
+
+class TestRenderFigure1:
+    def test_header_mentions_parameters(self):
+        text = render_figure1()
+        assert "Figure 1" in text
+        assert "result=5" in text
+
+    def test_contains_bars(self):
+        assert "#" in render_figure1()

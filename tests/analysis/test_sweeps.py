@@ -1,0 +1,65 @@
+"""Tests for the universality sweeps."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.sweeps import (
+    bayesian_universality_sweep,
+    universality_sweep,
+)
+from repro.exceptions import ValidationError
+from repro.losses import AbsoluteLoss, SquaredLoss, ZeroOneLoss
+
+
+class TestUniversalitySweep:
+    def test_exact_sweep_all_hold(self):
+        cases = [
+            (2, Fraction(1, 2), AbsoluteLoss(), None),
+            (2, Fraction(1, 2), SquaredLoss(), {0, 2}),
+            (3, Fraction(1, 4), ZeroOneLoss(), {1, 2, 3}),
+        ]
+        records = universality_sweep(cases, exact=True)
+        assert len(records) == 3
+        assert all(record.holds for record in records)
+        assert all(record.gap == 0 for record in records)
+
+    def test_float_sweep_all_hold(self):
+        cases = [
+            (3, 0.5, AbsoluteLoss(), None),
+            (4, 0.3, SquaredLoss(), {1, 2, 3}),
+        ]
+        records = universality_sweep(cases, exact=False)
+        assert all(record.holds for record in records)
+
+    def test_records_carry_metadata(self):
+        records = universality_sweep(
+            [(2, Fraction(1, 2), AbsoluteLoss(), {0, 1})], exact=True
+        )
+        record = records[0]
+        assert record.n == 2
+        assert record.side_information == (0, 1)
+        assert "AbsoluteLoss" in record.loss_name
+
+    def test_rejects_non_lossfunction(self):
+        with pytest.raises(ValidationError):
+            universality_sweep([(2, Fraction(1, 2), "abs", None)])
+
+
+class TestBayesianSweep:
+    def test_exact_sweep_all_hold(self):
+        uniform3 = [Fraction(1, 3)] * 3
+        skewed = [Fraction(1, 2), Fraction(1, 3), Fraction(1, 6)]
+        cases = [
+            (2, Fraction(1, 2), AbsoluteLoss(), uniform3),
+            (2, Fraction(1, 2), SquaredLoss(), skewed),
+        ]
+        records = bayesian_universality_sweep(cases, exact=True)
+        assert all(record.holds for record in records)
+        assert all(record.gap == 0 for record in records)
+
+    def test_float_sweep(self):
+        records = bayesian_universality_sweep(
+            [(3, 0.4, AbsoluteLoss(), [0.25] * 4)], exact=False
+        )
+        assert records[0].holds

@@ -1,0 +1,84 @@
+"""Tests for Table 1 / Table 2 reproduction."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import (
+    PAPER_TABLE1_B,
+    PAPER_TABLE1_C,
+    reproduce_table1,
+    reproduce_table2,
+)
+from repro.core.privacy import is_differentially_private
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return reproduce_table1()
+
+
+class TestTable1:
+    def test_universality_gap_is_exactly_zero(self, table1):
+        """Theorem 1 on the paper's own illustration instance."""
+        assert table1.universality_gap == 0
+
+    def test_optimal_loss_value(self, table1):
+        assert table1.optimal_loss == Fraction(168, 415)
+
+    def test_paper_scaled_geometric_matches_printed_table(self, table1):
+        """Our G x (1+a)/(1-a) equals Table 1(b) entry-for-entry."""
+        assert (table1.geometric_paper_scaled == PAPER_TABLE1_B).all()
+
+    def test_factorization_rebuilds_optimum(self, table1):
+        """(b) x (factor) == (a): the paper's central factorization."""
+        product = np.dot(table1.geometric.matrix, table1.factorization_kernel)
+        assert (product == table1.optimal.matrix).all()
+
+    def test_interaction_induces_an_optimal_mechanism(self, table1):
+        """G composed with the measured (c) achieves the optimal loss."""
+        assert table1.interaction_loss == table1.optimal_loss
+
+    def test_measured_kernel_support_matches_paper(self, table1):
+        """Same sparsity pattern as the printed (c): only the corner rows
+        randomize, and only toward the adjacent interior output."""
+        kernel = table1.interaction_kernel
+        paper = PAPER_TABLE1_C
+        for i in range(4):
+            for j in range(4):
+                assert (kernel[i, j] == 0) == (paper[i, j] == 0)
+
+    def test_paper_kernel_is_near_optimal(self, table1):
+        """The paper's printed (c) is a rounded version of the optimum;
+        its loss is within half a percent of optimal."""
+        ratio = float(table1.paper_kernel_loss / table1.optimal_loss)
+        assert 1.0 <= ratio < 1.005
+
+    def test_optimal_is_private(self, table1):
+        assert is_differentially_private(table1.optimal, Fraction(1, 4))
+
+    def test_induced_equals_geometric_times_kernel(self, table1):
+        rebuilt = table1.geometric.post_process(table1.interaction_kernel)
+        assert rebuilt == table1.induced
+
+
+class TestTable2:
+    def test_scaling_identity(self):
+        repro = reproduce_table2(3, Fraction(1, 4))
+        assert repro.scaling_identity_holds
+
+    def test_determinant_identity(self):
+        repro = reproduce_table2(4, Fraction(1, 3))
+        assert repro.gprime_determinant == repro.gprime_determinant_formula
+
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    @pytest.mark.parametrize("alpha", [Fraction(1, 5), Fraction(1, 2)])
+    def test_parameterized_instances(self, n, alpha):
+        repro = reproduce_table2(n, alpha)
+        assert repro.scaling_identity_holds
+        assert repro.gprime_determinant == (1 - alpha**2) ** n
+
+    def test_gprime_entries(self):
+        repro = reproduce_table2(2, Fraction(1, 2))
+        assert repro.gprime[0, 2] == Fraction(1, 4)

@@ -1,0 +1,72 @@
+"""Tests for privacy-utility trade-off analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.tradeoff import (
+    tradeoff_curve,
+    value_of_rationality,
+)
+from repro.exceptions import ValidationError
+from repro.losses import AbsoluteLoss, SquaredLoss, ZeroOneLoss
+
+ALPHAS = [Fraction(1, 5), Fraction(2, 5), Fraction(3, 5), Fraction(4, 5)]
+
+
+class TestTradeoffCurve:
+    def test_points_sorted_by_alpha(self):
+        points = tradeoff_curve(3, reversed(ALPHAS), AbsoluteLoss())
+        assert [p.alpha for p in points] == ALPHAS
+
+    def test_loss_monotone_in_privacy(self):
+        """More privacy (larger alpha) never improves optimal utility."""
+        points = tradeoff_curve(3, ALPHAS, AbsoluteLoss())
+        losses = [p.optimal_loss for p in points]
+        assert losses == sorted(losses)
+
+    def test_epsilon_decreasing_along_curve(self):
+        points = tradeoff_curve(2, ALPHAS, ZeroOneLoss())
+        epsilons = [p.epsilon for p in points]
+        assert epsilons == sorted(epsilons, reverse=True)
+
+    def test_side_information_lowers_the_whole_curve(self):
+        full = tradeoff_curve(3, ALPHAS, SquaredLoss())
+        informed = tradeoff_curve(3, ALPHAS, SquaredLoss(), {1, 2})
+        for a, b in zip(informed, full):
+            assert a.optimal_loss <= b.optimal_loss
+
+    def test_empty_alphas_rejected(self):
+        with pytest.raises(ValidationError):
+            tradeoff_curve(3, [], AbsoluteLoss())
+
+    def test_float_mode(self):
+        points = tradeoff_curve(3, [0.25, 0.5], AbsoluteLoss(), exact=False)
+        assert points[0].optimal_loss <= points[1].optimal_loss + 1e-9
+
+
+class TestValueOfRationality:
+    def test_improvement_nonnegative(self):
+        record = value_of_rationality(3, Fraction(1, 2), AbsoluteLoss())
+        assert record.improvement >= 0
+        assert record.rational_loss + record.improvement == (
+            record.face_value_loss
+        )
+
+    def test_side_information_makes_rationality_pay(self):
+        """With a known lower bound, re-interpretation strictly helps."""
+        record = value_of_rationality(
+            3, Fraction(1, 2), AbsoluteLoss(), {2, 3}
+        )
+        assert record.improvement > 0
+
+    def test_rational_loss_is_theorem1_loss(self):
+        from repro.core.optimal import optimal_mechanism
+
+        record = value_of_rationality(3, Fraction(1, 2), SquaredLoss())
+        bespoke = optimal_mechanism(3, Fraction(1, 2), SquaredLoss(), exact=True)
+        assert record.rational_loss == bespoke.loss
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValidationError):
+            value_of_rationality(3, Fraction(3, 2), AbsoluteLoss())

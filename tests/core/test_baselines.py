@@ -1,0 +1,97 @@
+"""Tests for the baseline mechanisms used in comparison benches."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    randomized_response_mechanism,
+    truncated_laplace_mechanism,
+)
+from repro.core.privacy import is_differentially_private, tightest_alpha
+from repro.exceptions import ValidationError
+
+
+class TestTruncatedLaplace:
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 0.8])
+    def test_is_private_at_alpha(self, alpha):
+        mechanism = truncated_laplace_mechanism(5, alpha)
+        assert is_differentially_private(mechanism, alpha, atol=1e-9)
+
+    def test_rows_are_distributions(self):
+        mechanism = truncated_laplace_mechanism(4, 0.5)
+        sums = mechanism.matrix.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_mode_at_truth_away_from_boundary(self):
+        # Near the boundary the absorbing tails can dominate the diagonal
+        # cell; far enough inside, the mode is the true count.
+        mechanism = truncated_laplace_mechanism(6, 0.5)
+        for i in range(2, 5):
+            row = mechanism.matrix[i]
+            assert int(np.argmax(row)) == i
+
+    def test_symmetric_in_reflection(self):
+        mechanism = truncated_laplace_mechanism(4, 0.3)
+        matrix = mechanism.matrix
+        for i in range(5):
+            for r in range(5):
+                assert matrix[i, r] == pytest.approx(matrix[4 - i, 4 - r])
+
+    def test_more_noise_for_more_privacy(self):
+        loose = truncated_laplace_mechanism(4, 0.2)
+        tight = truncated_laplace_mechanism(4, 0.8)
+        assert loose.probability(2, 2) > tight.probability(2, 2)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            truncated_laplace_mechanism(4, 1.5)
+
+
+class TestRandomizedResponse:
+    def test_exactly_alpha_private(self):
+        """The p we derive makes the privacy constraint exactly tight."""
+        alpha = Fraction(1, 2)
+        mechanism = randomized_response_mechanism(3, alpha)
+        assert tightest_alpha(mechanism) == alpha
+
+    @pytest.mark.parametrize("alpha", [Fraction(1, 4), Fraction(1, 2)])
+    def test_private_at_level(self, alpha):
+        mechanism = randomized_response_mechanism(4, alpha)
+        assert is_differentially_private(mechanism, alpha)
+
+    def test_exact_rows_sum_to_one(self):
+        mechanism = randomized_response_mechanism(3, Fraction(1, 3))
+        for i in range(4):
+            assert sum(mechanism.distribution(i).tolist()) == 1
+
+    def test_truth_probability_formula(self):
+        alpha, n = Fraction(1, 2), 3
+        mechanism = randomized_response_mechanism(n, alpha)
+        size = n + 1
+        p = (1 - alpha) / (alpha * size + 1 - alpha)
+        assert mechanism.probability(1, 1) == p + (1 - p) / size
+
+    def test_off_diagonal_uniform(self):
+        mechanism = randomized_response_mechanism(3, Fraction(1, 2))
+        row = mechanism.distribution(0)
+        assert row[1] == row[2] == row[3]
+
+    def test_float_mode(self):
+        mechanism = randomized_response_mechanism(3, 0.5)
+        assert not mechanism.is_exact
+        assert tightest_alpha(mechanism) == pytest.approx(0.5)
+
+    def test_geometric_beats_baselines_after_interaction(self, g3_half):
+        """The domination the benchmarks quantify, in miniature."""
+        from repro.core.interaction import optimal_interaction
+        from repro.losses import AbsoluteLoss
+
+        alpha = Fraction(1, 2)
+        geometric_loss = optimal_interaction(
+            g3_half, AbsoluteLoss(), exact=True
+        ).loss
+        rr = randomized_response_mechanism(3, alpha)
+        rr_loss = optimal_interaction(rr, AbsoluteLoss(), exact=True).loss
+        assert geometric_loss <= rr_loss

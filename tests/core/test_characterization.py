@@ -1,0 +1,122 @@
+"""Tests for Lemma 1 / Lemma 2 closed-form determinants."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.characterization import (
+    geometric_determinant,
+    gprime_determinant,
+    replaced_column_determinant,
+    three_entry_condition,
+    three_entry_value,
+)
+from repro.core.geometric import GeometricMechanism, gprime_matrix
+from repro.exceptions import ValidationError
+
+ALPHAS = [Fraction(1, 5), Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)]
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    @pytest.mark.parametrize("size", [2, 3, 4, 5])
+    def test_gprime_formula(self, size, alpha):
+        direct = gprime_matrix(size - 1, alpha).determinant()
+        assert direct == gprime_determinant(size, alpha)
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_geometric_determinant_formula(self, n, alpha):
+        g = GeometricMechanism(n, alpha).to_rational_matrix()
+        assert g.determinant() == geometric_determinant(n + 1, alpha)
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_geometric_determinant_positive(self, alpha):
+        """Lemma 1's claim: det(G_{n,alpha}) > 0."""
+        for n in range(1, 5):
+            assert geometric_determinant(n + 1, alpha) > 0
+
+    def test_small_size_rejected(self):
+        with pytest.raises(ValidationError):
+            geometric_determinant(1, Fraction(1, 2))
+
+
+class TestLemma2:
+    """Closed forms for det G'(i, x) vs brute-force elimination."""
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    @pytest.mark.parametrize("size", [3, 4, 5])
+    @pytest.mark.parametrize("index", [0, 1, -1])
+    def test_closed_form_matches_elimination(self, size, alpha, index):
+        index = index % size
+        gp = gprime_matrix(size - 1, alpha)
+        column = [Fraction(k * k + 1, 13) for k in range(size)]
+        direct = gp.replace_column(index, column).determinant()
+        assert direct == replaced_column_determinant(
+            size, alpha, index, column
+        )
+
+    def test_sign_condition_first_column(self):
+        """Part 1: det G'(0, x) > 0 iff x0 > a x1."""
+        alpha = Fraction(1, 2)
+        positive = replaced_column_determinant(3, alpha, 0, [3, 4, 0])
+        zero = replaced_column_determinant(3, alpha, 0, [2, 4, 0])
+        negative = replaced_column_determinant(3, alpha, 0, [1, 4, 0])
+        assert positive > 0
+        assert zero == 0
+        assert negative < 0
+
+    def test_sign_condition_last_column(self):
+        """Part 2: det G'(m-1, x) > 0 iff x_{m-1} > a x_{m-2}."""
+        alpha = Fraction(1, 2)
+        positive = replaced_column_determinant(3, alpha, 2, [0, 4, 3])
+        negative = replaced_column_determinant(3, alpha, 2, [0, 4, 1])
+        assert positive > 0
+        assert negative < 0
+
+    def test_sign_condition_interior(self):
+        """Part 3: det G'(i, x) >= 0 iff (1+a^2) x_i >= a (x_{i-1}+x_{i+1})."""
+        alpha = Fraction(1, 2)
+        # (1 + 1/4) * 2 = 5/2 vs (1/2) * (3 + 2) = 5/2: exactly tight.
+        tight = replaced_column_determinant(4, alpha, 1, [3, 2, 2, 0])
+        assert tight == 0
+        below = replaced_column_determinant(4, alpha, 1, [3, 1, 2, 0])
+        assert below < 0
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValidationError):
+            replaced_column_determinant(3, Fraction(1, 2), 0, [1, 2])
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(ValidationError):
+            replaced_column_determinant(3, Fraction(1, 2), 5, [1, 2, 3])
+
+
+class TestThreeEntryCondition:
+    def test_paper_rearrangement(self):
+        """(x2 - a x1) >= a (x3 - a x2) <=> (1+a^2) x2 >= a (x1 + x3)."""
+        alpha = Fraction(1, 3)
+        for x1, x2, x3 in [(1, 2, 3), (3, 1, 2), (0, 0, 0), (5, 2, 5)]:
+            lhs = (x2 - alpha * x1) >= alpha * (x3 - alpha * x2)
+            assert three_entry_condition(alpha, x1, x2, x3) == lhs
+
+    def test_value_formula(self):
+        assert three_entry_value(
+            Fraction(1, 2), Fraction(2, 9), Fraction(1, 9), Fraction(2, 9)
+        ) == Fraction(5, 36) - Fraction(2, 9)
+
+    def test_geometric_columns_satisfy_condition(self, g3_quarter):
+        """Every G column satisfies its own three-entry condition."""
+        matrix = g3_quarter.matrix
+        for j in range(4):
+            for i in range(1, 3):
+                assert three_entry_condition(
+                    Fraction(1, 4),
+                    matrix[i - 1, j],
+                    matrix[i, j],
+                    matrix[i + 1, j],
+                )
+
+    def test_float_slack(self):
+        assert three_entry_condition(0.5, 1.0, 0.8, 1.0, atol=1e-9)
+        assert not three_entry_condition(0.5, 1.0, 0.79, 1.0)

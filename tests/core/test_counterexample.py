@@ -1,0 +1,58 @@
+"""Tests for the Appendix B counterexample mechanism."""
+
+from fractions import Fraction
+
+from repro.core.counterexample import (
+    APPENDIX_B_ALPHA,
+    appendix_b_mechanism,
+    verify_appendix_b,
+)
+from repro.core.derivability import is_derivable_from_geometric
+from repro.core.privacy import is_differentially_private, tightest_alpha
+
+
+class TestAppendixB:
+    def test_alpha_constant(self):
+        assert APPENDIX_B_ALPHA == Fraction(1, 2)
+
+    def test_matrix_is_stochastic(self):
+        mechanism = appendix_b_mechanism()
+        for i in range(4):
+            assert sum(mechanism.distribution(i).tolist()) == 1
+
+    def test_matrix_entries_match_paper(self):
+        mechanism = appendix_b_mechanism()
+        assert mechanism.probability(0, 2) == Fraction(4, 9)
+        assert mechanism.probability(3, 0) == Fraction(13, 18)
+        assert mechanism.probability(3, 2) == Fraction(1, 18)
+
+    def test_is_half_private(self):
+        assert is_differentially_private(
+            appendix_b_mechanism(), Fraction(1, 2)
+        )
+
+    def test_tightest_alpha_is_exactly_half(self):
+        assert tightest_alpha(appendix_b_mechanism()) == Fraction(1, 2)
+
+    def test_not_derivable(self):
+        assert not is_derivable_from_geometric(
+            appendix_b_mechanism(), Fraction(1, 2)
+        )
+
+    def test_verify_bundle(self):
+        outcome = verify_appendix_b()
+        assert outcome["is_private"] is True
+        assert outcome["derivable"] is False
+
+    def test_witness_value_matches_paper(self):
+        """The paper computes (1+a^2) m11 - a (m01 + m21) = -0.75/9."""
+        outcome = verify_appendix_b()
+        assert outcome["witness_value"] == Fraction(-3, 36)
+        assert outcome["witness_value"] == Fraction(-75, 100) / 9
+
+    def test_witness_location_is_column_one(self):
+        outcome = verify_appendix_b()
+        assert outcome["witness"] == (1, 1)
+
+    def test_fresh_instances_equal(self):
+        assert appendix_b_mechanism() == appendix_b_mechanism()

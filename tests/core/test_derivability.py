@@ -1,0 +1,181 @@
+"""Tests for Theorem 2: derivability from the geometric mechanism."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.counterexample import appendix_b_mechanism
+from repro.core.derivability import (
+    check_derivability,
+    derivation_factor,
+    derive_mechanism,
+    is_derivable_from_geometric,
+    privacy_chain_kernel,
+)
+from repro.core.geometric import GeometricMechanism
+from repro.core.mechanism import Mechanism
+from repro.exceptions import NotDerivableError, ValidationError
+from repro.linalg.stochastic import is_generalized_stochastic, is_row_stochastic
+
+ALPHAS = [Fraction(1, 5), Fraction(1, 4), Fraction(1, 2), Fraction(2, 3)]
+
+
+class TestDerivationFactor:
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_closed_form_equals_inverse_product(self, alpha):
+        """T = G^{-1} M via the stencil == via explicit exact inversion."""
+        n = 3
+        g = GeometricMechanism(n, alpha)
+        target = Mechanism.uniform(n)
+        stencil = derivation_factor(target, alpha)
+        explicit = (
+            g.to_rational_matrix().inverse()
+            @ target.to_rational_matrix()
+        )
+        assert (stencil == explicit.to_numpy()).all()
+
+    def test_factor_of_self_is_identity(self, g3_quarter):
+        factor = derivation_factor(g3_quarter, Fraction(1, 4))
+        identity = Mechanism.identity(3).matrix
+        assert (factor == identity).all()
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_row_sums_always_one(self, alpha, rng):
+        """Stochastic-group fact: T always has unit row sums."""
+        from repro.linalg.stochastic import random_stochastic_matrix
+
+        m = random_stochastic_matrix(4, rng=rng, exact=True)
+        factor = derivation_factor(m, alpha)
+        assert is_generalized_stochastic(factor)
+
+    def test_reconstruction_identity(self, g3_quarter):
+        """G @ (G^{-1} M) == M whenever the factor exists."""
+        target = Mechanism.uniform(3)
+        factor = derivation_factor(target, Fraction(1, 4))
+        product = np.dot(g3_quarter.matrix, factor)
+        assert (product == target.matrix).all()
+
+    def test_float_mode(self):
+        g = GeometricMechanism(3, 0.25)
+        factor = derivation_factor(Mechanism.uniform(3).to_float(), 0.25)
+        product = g.matrix @ factor
+        assert np.allclose(product, 0.25)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            derivation_factor(np.array([[1.0]]), 0.5)
+
+
+class TestCharacterizationTheorem:
+    def test_uniform_derivable(self):
+        """The fully-private mechanism is derivable from any G."""
+        assert is_derivable_from_geometric(
+            Mechanism.uniform(3), Fraction(1, 4)
+        )
+
+    def test_identity_not_derivable(self):
+        """The noiseless mechanism cannot come from a noisy G."""
+        assert not is_derivable_from_geometric(
+            Mechanism.identity(3), Fraction(1, 4)
+        )
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_post_processings_of_g_are_derivable(self, alpha, rng):
+        """Anything of the form G @ T is derivable (sufficiency)."""
+        from repro.linalg.stochastic import random_stochastic_matrix
+
+        g = GeometricMechanism(3, alpha)
+        for _ in range(5):
+            kernel = random_stochastic_matrix(4, rng=rng, exact=True)
+            induced = g.post_process(kernel)
+            assert is_derivable_from_geometric(induced, alpha)
+
+    def test_appendix_b_not_derivable(self, g3_half):
+        assert not is_derivable_from_geometric(
+            appendix_b_mechanism(), Fraction(1, 2)
+        )
+
+    def test_report_witness_location(self):
+        report = check_derivability(appendix_b_mechanism(), Fraction(1, 2))
+        assert not report.derivable
+        assert report.witness == (1, 1)
+        assert report.min_entry < 0
+
+    def test_report_min_entry_nonnegative_when_derivable(self, g3_quarter):
+        report = check_derivability(g3_quarter, Fraction(1, 4))
+        assert report.derivable
+        assert report.min_entry >= 0
+
+
+class TestDeriveMechanism:
+    def test_returns_stochastic_kernel(self, g3_quarter):
+        kernel = derive_mechanism(Mechanism.uniform(3), Fraction(1, 4))
+        assert is_row_stochastic(kernel)
+
+    def test_raises_with_witness(self):
+        with pytest.raises(NotDerivableError) as excinfo:
+            derive_mechanism(appendix_b_mechanism(), Fraction(1, 2))
+        assert excinfo.value.witness == (1, 1)
+        assert "three-entry" in str(excinfo.value)
+
+    def test_float_kernel_cleaned(self):
+        g = GeometricMechanism(3, 0.25)
+        kernel = derive_mechanism(Mechanism.uniform(3).to_float(), 0.25)
+        assert is_row_stochastic(kernel)
+        assert np.allclose(g.matrix @ kernel, 0.25, atol=1e-9)
+
+
+class TestScaledFactorRows:
+    def test_row_divisors_invert_column_scaling(self):
+        """White-box: the stencil's row divisors are 1/c_r for the
+        Table 2 column scaling c — the bridge between G and G'."""
+        from repro.core.derivability import _scaled_factor_rows
+        from repro.core.geometric import column_scaling
+
+        alpha = Fraction(1, 3)
+        divisors = _scaled_factor_rows(3, alpha)
+        scaling = column_scaling(3, alpha)
+        for divisor, factor in zip(divisors, scaling):
+            assert divisor * factor == 1
+
+
+class TestLemma3:
+    """Adding privacy: G_beta derivable from G_alpha iff alpha <= beta."""
+
+    @pytest.mark.parametrize(
+        "alpha,beta",
+        [
+            (Fraction(1, 5), Fraction(1, 4)),
+            (Fraction(1, 4), Fraction(1, 2)),
+            (Fraction(1, 2), Fraction(9, 10)),
+            (Fraction(1, 4), Fraction(3, 4)),
+        ],
+    )
+    def test_kernel_exists_and_rebuilds_g_beta(self, alpha, beta):
+        n = 3
+        kernel = privacy_chain_kernel(n, alpha, beta)
+        assert is_row_stochastic(kernel)
+        product = np.dot(GeometricMechanism(n, alpha).matrix, kernel)
+        assert (product == GeometricMechanism(n, beta).matrix).all()
+
+    @pytest.mark.parametrize(
+        "alpha,beta",
+        [(Fraction(1, 2), Fraction(1, 4)), (Fraction(3, 4), Fraction(1, 2))],
+    )
+    def test_privacy_cannot_be_removed(self, alpha, beta):
+        with pytest.raises(NotDerivableError):
+            privacy_chain_kernel(3, alpha, beta)
+
+    def test_equal_levels_give_identity(self):
+        kernel = privacy_chain_kernel(3, Fraction(1, 3), Fraction(1, 3))
+        assert (kernel == Mechanism.identity(3).matrix).all()
+
+    def test_chain_composes(self):
+        """T_{a,b} @ T_{b,c} == T_{a,c} — kernels compose transitively."""
+        n = 2
+        a, b, c = Fraction(1, 5), Fraction(1, 3), Fraction(1, 2)
+        t_ab = privacy_chain_kernel(n, a, b)
+        t_bc = privacy_chain_kernel(n, b, c)
+        t_ac = privacy_chain_kernel(n, a, c)
+        assert (np.dot(t_ab, t_bc) == t_ac).all()

@@ -1,0 +1,209 @@
+"""Tests for the geometric mechanism (Definitions 1 and 4)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.geometric import (
+    GeometricMechanism,
+    UnboundedGeometricMechanism,
+    column_scaling,
+    geometric_matrix,
+    geometric_noise_pmf,
+    gprime_matrix,
+)
+from repro.core.privacy import is_differentially_private, tightest_alpha
+from repro.exceptions import ValidationError
+from repro.linalg.rational import RationalMatrix
+
+
+class TestNoisePmf:
+    def test_center_mass(self):
+        # Pr[Z = 0] = (1 - a)/(1 + a).
+        assert geometric_noise_pmf(Fraction(1, 2), 0) == Fraction(1, 3)
+
+    def test_symmetry(self):
+        for z in range(1, 6):
+            assert geometric_noise_pmf(Fraction(1, 3), z) == geometric_noise_pmf(
+                Fraction(1, 3), -z
+            )
+
+    def test_geometric_decay(self):
+        alpha = Fraction(2, 5)
+        for z in range(5):
+            ratio = geometric_noise_pmf(alpha, z + 1) / geometric_noise_pmf(
+                alpha, z
+            )
+            assert ratio == alpha
+
+    def test_total_mass_is_one(self):
+        alpha = Fraction(1, 2)
+        # sum over |z| <= K plus closed-form tails = 1.
+        mass = sum(geometric_noise_pmf(alpha, z) for z in range(-30, 31))
+        tail = 2 * alpha**31 / (1 + alpha)
+        assert mass + tail == 1
+
+    def test_float_mode(self):
+        assert geometric_noise_pmf(0.5, 0) == pytest.approx(1 / 3)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            geometric_noise_pmf(Fraction(5, 4), 0)
+
+
+class TestGeometricMatrix:
+    def test_paper_definition_entries(self):
+        """Definition 4 verbatim: boundary 1/(1+a), interior (1-a)/(1+a)."""
+        alpha = Fraction(1, 4)
+        g = geometric_matrix(3, alpha)
+        for i in range(4):
+            for r in range(4):
+                scale = (
+                    1 / (1 + alpha)
+                    if r in (0, 3)
+                    else (1 - alpha) / (1 + alpha)
+                )
+                assert g[i, r] == scale * alpha ** abs(r - i)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("alpha", [Fraction(1, 5), Fraction(1, 2), Fraction(7, 10)])
+    def test_rows_sum_to_one_exactly(self, n, alpha):
+        g = geometric_matrix(n, alpha)
+        for i in range(n + 1):
+            assert sum(g[i]) == 1
+
+    def test_tail_collapse_equals_definition(self):
+        """G's boundary mass equals the unbounded mechanism's tail mass."""
+        alpha = Fraction(1, 3)
+        n = 4
+        g = geometric_matrix(n, alpha)
+        unbounded = UnboundedGeometricMechanism(alpha)
+        for i in range(n + 1):
+            low_tail = sum(
+                geometric_noise_pmf(alpha, z - i) for z in range(-60, 1)
+            )
+            # Compare against the closed form used by the matrix, with the
+            # truncation remainder bounded analytically.
+            remainder = alpha ** (i + 61) / (1 + alpha)
+            assert g[i, 0] - low_tail == remainder
+
+    def test_float_alpha_gives_float_matrix(self):
+        g = geometric_matrix(2, 0.5)
+        assert g.dtype == float
+
+    def test_symmetric_under_reversal(self):
+        """G[i, r] == G[n-i, n-r] — the mechanism has no directional bias."""
+        g = geometric_matrix(4, Fraction(1, 3))
+        for i in range(5):
+            for r in range(5):
+                assert g[i, r] == g[4 - i, 4 - r]
+
+    @pytest.mark.parametrize("alpha", [Fraction(1, 5), Fraction(1, 2)])
+    def test_exactly_alpha_private(self, alpha):
+        g = geometric_matrix(3, alpha)
+        assert is_differentially_private(g, alpha)
+        assert tightest_alpha(g) == alpha
+
+
+class TestGprime:
+    def test_gprime_is_kms(self):
+        gp = gprime_matrix(3, Fraction(1, 4))
+        for i in range(4):
+            for j in range(4):
+                assert gp[i, j] == Fraction(1, 4) ** abs(i - j)
+
+    def test_column_scaling_relation(self):
+        """Table 2: G = G' @ diag(c)."""
+        n, alpha = 4, Fraction(1, 3)
+        g = RationalMatrix(geometric_matrix(n, alpha).tolist())
+        gp = gprime_matrix(n, alpha)
+        scaling = column_scaling(n, alpha)
+        assert gp @ RationalMatrix.diagonal(scaling) == g
+
+    def test_scaling_values(self):
+        alpha = Fraction(1, 4)
+        scaling = column_scaling(3, alpha)
+        assert scaling[0] == scaling[3] == Fraction(4, 5)
+        assert scaling[1] == scaling[2] == Fraction(3, 5)
+
+    def test_gprime_requires_exact_alpha(self):
+        with pytest.raises(ValidationError):
+            gprime_matrix(3, 0.3)
+
+
+class TestGeometricMechanism:
+    def test_carries_alpha(self, g3_quarter):
+        assert g3_quarter.alpha == Fraction(1, 4)
+
+    def test_is_exact_for_fraction_alpha(self, g3_quarter):
+        assert g3_quarter.is_exact
+
+    def test_float_alpha(self):
+        g = GeometricMechanism(3, 0.25)
+        assert not g.is_exact
+        assert g.probability(0, 0) == pytest.approx(0.8)
+
+    def test_gprime_accessor(self, g3_quarter):
+        assert g3_quarter.gprime() == gprime_matrix(3, Fraction(1, 4))
+
+    def test_gprime_rejected_for_float(self):
+        g = GeometricMechanism(3, 0.25)
+        with pytest.raises(ValidationError):
+            g.gprime()
+
+    def test_table1b_entries(self, g3_quarter):
+        """The exact values behind the paper's Table 1(b)."""
+        assert g3_quarter.probability(0, 0) == Fraction(4, 5)
+        assert g3_quarter.probability(0, 1) == Fraction(3, 20)
+        assert g3_quarter.probability(1, 1) == Fraction(3, 5)
+        assert g3_quarter.probability(3, 0) == Fraction(1, 80)
+
+
+class TestUnboundedMechanism:
+    def test_pmf_matches_noise(self):
+        u = UnboundedGeometricMechanism(Fraction(1, 2))
+        assert u.pmf(5, 5) == Fraction(1, 3)
+        assert u.pmf(5, 7) == geometric_noise_pmf(Fraction(1, 2), 2)
+
+    def test_tail_mass_closed_form(self):
+        alpha = Fraction(1, 3)
+        u = UnboundedGeometricMechanism(alpha)
+        # Pr[output <= -1 | true 2] = alpha^3 / (1 + alpha).
+        assert u.tail_mass(2, -1, upper=False) == alpha**3 / (1 + alpha)
+
+    def test_tail_mass_matches_series(self):
+        alpha = Fraction(1, 2)
+        u = UnboundedGeometricMechanism(alpha)
+        series = sum(u.pmf(0, z) for z in range(3, 200))
+        closed = u.tail_mass(0, 3, upper=True)
+        assert abs(float(series - closed)) < 1e-55
+
+    def test_tail_mass_needs_strict_side(self):
+        u = UnboundedGeometricMechanism(Fraction(1, 2))
+        with pytest.raises(ValidationError):
+            u.tail_mass(2, 2, upper=True)
+
+    def test_range_restricted_matches_matrix(self):
+        u = UnboundedGeometricMechanism(Fraction(1, 4))
+        g = u.range_restricted(3)
+        assert g == GeometricMechanism(3, Fraction(1, 4))
+
+    def test_clamp(self):
+        u = UnboundedGeometricMechanism(Fraction(1, 2))
+        assert u.clamp(-3, 5) == 0
+        assert u.clamp(9, 5) == 5
+        assert u.clamp(2, 5) == 2
+
+    def test_sample_clamped_matches_matrix_distribution(self, rng):
+        """Sampling Definition 1 then clamping ~ sampling Definition 4."""
+        alpha, n, true = 0.4, 3, 1
+        u = UnboundedGeometricMechanism(alpha)
+        draws = np.array(
+            [u.clamp(u.sample(true, rng), n) for _ in range(40000)]
+        )
+        expected = geometric_matrix(n, alpha)[true]
+        for r in range(n + 1):
+            assert np.mean(draws == r) == pytest.approx(
+                float(expected[r]), abs=0.01
+            )

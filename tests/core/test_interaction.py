@@ -1,0 +1,118 @@
+"""Tests for the optimal-interaction LP (Section 2.4.3)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.geometric import GeometricMechanism
+from repro.core.interaction import (
+    normalize_side_information,
+    optimal_interaction,
+)
+from repro.core.mechanism import Mechanism
+from repro.exceptions import SideInformationError
+from repro.linalg.stochastic import is_row_stochastic
+from repro.losses import AbsoluteLoss, SquaredLoss, ZeroOneLoss
+
+
+class TestNormalizeSideInformation:
+    def test_none_is_full_range(self):
+        assert normalize_side_information(None, 3) == [0, 1, 2, 3]
+
+    def test_dedup_and_sort(self):
+        assert normalize_side_information([3, 1, 1, 2], 3) == [1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SideInformationError):
+            normalize_side_information([], 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SideInformationError):
+            normalize_side_information([4], 3)
+        with pytest.raises(SideInformationError):
+            normalize_side_information([-1], 3)
+
+
+class TestOptimalInteraction:
+    def test_kernel_is_stochastic(self, g3_quarter):
+        result = optimal_interaction(g3_quarter, AbsoluteLoss(), exact=True)
+        assert is_row_stochastic(result.kernel)
+
+    def test_induced_is_postprocessing(self, g3_quarter):
+        result = optimal_interaction(g3_quarter, AbsoluteLoss(), exact=True)
+        rebuilt = g3_quarter.post_process(result.kernel)
+        assert rebuilt == result.induced
+
+    def test_never_worse_than_face_value(self, g3_quarter):
+        """Interacting optimally cannot hurt (identity is feasible)."""
+        for loss in (AbsoluteLoss(), SquaredLoss(), ZeroOneLoss()):
+            face_value = g3_quarter.worst_case_loss(loss)
+            result = optimal_interaction(g3_quarter, loss, exact=True)
+            assert result.loss <= face_value
+
+    def test_loss_matches_induced_mechanism(self, g3_quarter):
+        result = optimal_interaction(
+            g3_quarter, SquaredLoss(), {0, 1}, exact=True
+        )
+        assert result.loss == result.induced.worst_case_loss(
+            SquaredLoss(), {0, 1}
+        )
+
+    def test_per_input_losses_cover_side_info(self, g3_quarter):
+        result = optimal_interaction(
+            g3_quarter, AbsoluteLoss(), {1, 3}, exact=True
+        )
+        assert set(result.per_input_loss) == {1, 3}
+        assert result.loss == max(result.per_input_loss.values())
+
+    def test_paper_example_remap(self, g3_quarter):
+        """Example 1's intuition: side info {l..n} maps low outputs up.
+
+        With S = {2, 3} the optimal kernel must never report 0 or 1 with
+        positive probability mass that hurts; in particular the induced
+        mechanism concentrates on {2, 3} columns for the worst case.
+        """
+        result = optimal_interaction(
+            g3_quarter, AbsoluteLoss(), {2, 3}, exact=True
+        )
+        induced = result.induced
+        # Reporting below the known lower bound is dominated: the kernel
+        # moves all mass of outputs 0 and 1 to 2 or above.
+        for r_prime in (0, 1):
+            assert result.kernel[0, r_prime] == 0
+            assert result.kernel[1, r_prime] == 0
+
+    def test_singleton_side_info_gives_zero_loss(self, g3_quarter):
+        """Knowing the result exactly means zero loss: map everything there."""
+        result = optimal_interaction(
+            g3_quarter, AbsoluteLoss(), {2}, exact=True
+        )
+        assert result.loss == 0
+        for r in range(4):
+            assert result.kernel[r, 2] == 1
+
+    def test_scipy_and_exact_agree(self, g3_quarter):
+        exact = optimal_interaction(g3_quarter, AbsoluteLoss(), exact=True)
+        approx = optimal_interaction(
+            g3_quarter.to_float(), AbsoluteLoss(), exact=False
+        )
+        assert float(exact.loss) == pytest.approx(approx.loss, abs=1e-7)
+
+    def test_zero_one_loss_interaction(self, g3_half):
+        result = optimal_interaction(g3_half, ZeroOneLoss(), exact=True)
+        assert 0 < result.loss < 1
+
+    def test_accepts_plain_matrix(self):
+        matrix = np.array([[0.6, 0.4], [0.4, 0.6]])
+        result = optimal_interaction(matrix, AbsoluteLoss())
+        assert result.induced.n == 1
+
+    def test_mechanism_postprocessed_by_kernel_keeps_privacy(self, g3_quarter):
+        """The induced mechanism stays 1/4-DP (post-processing)."""
+        from repro.core.privacy import is_differentially_private
+
+        result = optimal_interaction(
+            g3_quarter, AbsoluteLoss(), {1, 2, 3}, exact=True
+        )
+        assert is_differentially_private(result.induced, Fraction(1, 4))

@@ -1,0 +1,229 @@
+"""Tests for the Mechanism class."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import Mechanism
+from repro.exceptions import NotStochasticError, ValidationError
+from repro.losses.standard import AbsoluteLoss
+
+
+def exact_uniform(n: int) -> Mechanism:
+    return Mechanism.uniform(n)
+
+
+class TestConstruction:
+    def test_exact_from_fractions(self):
+        m = Mechanism([[Fraction(1, 2), Fraction(1, 2)], [0, 1]])
+        assert m.is_exact
+        assert m.n == 1
+
+    def test_float_from_lists(self):
+        m = Mechanism([[0.5, 0.5], [0.25, 0.75]])
+        assert not m.is_exact
+        assert m.size == 2
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            Mechanism([[0.5, 0.5]])
+
+    def test_rejects_single_result(self):
+        with pytest.raises(ValidationError):
+            Mechanism([[1.0]])
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(NotStochasticError):
+            Mechanism([[0.5, 0.4], [0.5, 0.5]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(NotStochasticError):
+            Mechanism([[1.5, -0.5], [0.5, 0.5]])
+
+    def test_exact_rejects_off_by_epsilon(self):
+        with pytest.raises(NotStochasticError):
+            Mechanism(
+                [
+                    [Fraction(1, 2), Fraction(499, 1000)],
+                    [Fraction(1, 2), Fraction(1, 2)],
+                ]
+            )
+
+    def test_identity_constructor(self):
+        m = Mechanism.identity(3)
+        assert m.is_exact
+        assert m.probability(2, 2) == 1
+        assert m.probability(2, 1) == 0
+
+    def test_uniform_constructor(self):
+        m = Mechanism.uniform(4)
+        assert m.probability(0, 4) == Fraction(1, 5)
+
+    def test_from_mechanism_copy(self):
+        m = Mechanism.identity(2)
+        copy = Mechanism(m)
+        assert copy == m
+
+    def test_matrix_is_defensive_copy(self):
+        m = Mechanism.identity(2)
+        matrix = m.matrix
+        matrix[0, 0] = Fraction(0)
+        assert m.probability(0, 0) == 1
+
+
+class TestAccessors:
+    def test_distribution_row(self, g3_quarter):
+        row = g3_quarter.distribution(0)
+        assert sum(row.tolist()) == 1
+
+    def test_distribution_out_of_range(self, g3_quarter):
+        with pytest.raises(ValidationError):
+            g3_quarter.distribution(4)
+
+    def test_column(self, g3_quarter):
+        column = g3_quarter.column(0)
+        assert column[0] == Fraction(4, 5)
+
+    def test_probability_bounds(self, g3_quarter):
+        with pytest.raises(ValidationError):
+            g3_quarter.probability(0, 4)
+
+
+class TestConversions:
+    def test_to_float_round_trip(self):
+        # Dyadic entries survive the float round trip losslessly.
+        m = Mechanism(
+            [[Fraction(1, 2), Fraction(1, 2)], [Fraction(1, 4), Fraction(3, 4)]]
+        )
+        f = m.to_float()
+        assert not f.is_exact
+        back = f.to_exact()
+        assert back.is_exact
+        assert back == m
+
+    def test_to_float_idempotent(self):
+        m = Mechanism([[0.5, 0.5], [0.5, 0.5]])
+        assert m.to_float() is m
+
+    def test_to_rational_matrix(self, g3_quarter):
+        rational = g3_quarter.to_rational_matrix()
+        assert rational.row_sums() == (1, 1, 1, 1)
+
+    def test_to_rational_matrix_requires_exact(self):
+        m = Mechanism([[0.5, 0.5], [0.5, 0.5]])
+        with pytest.raises(ValidationError):
+            m.to_rational_matrix()
+
+
+class TestPostProcess:
+    def test_identity_kernel_is_noop(self, g3_quarter):
+        kernel = Mechanism.identity(3).matrix
+        assert g3_quarter.post_process(kernel) == Mechanism(
+            g3_quarter.matrix
+        )
+
+    def test_exact_times_exact_stays_exact(self, g3_quarter):
+        induced = g3_quarter.post_process(Mechanism.uniform(3).matrix)
+        assert induced.is_exact
+
+    def test_exact_times_float_degrades_to_float(self, g3_quarter):
+        induced = g3_quarter.post_process(np.eye(4))
+        assert not induced.is_exact
+
+    def test_kernel_shape_mismatch(self, g3_quarter):
+        with pytest.raises(ValidationError):
+            g3_quarter.post_process(np.eye(3))
+
+    def test_kernel_must_be_stochastic(self, g3_quarter):
+        bad = np.full((4, 4), 0.3)
+        with pytest.raises(NotStochasticError):
+            g3_quarter.post_process(bad)
+
+    def test_collapse_kernel(self, g3_quarter):
+        # Map everything to output 0.
+        kernel = np.zeros((4, 4), dtype=object)
+        kernel[...] = Fraction(0)
+        for r in range(4):
+            kernel[r, 0] = Fraction(1)
+        induced = g3_quarter.post_process(kernel)
+        for i in range(4):
+            assert induced.probability(i, 0) == 1
+
+    def test_accepts_mechanism_as_kernel(self, g3_quarter):
+        induced = g3_quarter.post_process(Mechanism.uniform(3))
+        assert induced.probability(0, 0) == Fraction(1, 4)
+
+
+class TestSampling:
+    def test_sample_in_range(self, g3_quarter, rng):
+        for i in range(4):
+            value = g3_quarter.sample(i, rng)
+            assert 0 <= value <= 3
+
+    def test_sample_many_shape(self, g3_quarter, rng):
+        draws = g3_quarter.sample_many(1, 100, rng)
+        assert draws.shape == (100,)
+        assert set(np.unique(draws)) <= {0, 1, 2, 3}
+
+    def test_sample_many_negative_count(self, g3_quarter, rng):
+        with pytest.raises(ValidationError):
+            g3_quarter.sample_many(0, -1, rng)
+
+    def test_identity_mechanism_samples_truth(self, rng):
+        m = Mechanism.identity(5)
+        assert all(m.sample(3, rng) == 3 for _ in range(10))
+
+    def test_empirical_frequencies_converge(self, rng):
+        m = Mechanism([[Fraction(3, 4), Fraction(1, 4)], [0, 1]])
+        draws = m.sample_many(0, 20000, rng)
+        assert np.mean(draws == 0) == pytest.approx(0.75, abs=0.02)
+
+
+class TestLossEvaluation:
+    def test_expected_loss_identity_is_zero(self):
+        m = Mechanism.identity(3)
+        assert m.expected_loss(AbsoluteLoss(), 2) == 0
+
+    def test_expected_loss_uniform(self):
+        m = Mechanism.uniform(2)
+        # E|1 - r| over uniform {0,1,2} = (1 + 0 + 1)/3.
+        assert m.expected_loss(AbsoluteLoss(), 1) == Fraction(2, 3)
+
+    def test_worst_case_loss_full_range(self):
+        m = Mechanism.uniform(2)
+        # Worst input is 0 or 2: (0+1+2)/3 = 1.
+        assert m.worst_case_loss(AbsoluteLoss()) == 1
+
+    def test_worst_case_loss_with_side_information(self):
+        m = Mechanism.uniform(2)
+        assert m.worst_case_loss(AbsoluteLoss(), {1}) == Fraction(2, 3)
+
+    def test_worst_case_empty_side_info(self):
+        m = Mechanism.uniform(2)
+        with pytest.raises(ValidationError):
+            m.worst_case_loss(AbsoluteLoss(), [])
+
+
+class TestComparisons:
+    def test_eq_and_hash_exact(self):
+        a = Mechanism.identity(2)
+        b = Mechanism.identity(2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_float_mechanism_unhashable(self):
+        m = Mechanism([[0.5, 0.5], [0.5, 0.5]])
+        with pytest.raises(TypeError):
+            hash(m)
+
+    def test_approx_equals_tolerance(self):
+        a = Mechanism([[0.5, 0.5], [0.5, 0.5]])
+        b = Mechanism([[0.5 + 1e-12, 0.5 - 1e-12], [0.5, 0.5]])
+        assert a.approx_equals(b)
+
+    def test_approx_equals_shape_mismatch(self):
+        assert not Mechanism.identity(2).approx_equals(Mechanism.identity(3))
+
+    def test_repr_mentions_regime(self, g3_quarter):
+        assert "exact" in repr(g3_quarter)

@@ -1,0 +1,158 @@
+"""Tests for Algorithm 1 and Lemma 4 (multi-level release)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.geometric import GeometricMechanism
+from repro.core.multilevel import (
+    MultiLevelRelease,
+    naive_independent_release_alpha,
+)
+from repro.core.privacy import tightest_alpha
+from repro.exceptions import ValidationError
+
+LEVELS = [Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)]
+
+
+@pytest.fixture
+def release():
+    return MultiLevelRelease(3, LEVELS)
+
+
+class TestConstruction:
+    def test_levels_must_increase(self):
+        with pytest.raises(ValidationError):
+            MultiLevelRelease(3, [Fraction(1, 2), Fraction(1, 4)])
+
+    def test_levels_must_be_distinct(self):
+        with pytest.raises(ValidationError):
+            MultiLevelRelease(3, [Fraction(1, 2), Fraction(1, 2)])
+
+    def test_at_least_one_level(self):
+        with pytest.raises(ValidationError):
+            MultiLevelRelease(3, [])
+
+    def test_single_level_allowed(self):
+        release = MultiLevelRelease(3, [Fraction(1, 2)])
+        assert release.num_levels == 1
+
+    def test_kernels_are_per_step(self, release):
+        assert release.num_levels == 3
+        assert release.kernel(0).shape == (4, 4)
+        assert release.kernel(1).shape == (4, 4)
+
+
+class TestMarginals:
+    def test_stage_i_marginal_is_geometric(self, release):
+        """Each r_i is marginally distributed as G_{alpha_i} (Algorithm 1)."""
+        for level, alpha in enumerate(LEVELS):
+            expected = GeometricMechanism(3, alpha).matrix
+            for i in range(4):
+                joint = release.joint_distribution(i)
+                for r in range(4):
+                    marginal = sum(
+                        p for pattern, p in joint.items() if pattern[level] == r
+                    )
+                    assert marginal == expected[i, r]
+
+    def test_joint_distribution_sums_to_one(self, release):
+        for i in range(4):
+            assert sum(release.joint_distribution(i).values()) == 1
+
+
+class TestSampling:
+    def test_release_length(self, release, rng):
+        assert len(release.release(2, rng)) == 3
+
+    def test_release_values_in_range(self, release, rng):
+        for _ in range(20):
+            assert all(0 <= r <= 3 for r in release.release(1, rng))
+
+    def test_release_many_shape(self, release, rng):
+        samples = release.release_many(0, 50, rng)
+        assert samples.shape == (50, 3)
+
+    def test_release_deterministic_with_seed(self, release):
+        a = release.release(2, rng=123)
+        b = release.release(2, rng=123)
+        assert a == b
+
+    def test_first_stage_empirical_marginal(self, release, rng):
+        draws = release.release_many(2, 20000, rng)[:, 0]
+        expected = GeometricMechanism(3, Fraction(1, 4)).matrix[2]
+        for r in range(4):
+            assert np.mean(draws == r) == pytest.approx(
+                float(expected[r]), abs=0.015
+            )
+
+    def test_bad_true_result(self, release, rng):
+        with pytest.raises(ValidationError):
+            release.release(4, rng)
+
+
+class TestLemma4:
+    def test_every_coalition_holds(self, release):
+        checks = release.verify_all_coalitions()
+        assert len(checks) == 7
+        assert all(check.holds for check in checks)
+
+    def test_full_coalition_achieves_exactly_alpha1(self, release):
+        check = release.verify_collusion_resistance([0, 1, 2])
+        assert check.required_alpha == Fraction(1, 4)
+        assert check.achieved_alpha == Fraction(1, 4)
+
+    def test_late_coalition_bounded_by_its_least_private(self, release):
+        check = release.verify_collusion_resistance([1, 2])
+        assert check.required_alpha == Fraction(1, 2)
+        assert check.achieved_alpha >= Fraction(1, 2)
+
+    def test_singleton_coalitions_match_marginals(self, release):
+        for level, alpha in enumerate(LEVELS):
+            check = release.verify_collusion_resistance([level])
+            assert check.achieved_alpha == alpha
+
+    def test_coalition_mechanism_rows_are_distributions(self, release):
+        _, matrix = release.coalition_mechanism([0, 2])
+        for i in range(4):
+            assert sum(matrix[i].tolist()) == 1
+
+    def test_bad_coalition(self, release):
+        with pytest.raises(ValidationError):
+            release.verify_collusion_resistance([])
+        with pytest.raises(ValidationError):
+            release.verify_collusion_resistance([5])
+
+
+class TestNaiveDegradation:
+    def test_product_formula(self):
+        assert naive_independent_release_alpha(LEVELS) == Fraction(3, 32)
+
+    def test_single_release_no_degradation(self):
+        assert naive_independent_release_alpha([Fraction(1, 3)]) == Fraction(1, 3)
+
+    def test_strictly_worse_than_chained(self, release):
+        naive = naive_independent_release_alpha(LEVELS)
+        chained = release.verify_collusion_resistance([0, 1, 2]).achieved_alpha
+        assert naive < chained
+
+    def test_naive_joint_mechanism_tightness(self):
+        """Direct verification: independent releases' joint mechanism is
+        exactly prod(alpha_i)-DP, not alpha_1-DP."""
+        levels = [Fraction(1, 2), Fraction(3, 4)]
+        mechanisms = [GeometricMechanism(2, a) for a in levels]
+        size = 3
+        joint = np.empty((size, size * size), dtype=object)
+        for i in range(size):
+            for r1 in range(size):
+                for r2 in range(size):
+                    joint[i, r1 * size + r2] = (
+                        mechanisms[0].matrix[i, r1]
+                        * mechanisms[1].matrix[i, r2]
+                    )
+        assert tightest_alpha(joint) == Fraction(3, 8)
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValidationError):
+            naive_independent_release_alpha([])

@@ -1,0 +1,151 @@
+"""Tests for Appendix A: obliviousness is without loss of generality."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.geometric import geometric_matrix
+from repro.core.oblivious import (
+    NonObliviousMechanism,
+    database_neighbors,
+    enumerate_databases,
+    random_nonoblivious_mechanism,
+)
+from repro.core.privacy import is_differentially_private
+from repro.exceptions import ValidationError
+from repro.losses import AbsoluteLoss, SquaredLoss
+
+
+def oblivious_rows(n: int, alpha) -> dict:
+    """A non-oblivious wrapper around the (oblivious) geometric matrix."""
+    g = geometric_matrix(n, alpha)
+    return {d: g[sum(d)] for d in enumerate_databases(n)}
+
+
+class TestDatabaseEnumeration:
+    def test_count(self):
+        assert len(enumerate_databases(3)) == 8
+
+    def test_all_binary(self):
+        assert set(enumerate_databases(2)) == {
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        }
+
+    def test_neighbors_flip_one_row(self):
+        neighbors = list(database_neighbors((0, 1, 0)))
+        assert (1, 1, 0) in neighbors
+        assert (0, 0, 0) in neighbors
+        assert (0, 1, 1) in neighbors
+        assert len(neighbors) == 3
+
+
+class TestNonObliviousMechanism:
+    def test_requires_all_databases(self):
+        rows = oblivious_rows(2, Fraction(1, 2))
+        del rows[(0, 0)]
+        with pytest.raises(ValidationError):
+            NonObliviousMechanism(2, rows)
+
+    def test_rejects_bad_distribution(self):
+        rows = oblivious_rows(2, Fraction(1, 2))
+        rows[(0, 0)] = np.array([0.5, 0.4, 0.0])
+        with pytest.raises(ValidationError):
+            NonObliviousMechanism(2, rows)
+
+    def test_count(self):
+        mech = NonObliviousMechanism(2, oblivious_rows(2, Fraction(1, 2)))
+        assert mech.count((1, 1)) == 2
+        assert mech.count((0, 1)) == 1
+
+    def test_oblivious_wrapper_detected(self):
+        mech = NonObliviousMechanism(2, oblivious_rows(2, Fraction(1, 2)))
+        assert mech.is_oblivious()
+
+    def test_oblivious_wrapper_is_private(self):
+        alpha = Fraction(1, 2)
+        mech = NonObliviousMechanism(2, oblivious_rows(2, alpha))
+        assert mech.is_differentially_private(alpha, atol=0.0)
+
+
+class TestRandomNonOblivious:
+    def test_is_genuinely_nonoblivious(self, rng):
+        mech = random_nonoblivious_mechanism(2, 0.5, rng)
+        assert not mech.is_oblivious()
+
+    def test_is_private(self, rng):
+        alpha = 0.5
+        mech = random_nonoblivious_mechanism(2, alpha, rng)
+        assert mech.is_differentially_private(alpha, atol=0.0)
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ValidationError):
+            random_nonoblivious_mechanism(2, 0.5, rng, mix=0.0)
+        with pytest.raises(ValidationError):
+            random_nonoblivious_mechanism(2, 0.5, rng, jitter=1.5)
+
+
+class TestLemma6:
+    """The averaging construction: DP preserved, loss not increased."""
+
+    def test_obliviate_produces_oblivious_mechanism(self, rng):
+        mech = random_nonoblivious_mechanism(2, 0.5, rng)
+        averaged = mech.obliviate()
+        assert averaged.n == 2
+
+    def test_privacy_preserved(self, rng):
+        alpha = 0.5
+        for _ in range(3):
+            mech = random_nonoblivious_mechanism(2, alpha, rng)
+            averaged = mech.obliviate()
+            assert is_differentially_private(averaged, alpha, atol=1e-12)
+
+    @pytest.mark.parametrize("loss", [AbsoluteLoss(), SquaredLoss()])
+    def test_loss_not_increased(self, rng, loss):
+        alpha = 0.5
+        for _ in range(3):
+            mech = random_nonoblivious_mechanism(3, alpha, rng)
+            averaged = mech.obliviate()
+            before = mech.worst_case_loss(loss)
+            after = averaged.worst_case_loss(loss, range(4))
+            assert float(after) <= float(before) + 1e-12
+
+    def test_loss_with_side_information(self, rng):
+        alpha = 0.5
+        mech = random_nonoblivious_mechanism(2, alpha, rng)
+        averaged = mech.obliviate()
+        before = mech.worst_case_loss(AbsoluteLoss(), {1, 2})
+        after = averaged.worst_case_loss(AbsoluteLoss(), {1, 2})
+        assert float(after) <= float(before) + 1e-12
+
+    def test_exact_averaging(self):
+        """Averaging exact rows keeps exact arithmetic."""
+        alpha = Fraction(1, 2)
+        rows = oblivious_rows(2, alpha)
+        # Perturb one database's row within DP limits, exactly.
+        rows = dict(rows)
+        rows[(0, 1)] = np.array(
+            [Fraction(7, 24), Fraction(5, 12), Fraction(7, 24)], dtype=object
+        )
+        mech = NonObliviousMechanism(2, rows)
+        averaged = mech.obliviate()
+        assert averaged.is_exact
+        # The count-1 class averages rows of (0,1) and (1,0).
+        g = geometric_matrix(2, alpha)
+        expected_middle = (Fraction(7, 24) + g[1][0]) / 2
+        assert averaged.probability(1, 0) == expected_middle
+
+    def test_objective_five_matches_paper_form(self, rng):
+        """Objective (5): max over databases of the row's expected loss."""
+        mech = random_nonoblivious_mechanism(2, 0.5, rng)
+        table = AbsoluteLoss().matrix(2)
+        expected = max(
+            sum(
+                table[mech.count(d), r] * mech.distribution(d)[r]
+                for r in range(3)
+            )
+            for d in enumerate_databases(2)
+        )
+        assert float(mech.worst_case_loss(AbsoluteLoss())) == pytest.approx(
+            float(expected)
+        )

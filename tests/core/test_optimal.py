@@ -1,0 +1,123 @@
+"""Tests for the bespoke optimal-mechanism LP (Section 2.5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.geometric import GeometricMechanism
+from repro.core.optimal import build_optimal_lp, optimal_mechanism
+from repro.core.privacy import is_differentially_private
+from repro.exceptions import ValidationError
+from repro.losses import AbsoluteLoss, SquaredLoss, ZeroOneLoss
+from repro.losses.base import loss_matrix
+
+
+class TestLPConstruction:
+    def test_variable_count(self):
+        table = loss_matrix(AbsoluteLoss(), 3)
+        program, d_index = build_optimal_lp(
+            3, Fraction(1, 4), table, [0, 1, 2, 3]
+        )
+        assert program.num_vars == 17
+        assert d_index == 16
+
+    def test_constraint_count(self):
+        table = loss_matrix(AbsoluteLoss(), 3)
+        program, _ = build_optimal_lp(3, Fraction(1, 4), table, [0, 1])
+        # 2 loss rows + 2 * 3 * 4 privacy rows; 4 stochastic equalities.
+        assert len(program.le_constraints) == 2 + 24
+        assert len(program.eq_constraints) == 4
+
+
+class TestOptimalMechanism:
+    def test_result_is_private(self):
+        result = optimal_mechanism(3, Fraction(1, 4), AbsoluteLoss(), exact=True)
+        assert is_differentially_private(result.mechanism, Fraction(1, 4))
+
+    def test_table1_value(self):
+        """The exact optimum of the paper's Table 1 instance."""
+        result = optimal_mechanism(3, Fraction(1, 4), AbsoluteLoss(), exact=True)
+        assert result.loss == Fraction(168, 415)
+
+    def test_beats_geometric_at_face_value(self):
+        """The bespoke optimum is at least as good as raw G."""
+        alpha = Fraction(1, 2)
+        result = optimal_mechanism(3, alpha, SquaredLoss(), exact=True)
+        g = GeometricMechanism(3, alpha)
+        assert result.loss <= g.worst_case_loss(SquaredLoss())
+
+    def test_side_information_weakly_helps(self):
+        """Smaller S never increases the optimal loss."""
+        alpha = Fraction(1, 2)
+        full = optimal_mechanism(3, alpha, AbsoluteLoss(), exact=True)
+        informed = optimal_mechanism(
+            3, alpha, AbsoluteLoss(), {1, 2}, exact=True
+        )
+        assert informed.loss <= full.loss
+
+    def test_more_privacy_costs_utility(self):
+        """Optimal loss is monotone in alpha (more privacy, more loss)."""
+        losses = [
+            optimal_mechanism(3, alpha, AbsoluteLoss(), exact=True).loss
+            for alpha in (Fraction(1, 5), Fraction(1, 2), Fraction(4, 5))
+        ]
+        assert losses[0] <= losses[1] <= losses[2]
+
+    def test_scipy_matches_exact(self):
+        exact = optimal_mechanism(3, Fraction(1, 4), AbsoluteLoss(), exact=True)
+        approx = optimal_mechanism(3, 0.25, AbsoluteLoss(), exact=False)
+        assert approx.loss == pytest.approx(float(exact.loss), abs=1e-7)
+
+    def test_zero_one_loss_optimum(self):
+        result = optimal_mechanism(2, Fraction(1, 2), ZeroOneLoss(), exact=True)
+        assert 0 < result.loss < 1
+
+    def test_side_information_recorded(self):
+        result = optimal_mechanism(
+            3, Fraction(1, 2), AbsoluteLoss(), {2, 0}, exact=True
+        )
+        assert result.side_information == (0, 2)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValidationError):
+            optimal_mechanism(3, Fraction(3, 2), AbsoluteLoss())
+
+    def test_n_validation(self):
+        with pytest.raises(ValidationError):
+            optimal_mechanism(0, Fraction(1, 2), AbsoluteLoss())
+
+
+class TestRefinement:
+    def test_refined_keeps_primary_optimum(self):
+        alpha = Fraction(1, 4)
+        plain = optimal_mechanism(3, alpha, AbsoluteLoss(), exact=True)
+        refined = optimal_mechanism(
+            3, alpha, AbsoluteLoss(), exact=True, refine=True
+        )
+        assert refined.loss == plain.loss
+        assert refined.refined
+
+    def test_refined_weakly_improves_secondary(self):
+        """L'(refined) <= L'(plain) by construction."""
+        alpha = Fraction(1, 2)
+
+        def secondary(mechanism):
+            matrix = mechanism.matrix
+            return sum(
+                matrix[i, r] * abs(i - r)
+                for i in range(4)
+                for r in range(4)
+            )
+
+        plain = optimal_mechanism(3, alpha, ZeroOneLoss(), exact=True)
+        refined = optimal_mechanism(
+            3, alpha, ZeroOneLoss(), exact=True, refine=True
+        )
+        assert secondary(refined.mechanism) <= secondary(plain.mechanism)
+
+    def test_refined_still_private(self):
+        alpha = Fraction(1, 2)
+        refined = optimal_mechanism(
+            3, alpha, SquaredLoss(), exact=True, refine=True
+        )
+        assert is_differentially_private(refined.mechanism, alpha)

@@ -1,0 +1,74 @@
+"""Tests for the DP-polytope vertex sampler."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.derivability import is_derivable_from_geometric
+from repro.core.polytope import dp_polytope_lp, random_private_mechanism
+from repro.core.privacy import is_differentially_private, tightest_alpha
+from repro.exceptions import ValidationError
+
+
+class TestPolytopeLP:
+    def test_dimensions(self):
+        program = dp_polytope_lp(3, Fraction(1, 2), [0] * 16)
+        assert program.num_vars == 16
+        assert len(program.eq_constraints) == 4
+        assert len(program.le_constraints) == 24
+
+    def test_objective_length_checked(self):
+        with pytest.raises(ValidationError):
+            dp_polytope_lp(3, Fraction(1, 2), [0] * 15)
+
+
+class TestRandomPrivateMechanism:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_vertices_are_private(self, seed):
+        alpha = Fraction(1, 2)
+        mechanism = random_private_mechanism(
+            3, alpha, np.random.default_rng(seed)
+        )
+        assert is_differentially_private(mechanism, alpha)
+
+    def test_exact_vertices_are_exact(self, rng):
+        mechanism = random_private_mechanism(2, Fraction(1, 3), rng)
+        assert mechanism.is_exact
+        for i in range(3):
+            assert sum(mechanism.distribution(i).tolist()) == 1
+
+    def test_float_mode(self, rng):
+        mechanism = random_private_mechanism(
+            3, 0.5, rng, exact=False
+        )
+        assert not mechanism.is_exact
+        assert is_differentially_private(mechanism, 0.5, atol=1e-7)
+
+    def test_different_seeds_reach_different_vertices(self):
+        a = random_private_mechanism(3, Fraction(1, 2), np.random.default_rng(0))
+        b = random_private_mechanism(3, Fraction(1, 2), np.random.default_rng(1))
+        assert a != b
+
+    def test_some_vertices_are_not_derivable(self):
+        """The polytope is strictly larger than the derivable set
+        (Appendix B's point, witnessed by random vertices)."""
+        alpha = Fraction(1, 2)
+        derivable_flags = [
+            is_derivable_from_geometric(
+                random_private_mechanism(
+                    3, alpha, np.random.default_rng(seed)
+                ),
+                alpha,
+            )
+            for seed in range(12)
+        ]
+        assert not all(derivable_flags)
+
+    def test_vertices_saturate_privacy_constraints(self, rng):
+        """A vertex of the DP polytope is private at exactly alpha
+        (some ratio constraint is tight) unless it sits on a stochastic
+        face only — tightest alpha can exceed alpha but stays valid."""
+        alpha = Fraction(1, 2)
+        mechanism = random_private_mechanism(3, alpha, rng)
+        assert tightest_alpha(mechanism) >= alpha

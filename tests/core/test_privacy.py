@@ -1,0 +1,148 @@
+"""Tests for differential-privacy predicates (Definition 2)."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.geometric import GeometricMechanism
+from repro.core.mechanism import Mechanism
+from repro.core.privacy import (
+    alpha_to_epsilon,
+    assert_differentially_private,
+    epsilon_to_alpha,
+    group_privacy_alpha,
+    is_differentially_private,
+    tightest_alpha,
+)
+from repro.exceptions import NotPrivateError, ValidationError
+
+
+class TestConversions:
+    def test_alpha_one_is_epsilon_zero(self):
+        assert alpha_to_epsilon(1) == 0.0
+
+    def test_alpha_zero_is_epsilon_infinity(self):
+        assert alpha_to_epsilon(0) == math.inf
+
+    def test_round_trip(self):
+        for alpha in (0.1, 0.25, 0.5, 0.9):
+            assert epsilon_to_alpha(alpha_to_epsilon(alpha)) == pytest.approx(
+                alpha
+            )
+
+    def test_epsilon_ln2(self):
+        assert alpha_to_epsilon(0.5) == pytest.approx(math.log(2))
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValidationError):
+            epsilon_to_alpha(-1)
+
+    def test_alpha_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            alpha_to_epsilon(1.5)
+
+
+class TestPrivacyPredicate:
+    def test_geometric_is_private_at_its_level(self, g3_quarter):
+        assert is_differentially_private(g3_quarter, Fraction(1, 4))
+
+    def test_geometric_private_at_weaker_levels(self, g3_quarter):
+        assert is_differentially_private(g3_quarter, Fraction(1, 5))
+        assert is_differentially_private(g3_quarter, Fraction(1, 100))
+
+    def test_geometric_not_private_at_stronger_level(self, g3_quarter):
+        assert not is_differentially_private(g3_quarter, Fraction(1, 3))
+
+    def test_identity_only_vacuously_private(self):
+        identity = Mechanism.identity(3)
+        assert is_differentially_private(identity, 0)
+        assert not is_differentially_private(identity, Fraction(1, 100))
+
+    def test_uniform_is_absolutely_private(self):
+        uniform = Mechanism.uniform(3)
+        assert is_differentially_private(uniform, 1)
+
+    def test_witness_reported(self):
+        identity = Mechanism.identity(2)
+        with pytest.raises(NotPrivateError) as excinfo:
+            assert_differentially_private(identity, Fraction(1, 2))
+        assert excinfo.value.witness is not None
+
+    def test_accepts_raw_arrays(self):
+        matrix = np.array([[0.6, 0.4], [0.4, 0.6]])
+        assert is_differentially_private(matrix, 0.4 / 0.6 - 1e-12)
+
+    def test_float_tolerance(self):
+        # A ratio exactly alpha, perturbed by < atol, still accepted.
+        matrix = np.array([[0.5, 0.5], [0.25 - 1e-12, 0.75 + 1e-12]])
+        assert is_differentially_private(matrix, 0.5)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValidationError):
+            is_differentially_private(np.array([0.5, 0.5]), 0.5)
+
+
+class TestTightestAlpha:
+    @pytest.mark.parametrize(
+        "alpha", [Fraction(1, 5), Fraction(1, 4), Fraction(1, 2), Fraction(4, 5)]
+    )
+    def test_geometric_tightest_is_alpha(self, alpha):
+        g = GeometricMechanism(4, alpha)
+        assert tightest_alpha(g) == alpha
+
+    def test_uniform_tightest_is_one(self):
+        assert tightest_alpha(Mechanism.uniform(3)) == 1
+
+    def test_identity_tightest_is_zero(self):
+        assert tightest_alpha(Mechanism.identity(3)) == 0
+
+    def test_monotone_with_post_processing(self, g3_quarter, rng):
+        """Post-processing can only increase the tightest privacy level."""
+        from repro.linalg.stochastic import random_stochastic_matrix
+
+        base = tightest_alpha(g3_quarter)
+        for _ in range(5):
+            kernel = random_stochastic_matrix(4, rng=rng, exact=True)
+            processed = g3_quarter.post_process(kernel)
+            assert tightest_alpha(processed) >= base
+
+    def test_float_matrix(self):
+        g = GeometricMechanism(3, 0.3)
+        assert tightest_alpha(g) == pytest.approx(0.3)
+
+    def test_definition_consistency(self, g3_half):
+        """is_dp(M, a) holds iff a <= tightest_alpha(M) (exact regime)."""
+        tight = tightest_alpha(g3_half)
+        assert is_differentially_private(g3_half, tight)
+        assert not is_differentially_private(
+            g3_half, tight + Fraction(1, 1000)
+        )
+
+
+class TestGroupPrivacy:
+    def test_powers(self):
+        assert group_privacy_alpha(Fraction(1, 2), 3) == Fraction(1, 8)
+
+    def test_zero_distance_is_no_constraint(self):
+        assert group_privacy_alpha(Fraction(1, 2), 0) == 1
+
+    def test_geometric_rows_k_apart(self, g3_quarter):
+        """Rows k apart satisfy the alpha^k ratio bound."""
+        matrix = g3_quarter.matrix
+        alpha = Fraction(1, 4)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                bound = group_privacy_alpha(alpha, j - i)
+                for r in range(4):
+                    ratio = matrix[i, r] / matrix[j, r]
+                    assert bound <= ratio <= 1 / bound
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValidationError):
+            group_privacy_alpha(Fraction(1, 2), -1)
+
+    def test_non_integer_distance_rejected(self):
+        with pytest.raises(ValidationError):
+            group_privacy_alpha(Fraction(1, 2), 1.5)

@@ -1,0 +1,67 @@
+"""Tests for the Lemma 5 structure analyzer."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import Mechanism
+from repro.core.optimal import optimal_mechanism
+from repro.core.structure import analyze_structure
+from repro.losses import AbsoluteLoss, SquaredLoss, ZeroOneLoss
+
+
+class TestAnalyzeStructure:
+    def test_geometric_conforms(self, g3_quarter):
+        """G itself is an optimal mechanism; its rows must conform."""
+        report = analyze_structure(g3_quarter, Fraction(1, 4))
+        assert report.conforms
+
+    def test_geometric_gap_is_one(self, g3_quarter):
+        """For G there is no free column: every column is at a privacy
+        boundary, so the greedy prefix and suffix meet (c2 - c1 == 1)."""
+        report = analyze_structure(g3_quarter, Fraction(1, 4))
+        for pair in report.pairs:
+            assert pair.c2 - pair.c1 == 1
+
+    @pytest.mark.parametrize(
+        "loss", [AbsoluteLoss(), SquaredLoss(), ZeroOneLoss()]
+    )
+    @pytest.mark.parametrize("alpha", [Fraction(1, 4), Fraction(1, 2)])
+    def test_refined_optimum_conforms(self, loss, alpha):
+        """Lemma 5 on the lexicographically-refined LP optimum."""
+        result = optimal_mechanism(3, alpha, loss, exact=True, refine=True)
+        report = analyze_structure(result.mechanism, alpha)
+        assert report.conforms, report.pairs
+
+    def test_uniform_conforms_via_overlap(self):
+        """Uniform rows make both constraints non-tight everywhere...
+
+        ...except that no prefix/suffix is tight at all: c1 = -1,
+        c2 = n+1 gives gap n+2, so uniform must NOT conform for n >= 1.
+        Uniform is indeed not optimal for any consumer at alpha < 1.
+        """
+        report = analyze_structure(Mechanism.uniform(3), Fraction(1, 2))
+        assert not report.conforms
+        assert report.violating_rows() == [0, 1, 2]
+
+    def test_float_tolerance(self):
+        from repro.core.geometric import GeometricMechanism
+
+        g = GeometricMechanism(3, 0.25)
+        report = analyze_structure(g, 0.25, atol=1e-9)
+        assert report.conforms
+
+    def test_pair_fields(self, g3_quarter):
+        report = analyze_structure(g3_quarter, Fraction(1, 4))
+        rows = [pair.row for pair in report.pairs]
+        assert rows == [0, 1, 2]
+
+    def test_accepts_plain_matrix(self):
+        matrix = np.array(
+            [[0.8, 0.2], [0.4, 0.6]]
+        )
+        report = analyze_structure(matrix, 0.5)
+        # x[1,0] = 0.4 = 0.5 * 0.8 (prefix tight at column 0);
+        # x[0,1] = 0.2 < 0.5 * 0.6: suffix not tight; c1=0, c2=2, gap 2.
+        assert report.conforms

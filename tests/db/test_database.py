@@ -1,0 +1,116 @@
+"""Tests for databases and rows."""
+
+import pytest
+
+from repro.db.database import Database, Row
+from repro.db.predicates import Eq
+from repro.db.schema import Attribute, Schema
+from repro.exceptions import QueryError, SchemaError, ValidationError
+
+
+def flu_schema():
+    return Schema(
+        [Attribute("has_flu", "bool"), Attribute("age", "int", (0, 120))]
+    )
+
+
+def small_db():
+    return Database(
+        flu_schema(),
+        [
+            {"has_flu": True, "age": 30},
+            {"has_flu": False, "age": 40},
+            {"has_flu": True, "age": 50},
+        ],
+    )
+
+
+class TestRow:
+    def test_mapping_protocol(self):
+        row = Row({"has_flu": True, "age": 30}, flu_schema())
+        assert row["age"] == 30
+        assert set(row) == {"has_flu", "age"}
+        assert len(row) == 2
+
+    def test_validation_on_construction(self):
+        with pytest.raises(SchemaError):
+            Row({"has_flu": True, "age": 300}, flu_schema())
+
+    def test_replace(self):
+        schema = flu_schema()
+        row = Row({"has_flu": True, "age": 30}, schema)
+        other = row.replace(schema, age=31)
+        assert other["age"] == 31
+        assert row["age"] == 30
+
+    def test_replace_validates(self):
+        schema = flu_schema()
+        row = Row({"has_flu": True, "age": 30}, schema)
+        with pytest.raises(SchemaError):
+            row.replace(schema, age=500)
+
+    def test_equality_with_dict(self):
+        row = Row({"has_flu": True, "age": 30}, flu_schema())
+        assert row == {"has_flu": True, "age": 30}
+
+    def test_hashable(self):
+        schema = flu_schema()
+        a = Row({"has_flu": True, "age": 30}, schema)
+        b = Row({"age": 30, "has_flu": True}, schema)
+        assert hash(a) == hash(b)
+
+
+class TestDatabase:
+    def test_size_and_iteration(self):
+        db = small_db()
+        assert db.size == len(db) == 3
+        assert [row["age"] for row in db] == [30, 40, 50]
+
+    def test_count(self):
+        assert small_db().count(Eq("has_flu", True)) == 2
+
+    def test_count_requires_callable(self):
+        with pytest.raises(QueryError):
+            small_db().count("has_flu")
+
+    def test_add_row_validates(self):
+        db = small_db()
+        with pytest.raises(SchemaError):
+            db.add_row({"has_flu": True})
+
+    def test_replace_row_creates_neighbor(self):
+        db = small_db()
+        neighbor = db.replace_row(0, {"has_flu": False, "age": 30})
+        assert neighbor.size == db.size
+        assert neighbor.count(Eq("has_flu", True)) == 1
+        # Original untouched.
+        assert db.count(Eq("has_flu", True)) == 2
+
+    def test_replace_row_bad_index(self):
+        with pytest.raises(ValidationError):
+            small_db().replace_row(5, {"has_flu": True, "age": 1})
+
+    def test_project(self):
+        assert small_db().project("age") == [30, 40, 50]
+
+    def test_project_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            small_db().project("weight")
+
+    def test_getitem(self):
+        assert small_db()[1]["age"] == 40
+
+    def test_requires_schema(self):
+        with pytest.raises(ValidationError):
+            Database("not a schema")
+
+    def test_neighbor_count_changes_by_at_most_one(self):
+        """The unit-sensitivity fact behind Definition 2."""
+        db = small_db()
+        base = db.count(Eq("has_flu", True))
+        for index in range(db.size):
+            for value in (True, False):
+                neighbor = db.replace_row(
+                    index, {"has_flu": value, "age": 1}
+                )
+                assert abs(neighbor.count(Eq("has_flu", True)) - base) <= 1

@@ -1,0 +1,82 @@
+"""Tests for the private query engine."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.geometric import GeometricMechanism
+from repro.core.mechanism import Mechanism
+from repro.db.database import Database
+from repro.db.engine import QueryEngine
+from repro.db.predicates import Eq
+from repro.db.queries import CountQuery
+from repro.db.schema import Attribute, Schema
+from repro.exceptions import QueryError, ValidationError
+
+
+def make_engine(size=4, flu=2):
+    schema = Schema([Attribute("has_flu", "bool")])
+    rows = [{"has_flu": i < flu} for i in range(size)]
+    return QueryEngine(Database(schema, rows))
+
+
+FLU_QUERY = CountQuery(Eq("has_flu", True))
+
+
+class TestQueryEngine:
+    def test_exact_answer(self):
+        assert make_engine().answer_exact(FLU_QUERY) == 2
+
+    def test_private_answer_with_alpha(self, rng):
+        engine = make_engine()
+        result = engine.answer_private(FLU_QUERY, Fraction(1, 2), rng=rng)
+        assert 0 <= result.value <= 4
+        assert result.true_value == 2
+        assert result.alpha == Fraction(1, 2)
+        assert isinstance(result.mechanism, GeometricMechanism)
+
+    def test_private_answer_with_custom_mechanism(self, rng):
+        engine = make_engine()
+        mechanism = Mechanism.uniform(4)
+        result = engine.answer_private(
+            FLU_QUERY, mechanism=mechanism, rng=rng
+        )
+        assert 0 <= result.value <= 4
+
+    def test_exactly_one_of_alpha_or_mechanism(self, rng):
+        engine = make_engine()
+        with pytest.raises(QueryError):
+            engine.answer_private(FLU_QUERY, rng=rng)
+        with pytest.raises(QueryError):
+            engine.answer_private(
+                FLU_QUERY, Fraction(1, 2), mechanism=Mechanism.uniform(4)
+            )
+
+    def test_mechanism_size_must_match(self, rng):
+        engine = make_engine()
+        with pytest.raises(QueryError):
+            engine.answer_private(
+                FLU_QUERY, mechanism=Mechanism.uniform(3), rng=rng
+            )
+
+    def test_error_accessor(self, rng):
+        engine = make_engine()
+        result = engine.answer_private(FLU_QUERY, Fraction(1, 100), rng=rng)
+        assert result.error() == abs(result.value - result.true_value)
+
+    def test_requires_database(self):
+        with pytest.raises(ValidationError):
+            QueryEngine([1, 2, 3])
+
+    def test_high_privacy_noisier_than_low(self, rng):
+        """Empirically: alpha near 1 produces larger average error."""
+        engine = make_engine(size=8, flu=4)
+        low = [
+            engine.answer_private(FLU_QUERY, 0.05, rng=rng).error()
+            for _ in range(400)
+        ]
+        high = [
+            engine.answer_private(FLU_QUERY, 0.9, rng=rng).error()
+            for _ in range(400)
+        ]
+        assert sum(high) > sum(low)

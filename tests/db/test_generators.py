@@ -1,0 +1,97 @@
+"""Tests for synthetic population generators."""
+
+import pytest
+
+from repro.db.generators import (
+    FLU_SCHEMA,
+    drug_purchases_lower_bound,
+    flu_population,
+    flu_query,
+    random_population,
+)
+from repro.db.schema import Attribute, Schema
+from repro.exceptions import ValidationError
+
+
+class TestFluPopulation:
+    def test_size(self, rng):
+        assert flu_population(50, rng).size == 50
+
+    def test_rows_conform_to_schema(self, rng):
+        db = flu_population(20, rng)
+        for row in db:
+            FLU_SCHEMA.validate_row(dict(row))
+
+    def test_deterministic_with_seed(self):
+        a = flu_population(30, 7)
+        b = flu_population(30, 7)
+        assert [dict(r) for r in a] == [dict(r) for r in b]
+
+    def test_flu_rate_respected(self, rng):
+        db = flu_population(4000, rng, flu_rate=0.25)
+        rate = sum(1 for row in db if row["has_flu"]) / db.size
+        assert rate == pytest.approx(0.25, abs=0.04)
+
+    def test_extreme_rates(self, rng):
+        everyone = flu_population(30, rng, flu_rate=1.0)
+        assert all(row["has_flu"] for row in everyone)
+        nobody = flu_population(30, rng, flu_rate=0.0)
+        assert not any(row["has_flu"] for row in nobody)
+
+    def test_bad_rate_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            flu_population(10, rng, flu_rate=1.5)
+
+    def test_bad_size_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            flu_population(0, rng)
+
+
+class TestFluQuery:
+    def test_query_counts_expected_rows(self, rng):
+        db = flu_population(200, rng)
+        expected = sum(
+            1
+            for row in db
+            if row["city"] == "san_diego"
+            and row["has_flu"]
+            and row["age"] >= 18
+        )
+        assert flu_query()(db) == expected
+
+    def test_adults_only_flag(self, rng):
+        db = flu_population(200, rng)
+        assert flu_query(adults_only=False)(db) >= flu_query()(db)
+
+
+class TestDrugPurchasesLowerBound:
+    def test_is_lower_bound_on_query(self, rng):
+        """Example 1: drug sales lower-bound the flu count."""
+        for seed in range(5):
+            db = flu_population(300, seed)
+            assert drug_purchases_lower_bound(db) <= flu_query()(db)
+
+
+class TestRandomPopulation:
+    def test_arbitrary_schema(self, rng):
+        schema = Schema(
+            [
+                Attribute("kind", "categorical", ("a", "b")),
+                Attribute("level", "int", (1, 5)),
+                Attribute("flag", "bool"),
+            ]
+        )
+        db = random_population(schema, 25, rng)
+        assert db.size == 25
+        for row in db:
+            schema.validate_row(dict(row))
+
+    def test_int_without_domain(self, rng):
+        schema = Schema([Attribute("value", "int")])
+        db = random_population(schema, 10, rng)
+        assert all(isinstance(row["value"], int) for row in db)
+
+    def test_bad_size(self, rng):
+        schema = Schema([Attribute("flag", "bool")])
+        with pytest.raises(ValidationError):
+            random_population(schema, 0, rng)

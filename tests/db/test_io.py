@@ -1,0 +1,118 @@
+"""Tests for CSV import/export."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.generators import FLU_SCHEMA, flu_population
+from repro.db.io import (
+    database_from_csv,
+    database_to_csv,
+    load_csv,
+    save_csv,
+)
+from repro.db.schema import Attribute, Schema
+from repro.exceptions import SchemaError, ValidationError
+
+
+def simple_schema():
+    return Schema(
+        [
+            Attribute("city", "categorical", ("sd", "la")),
+            Attribute("age", "int", (0, 120)),
+            Attribute("has_flu", "bool"),
+        ]
+    )
+
+
+def simple_db():
+    return Database(
+        simple_schema(),
+        [
+            {"city": "sd", "age": 30, "has_flu": True},
+            {"city": "la", "age": 64, "has_flu": False},
+        ],
+    )
+
+
+class TestSerialize:
+    def test_header_row(self):
+        text = database_to_csv(simple_db())
+        assert text.splitlines()[0] == "city,age,has_flu"
+
+    def test_bool_encoding(self):
+        lines = database_to_csv(simple_db()).splitlines()
+        assert lines[1] == "sd,30,true"
+        assert lines[2] == "la,64,false"
+
+    def test_requires_database(self):
+        with pytest.raises(ValidationError):
+            database_to_csv([{"x": 1}])
+
+
+class TestParse:
+    def test_round_trip(self):
+        db = simple_db()
+        parsed = database_from_csv(database_to_csv(db), simple_schema())
+        assert [dict(r) for r in parsed] == [dict(r) for r in db]
+
+    def test_flu_population_round_trip(self, rng):
+        db = flu_population(25, rng)
+        parsed = database_from_csv(database_to_csv(db), FLU_SCHEMA)
+        assert [dict(r) for r in parsed] == [dict(r) for r in db]
+
+    def test_header_order_free(self):
+        text = "age,has_flu,city\n30,true,sd\n"
+        parsed = database_from_csv(text, simple_schema())
+        assert parsed[0]["city"] == "sd"
+        assert parsed[0]["age"] == 30
+
+    def test_bool_variants(self):
+        for token, expected in (
+            ("true", True), ("1", True), ("yes", True),
+            ("false", False), ("0", False), ("no", False),
+        ):
+            text = f"city,age,has_flu\nsd,5,{token}\n"
+            parsed = database_from_csv(text, simple_schema())
+            assert parsed[0]["has_flu"] is expected
+
+    def test_bad_bool_rejected(self):
+        text = "city,age,has_flu\nsd,5,maybe\n"
+        with pytest.raises(SchemaError):
+            database_from_csv(text, simple_schema())
+
+    def test_bad_int_rejected(self):
+        text = "city,age,has_flu\nsd,old,true\n"
+        with pytest.raises(SchemaError):
+            database_from_csv(text, simple_schema())
+
+    def test_domain_validated(self):
+        text = "city,age,has_flu\nnyc,5,true\n"
+        with pytest.raises(SchemaError):
+            database_from_csv(text, simple_schema())
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(SchemaError):
+            database_from_csv("", simple_schema())
+
+    def test_wrong_header_rejected(self):
+        with pytest.raises(SchemaError):
+            database_from_csv("a,b\n1,2\n", simple_schema())
+
+    def test_ragged_row_rejected(self):
+        text = "city,age,has_flu\nsd,5\n"
+        with pytest.raises(SchemaError):
+            database_from_csv(text, simple_schema())
+
+    def test_trailing_blank_lines_tolerated(self):
+        text = "city,age,has_flu\nsd,5,true\n\n"
+        parsed = database_from_csv(text, simple_schema())
+        assert parsed.size == 1
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "population.csv"
+        db = simple_db()
+        save_csv(db, path)
+        loaded = load_csv(path, simple_schema())
+        assert [dict(r) for r in loaded] == [dict(r) for r in db]

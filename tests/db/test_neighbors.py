@@ -1,0 +1,76 @@
+"""Tests for neighbor enumeration and sensitivity verification."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.neighbors import enumerate_neighbors, verify_unit_sensitivity
+from repro.db.predicates import Eq
+from repro.db.queries import CountQuery
+from repro.db.schema import Attribute, Schema
+from repro.exceptions import ValidationError
+
+
+def setup():
+    schema = Schema([Attribute("bit", "bool")])
+    db = Database(schema, [{"bit": True}, {"bit": False}, {"bit": True}])
+    universe = [{"bit": True}, {"bit": False}]
+    query = CountQuery(Eq("bit", True))
+    return db, universe, query
+
+
+class TestEnumerateNeighbors:
+    def test_count(self):
+        db, universe, _ = setup()
+        # Each of 3 rows has exactly 1 differing replacement.
+        assert len(list(enumerate_neighbors(db, universe))) == 3
+
+    def test_all_same_size(self):
+        db, universe, _ = setup()
+        for neighbor in enumerate_neighbors(db, universe):
+            assert neighbor.size == db.size
+
+    def test_unchanged_rows_skipped(self):
+        db, universe, _ = setup()
+        for neighbor in enumerate_neighbors(db, universe):
+            differing = sum(
+                1
+                for a, b in zip(db.rows, neighbor.rows)
+                if dict(a) != dict(b)
+            )
+            assert differing == 1
+
+    def test_empty_universe_rejected(self):
+        db, _, _ = setup()
+        with pytest.raises(ValidationError):
+            list(enumerate_neighbors(db, []))
+
+    def test_richer_universe(self):
+        schema = Schema([Attribute("kind", "categorical", ("a", "b", "c"))])
+        db = Database(schema, [{"kind": "a"}, {"kind": "b"}])
+        universe = [{"kind": k} for k in ("a", "b", "c")]
+        # Each row has 2 differing replacements.
+        assert len(list(enumerate_neighbors(db, universe))) == 4
+
+
+class TestUnitSensitivity:
+    def test_count_query_has_unit_sensitivity(self):
+        db, universe, query = setup()
+        assert verify_unit_sensitivity(query, db, universe)
+
+    def test_catches_non_unit_queries(self):
+        """A doubled 'query' violates the bound and is caught."""
+        db, universe, _ = setup()
+
+        class DoubledCount(CountQuery):
+            def evaluate(self, database):
+                return 2 * super().evaluate(database)
+
+        doubled = DoubledCount(Eq("bit", True))
+        assert not verify_unit_sensitivity(doubled, db, universe)
+
+    def test_categorical_count_query(self):
+        schema = Schema([Attribute("kind", "categorical", ("a", "b", "c"))])
+        db = Database(schema, [{"kind": "a"}, {"kind": "b"}, {"kind": "a"}])
+        universe = [{"kind": k} for k in ("a", "b", "c")]
+        query = CountQuery(Eq("kind", "a"))
+        assert verify_unit_sensitivity(query, db, universe)

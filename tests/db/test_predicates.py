@@ -1,0 +1,97 @@
+"""Tests for the predicate DSL."""
+
+import pytest
+
+from repro.db.predicates import (
+    And,
+    Between,
+    Eq,
+    Ge,
+    In,
+    Le,
+    Not,
+    Or,
+    TruePredicate,
+)
+from repro.exceptions import QueryError
+
+ROW = {"city": "san_diego", "age": 34, "has_flu": True}
+
+
+class TestAtoms:
+    def test_true_predicate(self):
+        assert TruePredicate()(ROW)
+
+    def test_eq(self):
+        assert Eq("city", "san_diego")(ROW)
+        assert not Eq("city", "la")(ROW)
+
+    def test_ge(self):
+        assert Ge("age", 18)(ROW)
+        assert not Ge("age", 35)(ROW)
+
+    def test_le(self):
+        assert Le("age", 34)(ROW)
+        assert not Le("age", 33)(ROW)
+
+    def test_between(self):
+        assert Between("age", 18, 65)(ROW)
+        assert not Between("age", 35, 65)(ROW)
+
+    def test_between_reversed_bounds(self):
+        with pytest.raises(QueryError):
+            Between("age", 65, 18)
+
+    def test_in(self):
+        assert In("city", ["san_diego", "la"])(ROW)
+        assert not In("city", ["la"])(ROW)
+
+    def test_in_requires_values(self):
+        with pytest.raises(QueryError):
+            In("city", [])
+
+    def test_missing_attribute(self):
+        with pytest.raises(QueryError):
+            Eq("weight", 1)(ROW)
+
+
+class TestCombinators:
+    def test_and(self):
+        predicate = And([Eq("city", "san_diego"), Ge("age", 18)])
+        assert predicate(ROW)
+        assert not And([Eq("city", "la"), Ge("age", 18)])(ROW)
+
+    def test_or(self):
+        assert Or([Eq("city", "la"), Eq("has_flu", True)])(ROW)
+        assert not Or([Eq("city", "la"), Eq("has_flu", False)])(ROW)
+
+    def test_not(self):
+        assert Not(Eq("city", "la"))(ROW)
+
+    def test_operator_overloads(self):
+        predicate = Eq("city", "san_diego") & Ge("age", 18)
+        assert predicate(ROW)
+        predicate = Eq("city", "la") | Eq("has_flu", True)
+        assert predicate(ROW)
+        assert (~Eq("city", "la"))(ROW)
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(QueryError):
+            And([])
+        with pytest.raises(QueryError):
+            Or([])
+
+    def test_papers_query_q(self):
+        """Q: adult, resides in San Diego, contracted flu."""
+        q = And(
+            [Eq("city", "san_diego"), Ge("age", 18), Eq("has_flu", True)]
+        )
+        assert q(ROW)
+        assert not q({**ROW, "age": 10})
+        assert not q({**ROW, "has_flu": False})
+
+    def test_describe_renders_tree(self):
+        predicate = And([Eq("a", 1), Not(Ge("b", 2))])
+        text = predicate.describe()
+        assert "AND" in text
+        assert "NOT" in text

@@ -1,0 +1,61 @@
+"""Tests for count queries."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.predicates import Eq, Ge
+from repro.db.queries import CountQuery
+from repro.db.schema import Attribute, Schema
+from repro.exceptions import QueryError
+
+
+def db():
+    schema = Schema(
+        [Attribute("has_flu", "bool"), Attribute("age", "int", (0, 120))]
+    )
+    return Database(
+        schema,
+        [
+            {"has_flu": True, "age": 20},
+            {"has_flu": True, "age": 10},
+            {"has_flu": False, "age": 70},
+        ],
+    )
+
+
+class TestCountQuery:
+    def test_evaluate(self):
+        assert CountQuery(Eq("has_flu", True)).evaluate(db()) == 2
+
+    def test_callable(self):
+        query = CountQuery(Ge("age", 18))
+        assert query(db()) == 2
+
+    def test_conjunction(self):
+        query = CountQuery(Eq("has_flu", True) & Ge("age", 18))
+        assert query(db()) == 1
+
+    def test_requires_predicate(self):
+        with pytest.raises(QueryError):
+            CountQuery(lambda row: True)
+
+    def test_requires_database(self):
+        with pytest.raises(QueryError):
+            CountQuery(Eq("has_flu", True)).evaluate([{"has_flu": True}])
+
+    def test_sensitivity_is_one(self):
+        assert CountQuery.sensitivity() == 1
+
+    def test_result_range(self):
+        query = CountQuery(Eq("has_flu", True))
+        assert list(query.result_range(db())) == [0, 1, 2, 3]
+
+    def test_describe_includes_name(self):
+        query = CountQuery(Eq("has_flu", True), name="flu count")
+        assert "flu count" in query.describe()
+        assert "COUNT WHERE" in query.describe()
+
+    def test_result_in_range(self):
+        database = db()
+        query = CountQuery(Eq("has_flu", True))
+        assert 0 <= query(database) <= database.size

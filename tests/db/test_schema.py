@@ -1,0 +1,108 @@
+"""Tests for schemas and attributes."""
+
+import pytest
+
+from repro.db.schema import Attribute, Schema
+from repro.exceptions import SchemaError
+
+
+class TestAttribute:
+    def test_bool_attribute(self):
+        attr = Attribute("has_flu", "bool")
+        attr.validate(True)
+        with pytest.raises(SchemaError):
+            attr.validate(1)
+
+    def test_int_attribute_with_range(self):
+        attr = Attribute("age", "int", (0, 120))
+        attr.validate(30)
+        with pytest.raises(SchemaError):
+            attr.validate(150)
+        with pytest.raises(SchemaError):
+            attr.validate(True)  # bools are not ints here
+
+    def test_int_attribute_unbounded(self):
+        attr = Attribute("count", "int")
+        attr.validate(-5)
+
+    def test_categorical_attribute(self):
+        attr = Attribute("city", "categorical", ("sd", "la"))
+        attr.validate("sd")
+        with pytest.raises(SchemaError):
+            attr.validate("nyc")
+
+    def test_categorical_requires_domain(self):
+        with pytest.raises(SchemaError):
+            Attribute("city", "categorical")
+
+    def test_bool_rejects_domain(self):
+        with pytest.raises(SchemaError):
+            Attribute("flag", "bool", (True, False))
+
+    def test_bad_kind(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "float")
+
+    def test_bad_int_range(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "int", (5, 1))
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("", "bool")
+
+
+class TestSchema:
+    def make(self):
+        return Schema(
+            [
+                Attribute("city", "categorical", ("sd", "la")),
+                Attribute("age", "int", (0, 120)),
+                Attribute("has_flu", "bool"),
+            ]
+        )
+
+    def test_names(self):
+        assert self.make().names == ("city", "age", "has_flu")
+
+    def test_attribute_lookup(self):
+        schema = self.make()
+        assert schema.attribute("age").kind == "int"
+        assert "age" in schema
+        assert "weight" not in schema
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            self.make().attribute("weight")
+
+    def test_validate_row_ok(self):
+        self.make().validate_row(
+            {"city": "sd", "age": 40, "has_flu": False}
+        )
+
+    def test_validate_row_missing(self):
+        with pytest.raises(SchemaError, match="missing"):
+            self.make().validate_row({"city": "sd", "age": 40})
+
+    def test_validate_row_extra(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            self.make().validate_row(
+                {"city": "sd", "age": 40, "has_flu": False, "x": 1}
+            )
+
+    def test_validate_row_bad_value(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_row(
+                {"city": "nyc", "age": 40, "has_flu": False}
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("a", "bool"), Attribute("a", "bool")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_equality(self):
+        assert self.make() == self.make()

@@ -1,0 +1,55 @@
+"""Integration: CSV ingest -> private release -> ledger -> audit."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.db.generators import FLU_SCHEMA, flu_population, flu_query
+from repro.db.io import database_from_csv, database_to_csv
+from repro.release.audit import empirical_alpha
+from repro.release.ledger import BudgetExceededError, PrivacyLedger
+from repro.release.publisher import Publisher
+
+
+class TestCsvToReleasePipeline:
+    def test_full_pipeline(self, rng):
+        # 1. Survey data arrives as CSV.
+        original = flu_population(8, 99)
+        csv_text = database_to_csv(original)
+
+        # 2. Ingest with schema validation.
+        database = database_from_csv(csv_text, FLU_SCHEMA)
+        assert database.size == original.size
+
+        # 3. Publish under a budget.
+        ledger = PrivacyLedger(floor=Fraction(1, 8))
+        publisher = Publisher(database, Fraction(1, 2))
+        query = flu_query()
+
+        for _ in range(3):
+            assert ledger.can_afford(Fraction(1, 2))
+            statistic = publisher.publish(query, rng)
+            ledger.charge(Fraction(1, 2), label=statistic.query_description)
+            assert 0 <= statistic.value <= database.size
+
+        # 4. The fourth release would cross the floor.
+        assert ledger.cumulative_alpha == Fraction(1, 8)
+        with pytest.raises(BudgetExceededError):
+            ledger.charge(Fraction(1, 2), label="one too many")
+
+        # 5. Audit the deployed mechanism empirically. At n=8 the
+        # boundary cells have mass ~alpha^8, so the ratio estimates
+        # need both more samples and a looser consistency slack.
+        report = empirical_alpha(
+            publisher.mechanism, 30000, rng, slack=0.15
+        )
+        assert report.exact_alpha == Fraction(1, 2)
+        assert report.consistent
+
+    def test_csv_round_trip_preserves_query_results(self):
+        original = flu_population(20, 5)
+        reparsed = database_from_csv(
+            database_to_csv(original), FLU_SCHEMA
+        )
+        query = flu_query()
+        assert query(reparsed) == query(original)

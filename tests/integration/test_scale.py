@@ -1,0 +1,54 @@
+"""Integration at survey scale: the float pipeline for large n.
+
+The exact simplex reproduces the paper's tables at small n; real surveys
+have hundreds of rows. These tests exercise the HiGHS path at n = 40-60
+and check that Theorem 1 continues to hold to solver precision.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.geometric import GeometricMechanism
+from repro.core.interaction import optimal_interaction
+from repro.core.optimal import optimal_mechanism
+from repro.core.privacy import is_differentially_private, tightest_alpha
+from repro.losses import AbsoluteLoss, SquaredLoss
+
+
+class TestLargeN:
+    @pytest.mark.parametrize("n", [40, 60])
+    def test_universality_at_scale(self, n):
+        alpha = 0.5
+        bespoke = optimal_mechanism(n, alpha, AbsoluteLoss(), exact=False)
+        interaction = optimal_interaction(
+            GeometricMechanism(n, alpha), AbsoluteLoss(), exact=False
+        )
+        assert interaction.loss == pytest.approx(bespoke.loss, abs=1e-5)
+
+    def test_side_information_at_scale(self):
+        n, alpha = 50, 0.4
+        side = set(range(20, 31))
+        bespoke = optimal_mechanism(
+            n, alpha, SquaredLoss(), side, exact=False
+        )
+        interaction = optimal_interaction(
+            GeometricMechanism(n, alpha), SquaredLoss(), side, exact=False
+        )
+        assert interaction.loss == pytest.approx(bespoke.loss, abs=1e-4)
+        assert is_differentially_private(
+            bespoke.mechanism, alpha, atol=1e-7
+        )
+
+    def test_geometric_properties_at_scale(self):
+        n, alpha = 100, 0.3
+        g = GeometricMechanism(n, alpha)
+        assert tightest_alpha(g) == pytest.approx(alpha)
+        sums = np.asarray(g.matrix, dtype=float).sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_interaction_loss_bounded_by_face_value_at_scale(self):
+        n, alpha = 40, 0.6
+        g = GeometricMechanism(n, alpha)
+        face_value = float(g.worst_case_loss(AbsoluteLoss()))
+        interaction = optimal_interaction(g, AbsoluteLoss(), exact=False)
+        assert interaction.loss <= face_value + 1e-9

@@ -1,0 +1,121 @@
+"""Integration tests for Theorem 1 — both claims, end to end."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.agents.minimax import MinimaxAgent
+from repro.agents.side_information import SideInformation
+from repro.core.geometric import GeometricMechanism
+from repro.core.multilevel import MultiLevelRelease
+from repro.losses import (
+    AbsoluteLoss,
+    CappedLoss,
+    ScaledLoss,
+    SquaredLoss,
+    ThresholdLoss,
+    ZeroOneLoss,
+)
+
+ALPHAS = [Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)]
+LOSSES = [
+    AbsoluteLoss(),
+    SquaredLoss(),
+    ZeroOneLoss(),
+    CappedLoss(AbsoluteLoss(), 2),
+    ScaledLoss(SquaredLoss(), Fraction(1, 2)),
+    ThresholdLoss(1),
+]
+SIDE_INFOS = [None, {0, 1}, {2, 3}, {0, 3}, {1, 2, 3}]
+
+
+class TestSimultaneousUtilityMaximization:
+    """Part 2: one deployed G serves every consumer optimally."""
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    @pytest.mark.parametrize("loss", LOSSES, ids=lambda l: l.describe())
+    def test_across_losses(self, alpha, loss):
+        agent = MinimaxAgent(loss, None, n=3)
+        deployed = GeometricMechanism(3, alpha)
+        interaction = agent.best_interaction(deployed, exact=True)
+        bespoke = agent.bespoke_mechanism(alpha, exact=True)
+        assert interaction.loss == bespoke.loss
+
+    @pytest.mark.parametrize("side", SIDE_INFOS, ids=str)
+    def test_across_side_information(self, side):
+        alpha = Fraction(1, 2)
+        agent = MinimaxAgent(AbsoluteLoss(), side, n=3)
+        deployed = GeometricMechanism(3, alpha)
+        interaction = agent.best_interaction(deployed, exact=True)
+        bespoke = agent.bespoke_mechanism(alpha, exact=True)
+        assert interaction.loss == bespoke.loss
+
+    def test_one_deployment_many_consumers(self):
+        """The non-interactive story: publish once, each consumer's own
+        post-processing recovers its personal optimum."""
+        alpha = Fraction(1, 2)
+        deployed = GeometricMechanism(3, alpha)
+        consumers = [
+            MinimaxAgent(AbsoluteLoss(), None, n=3, name="government"),
+            MinimaxAgent(
+                SquaredLoss(),
+                SideInformation.at_least(1, n=3),
+                n=3,
+                name="drug-company",
+            ),
+            MinimaxAgent(
+                ZeroOneLoss(),
+                SideInformation.at_most(2, n=3),
+                n=3,
+                name="journalist",
+            ),
+        ]
+        for agent in consumers:
+            interaction = agent.best_interaction(deployed, exact=True)
+            bespoke = agent.bespoke_mechanism(alpha, exact=True)
+            assert interaction.loss == bespoke.loss, agent.name
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 5])
+    def test_across_database_sizes(self, n):
+        alpha = Fraction(1, 3)
+        agent = MinimaxAgent(AbsoluteLoss(), None, n=n)
+        deployed = GeometricMechanism(n, alpha)
+        interaction = agent.best_interaction(deployed, exact=True)
+        bespoke = agent.bespoke_mechanism(alpha, exact=True)
+        assert interaction.loss == bespoke.loss
+
+    def test_float_pipeline_matches_exact(self):
+        agent = MinimaxAgent(SquaredLoss(), {1, 2}, n=4)
+        exact_g = GeometricMechanism(4, Fraction(1, 2))
+        float_g = GeometricMechanism(4, 0.5)
+        exact_loss = agent.best_interaction(exact_g, exact=True).loss
+        float_loss = agent.best_interaction(float_g, exact=False).loss
+        assert float(exact_loss) == pytest.approx(float_loss, abs=1e-7)
+
+
+class TestCollusionResistantRelease:
+    """Part 1: the multi-level release leaks nothing beyond alpha_min."""
+
+    def test_release_then_interact(self, rng):
+        """Full pipeline: Algorithm 1 release + per-tier rational use."""
+        release = MultiLevelRelease(3, ALPHAS)
+        agent = MinimaxAgent(AbsoluteLoss(), {1, 2, 3}, n=3)
+        for level, alpha in enumerate(ALPHAS):
+            deployed = release.mechanism(level)
+            interaction = agent.best_interaction(deployed, exact=True)
+            bespoke = agent.bespoke_mechanism(alpha, exact=True)
+            assert interaction.loss == bespoke.loss
+
+    def test_both_theorem_parts_together(self):
+        """Theorem 1 verbatim: k consumers, k levels, one chain."""
+        release = MultiLevelRelease(2, [Fraction(1, 4), Fraction(1, 2)])
+        # Part 1: every coalition bounded by its least-private member.
+        assert all(c.holds for c in release.verify_all_coalitions())
+        # Part 2: each consumer's interaction with its own tier is optimal.
+        for level, alpha in enumerate(release.alphas):
+            agent = MinimaxAgent(SquaredLoss(), None, n=2)
+            interaction = agent.best_interaction(
+                release.mechanism(level), exact=True
+            )
+            bespoke = agent.bespoke_mechanism(alpha, exact=True)
+            assert interaction.loss == bespoke.loss

@@ -1,0 +1,113 @@
+"""Integration tests for Theorem 2 and its Lemma 2 machinery.
+
+These tests tie the three implementations of derivability together:
+(1) the closed-form stencil factor, (2) explicit exact inversion via
+Cramer's rule (the paper's proof route), and (3) the entrywise
+three-entry conditions.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.characterization import replaced_column_determinant
+from repro.core.derivability import check_derivability, derivation_factor
+from repro.core.geometric import GeometricMechanism, column_scaling, gprime_matrix
+from repro.core.optimal import optimal_mechanism
+from repro.linalg.rational import RationalMatrix
+from repro.linalg.stochastic import random_stochastic_matrix
+from repro.losses import AbsoluteLoss, SquaredLoss, ZeroOneLoss
+
+
+class TestCramerRoute:
+    """Reproduce the paper's proof computation directly."""
+
+    @pytest.mark.parametrize("alpha", [Fraction(1, 4), Fraction(1, 2)])
+    def test_factor_entries_via_cramers_rule(self, alpha, rng):
+        """t[i,j] = det G'(i, m'_j) / det G' with the column scaling of
+        Table 2 — exactly the quantity Lemma 2 evaluates."""
+        n = 3
+        size = n + 1
+        target = random_stochastic_matrix(size, rng=rng, exact=True)
+        factor = derivation_factor(target, alpha)
+
+        gp = gprime_matrix(n, alpha)
+        det_gp = gp.determinant()
+        scaling = column_scaling(n, alpha)
+        for j in range(size):
+            column = [target[i, j] for i in range(size)]
+            for i in range(size):
+                # T = D^{-1} G'^{-1} M  =>  row scaling by 1/c_i.
+                cramer = (
+                    replaced_column_determinant(size, alpha, i, column)
+                    / det_gp
+                    / scaling[i]
+                )
+                assert factor[i, j] == cramer
+
+    def test_paper_proof_chain_on_appendix_b(self):
+        """The explicit G^{-1} M computation the appendix suggests."""
+        from repro.core.counterexample import appendix_b_mechanism
+
+        alpha = Fraction(1, 2)
+        g = GeometricMechanism(3, alpha).to_rational_matrix()
+        m = appendix_b_mechanism().to_rational_matrix()
+        explicit = g.inverse() @ m
+        stencil = derivation_factor(appendix_b_mechanism(), alpha)
+        assert (stencil == explicit.to_numpy()).all()
+        # Negative entry in column 1 — the non-derivability witness.
+        assert any(explicit[i, 1] < 0 for i in range(4))
+
+
+class TestOptimalMechanismsAreDerivable:
+    """Theorem 1's proof core: LP optima pass Theorem 2's test."""
+
+    @pytest.mark.parametrize(
+        "loss", [AbsoluteLoss(), SquaredLoss(), ZeroOneLoss()],
+        ids=lambda l: l.describe(),
+    )
+    @pytest.mark.parametrize("alpha", [Fraction(1, 4), Fraction(1, 2)])
+    def test_refined_optimum_derivable(self, loss, alpha):
+        result = optimal_mechanism(3, alpha, loss, exact=True, refine=True)
+        report = check_derivability(result.mechanism, alpha)
+        assert report.derivable
+
+    @pytest.mark.parametrize("side", [None, {0, 1}, {1, 2, 3}], ids=str)
+    def test_refined_optimum_derivable_with_side_info(self, side):
+        alpha = Fraction(1, 2)
+        result = optimal_mechanism(
+            3, alpha, AbsoluteLoss(), side, exact=True, refine=True
+        )
+        assert check_derivability(result.mechanism, alpha).derivable
+
+    def test_factorization_reconstructs_optimum(self):
+        """optimal == G @ T for the extracted T (Table 1's identity)."""
+        alpha = Fraction(1, 4)
+        result = optimal_mechanism(3, alpha, AbsoluteLoss(), exact=True)
+        factor = derivation_factor(result.mechanism, alpha)
+        g = GeometricMechanism(3, alpha)
+        product = np.dot(g.matrix, factor)
+        assert (product == result.mechanism.matrix).all()
+
+
+class TestNonDerivablePrivateMechanismsExist:
+    """Section 4.2's remark: DP does not imply derivability."""
+
+    def test_explicit_family(self):
+        """Scaling Appendix B's idea: mechanisms with an interior row
+        dipping below the three-entry bound stay DP but not derivable."""
+        alpha = Fraction(1, 2)
+        from repro.core.privacy import is_differentially_private
+
+        matrix = np.array(
+            [
+                [Fraction(1, 9), Fraction(2, 9), Fraction(4, 9), Fraction(2, 9)],
+                [Fraction(2, 9), Fraction(1, 9), Fraction(2, 9), Fraction(4, 9)],
+                [Fraction(4, 9), Fraction(2, 9), Fraction(1, 9), Fraction(2, 9)],
+                [Fraction(13, 18), Fraction(1, 9), Fraction(1, 18), Fraction(1, 9)],
+            ],
+            dtype=object,
+        )
+        assert is_differentially_private(matrix, alpha)
+        assert not check_derivability(matrix, alpha).derivable

@@ -1,0 +1,227 @@
+"""Tests for exact rational matrices."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.rational import RationalMatrix
+
+
+class TestConstruction:
+    def test_from_nested_lists(self):
+        m = RationalMatrix([[1, 2], [3, 4]])
+        assert m.shape == (2, 2)
+        assert m[0, 1] == Fraction(2)
+
+    def test_entries_become_fractions(self):
+        m = RationalMatrix([[Fraction(1, 3), 1]])
+        assert isinstance(m[0, 0], Fraction)
+        assert isinstance(m[0, 1], Fraction)
+
+    def test_exact_float_accepted(self):
+        m = RationalMatrix([[0.5, 0.25]])
+        assert m[0, 0] == Fraction(1, 2)
+
+    def test_inexact_float_rejected(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([[0.1]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([[1, 2], [3]])
+
+    def test_identity(self):
+        eye = RationalMatrix.identity(3)
+        assert eye.is_identity()
+        assert eye.shape == (3, 3)
+
+    def test_identity_bad_size(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix.identity(0)
+
+    def test_zeros(self):
+        z = RationalMatrix.zeros(2, 3)
+        assert z.shape == (2, 3)
+        assert all(entry == 0 for row in z.rows() for entry in row)
+
+    def test_diagonal(self):
+        d = RationalMatrix.diagonal([1, Fraction(1, 2)])
+        assert d[0, 0] == 1
+        assert d[1, 1] == Fraction(1, 2)
+        assert d[0, 1] == 0
+
+    def test_from_numpy(self):
+        m = RationalMatrix.from_numpy(np.array([[1, 2], [3, 4]]))
+        assert m[1, 0] == 3
+
+    def test_from_numpy_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix.from_numpy(np.array([1, 2]))
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = RationalMatrix([[1, 2], [3, 4]])
+        b = RationalMatrix([[1, 1], [1, 1]])
+        assert (a + b)[1, 1] == 5
+
+    def test_sub(self):
+        a = RationalMatrix([[1, 2], [3, 4]])
+        assert (a - a).is_nonnegative()
+        assert (a - a)[0, 0] == 0
+
+    def test_shape_mismatch(self):
+        a = RationalMatrix([[1, 2]])
+        b = RationalMatrix([[1], [2]])
+        with pytest.raises(ValidationError):
+            a + b
+
+    def test_scale(self):
+        m = RationalMatrix([[1, 2]]).scale(Fraction(1, 2))
+        assert m[0, 1] == 1
+
+    def test_scale_column(self):
+        m = RationalMatrix([[1, 2], [3, 4]]).scale_column(1, 10)
+        assert m[0, 1] == 20
+        assert m[0, 0] == 1
+
+    def test_matmul_identity(self):
+        m = RationalMatrix([[1, 2], [3, 4]])
+        assert m @ RationalMatrix.identity(2) == m
+
+    def test_matmul_known_product(self):
+        a = RationalMatrix([[1, 2], [3, 4]])
+        b = RationalMatrix([[0, 1], [1, 0]])
+        assert (a @ b).rows() == ((2, 1), (4, 3))
+
+    def test_matmul_shape_error(self):
+        a = RationalMatrix([[1, 2]])
+        with pytest.raises(ValidationError):
+            a @ a
+
+    def test_matvec(self):
+        m = RationalMatrix([[1, 2], [3, 4]])
+        assert m.matvec([1, 1]) == (3, 7)
+
+    def test_matvec_length_error(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([[1, 2]]).matvec([1])
+
+    def test_transpose(self):
+        m = RationalMatrix([[1, 2], [3, 4]])
+        assert m.transpose()[0, 1] == 3
+
+    def test_transpose_involution(self):
+        m = RationalMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.transpose().transpose() == m
+
+
+class TestElimination:
+    def test_determinant_2x2(self):
+        m = RationalMatrix([[1, 2], [3, 4]])
+        assert m.determinant() == -2
+
+    def test_determinant_singular(self):
+        m = RationalMatrix([[1, 2], [2, 4]])
+        assert m.determinant() == 0
+
+    def test_determinant_requires_square(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([[1, 2]]).determinant()
+
+    def test_determinant_permutation_sign(self):
+        m = RationalMatrix([[0, 1], [1, 0]])
+        assert m.determinant() == -1
+
+    def test_determinant_exact_fractions(self):
+        m = RationalMatrix(
+            [[Fraction(1, 3), Fraction(1, 7)], [Fraction(1, 11), Fraction(1, 13)]]
+        )
+        expected = Fraction(1, 3) * Fraction(1, 13) - Fraction(1, 7) * Fraction(
+            1, 11
+        )
+        assert m.determinant() == expected
+
+    def test_inverse_round_trip(self):
+        m = RationalMatrix([[2, 1], [1, 1]])
+        assert (m @ m.inverse()).is_identity()
+        assert (m.inverse() @ m).is_identity()
+
+    def test_inverse_singular_raises(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([[1, 1], [1, 1]]).inverse()
+
+    def test_inverse_requires_square(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([[1, 2]]).inverse()
+
+    def test_solve(self):
+        m = RationalMatrix([[2, 0], [0, 4]])
+        assert m.solve([1, 1]) == (Fraction(1, 2), Fraction(1, 4))
+
+    def test_solve_matches_inverse(self):
+        m = RationalMatrix([[3, 1], [1, 2]])
+        rhs = [5, 5]
+        by_solve = m.solve(rhs)
+        by_inverse = m.inverse().matvec(rhs)
+        assert by_solve == by_inverse
+
+    def test_solve_singular_raises(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([[1, 1], [1, 1]]).solve([1, 2])
+
+    def test_solve_wrong_length(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([[1, 0], [0, 1]]).solve([1])
+
+    def test_replace_column(self):
+        m = RationalMatrix([[1, 2], [3, 4]])
+        replaced = m.replace_column(0, [9, 9])
+        assert replaced.column(0) == (9, 9)
+        assert replaced.column(1) == (2, 4)
+
+    def test_replace_column_length_error(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([[1, 2], [3, 4]]).replace_column(0, [1])
+
+    def test_cramer_consistency(self):
+        """Cramer's rule: solve == det(G(i, b))/det(G) per coordinate."""
+        g = RationalMatrix([[2, 1, 0], [1, 3, 1], [0, 1, 4]])
+        rhs = [1, 2, 3]
+        solution = g.solve(rhs)
+        det = g.determinant()
+        for i in range(3):
+            assert solution[i] == g.replace_column(i, rhs).determinant() / det
+
+
+class TestConversions:
+    def test_row_sums(self):
+        m = RationalMatrix([[Fraction(1, 2), Fraction(1, 2)], [1, 0]])
+        assert m.row_sums() == (1, 1)
+
+    def test_to_numpy_object(self):
+        arr = RationalMatrix([[Fraction(1, 3)]]).to_numpy()
+        assert arr.dtype == object
+        assert arr[0, 0] == Fraction(1, 3)
+
+    def test_to_float(self):
+        arr = RationalMatrix([[Fraction(1, 4)]]).to_float()
+        assert arr[0, 0] == 0.25
+
+    def test_equality_and_hash(self):
+        a = RationalMatrix([[1, 2]])
+        b = RationalMatrix([[1, 2]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert RationalMatrix([[1]]) != RationalMatrix([[2]])
+
+    def test_repr_contains_entries(self):
+        assert "1/2" in repr(RationalMatrix([[Fraction(1, 2)]]))

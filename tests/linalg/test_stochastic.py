@@ -1,0 +1,106 @@
+"""Tests for stochastic-matrix utilities, incl. the Poole group fact."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.rational import RationalMatrix
+from repro.linalg.stochastic import (
+    is_generalized_stochastic,
+    is_row_stochastic,
+    random_stochastic_matrix,
+    row_sums,
+)
+
+
+class TestPredicates:
+    def test_row_stochastic_float(self):
+        m = np.array([[0.5, 0.5], [0.2, 0.8]])
+        assert is_row_stochastic(m)
+
+    def test_row_stochastic_exact(self):
+        m = RationalMatrix([[Fraction(1, 2), Fraction(1, 2)], [0, 1]])
+        assert is_row_stochastic(m)
+
+    def test_negative_entry_fails_stochastic(self):
+        m = np.array([[1.5, -0.5], [0.5, 0.5]])
+        assert not is_row_stochastic(m)
+        assert is_generalized_stochastic(m)
+
+    def test_bad_row_sum_fails_both(self):
+        m = np.array([[0.5, 0.4], [0.5, 0.5]])
+        assert not is_row_stochastic(m)
+        assert not is_generalized_stochastic(m)
+
+    def test_generalized_exact(self):
+        m = RationalMatrix([[2, -1], [Fraction(3, 2), Fraction(-1, 2)]])
+        assert is_generalized_stochastic(m)
+        assert not is_row_stochastic(m)
+
+    def test_non_2d_rejected(self):
+        assert not is_row_stochastic(np.array([0.5, 0.5]))
+
+    def test_row_sums_exact(self):
+        m = RationalMatrix([[Fraction(1, 3), Fraction(2, 3)]])
+        assert row_sums(m) == [1]
+
+    def test_row_sums_float(self):
+        sums = row_sums(np.array([[0.25, 0.75], [1.0, 0.0]]))
+        assert sums == [1.0, 1.0]
+
+    def test_row_sums_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            row_sums(np.array([1.0]))
+
+
+class TestStochasticGroup:
+    """The Poole (1995) facts Lemma 1 relies on."""
+
+    def test_product_of_generalized_stochastic_is_generalized(self):
+        a = RationalMatrix([[2, -1], [Fraction(1, 2), Fraction(1, 2)]])
+        b = RationalMatrix([[0, 1], [3, -2]])
+        assert is_generalized_stochastic(a)
+        assert is_generalized_stochastic(b)
+        assert is_generalized_stochastic(a @ b)
+
+    def test_inverse_of_generalized_stochastic_is_generalized(self):
+        a = RationalMatrix([[2, -1], [Fraction(1, 2), Fraction(1, 2)]])
+        assert is_generalized_stochastic(a.inverse())
+
+    def test_geometric_inverse_is_generalized_stochastic(self, g3_quarter):
+        inverse = g3_quarter.to_rational_matrix().inverse()
+        assert is_generalized_stochastic(inverse)
+        assert not is_row_stochastic(inverse)
+
+
+class TestRandomStochastic:
+    def test_float_is_stochastic(self, rng):
+        m = random_stochastic_matrix(5, rng=rng)
+        assert m.shape == (5, 5)
+        assert is_row_stochastic(m)
+
+    def test_exact_is_stochastic(self, rng):
+        m = random_stochastic_matrix(4, rng=rng, exact=True)
+        assert m.dtype == object
+        assert is_row_stochastic(m)
+        assert all(isinstance(entry, Fraction) for entry in m.flat)
+
+    def test_exact_rows_sum_exactly_one(self, rng):
+        m = random_stochastic_matrix(3, rng=rng, exact=True)
+        for row in m:
+            assert sum(row.tolist()) == 1
+
+    def test_deterministic_with_seed(self):
+        a = random_stochastic_matrix(3, rng=np.random.default_rng(1))
+        b = random_stochastic_matrix(3, rng=np.random.default_rng(1))
+        assert np.allclose(a, b)
+
+    def test_bad_size(self):
+        with pytest.raises(ValidationError):
+            random_stochastic_matrix(0)
+
+    def test_bad_resolution(self):
+        with pytest.raises(ValidationError):
+            random_stochastic_matrix(10, exact=True, resolution=5)

@@ -1,0 +1,122 @@
+"""Tests for the KMS (G') matrix closed forms — Lemma 1 machinery."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.rational import RationalMatrix
+from repro.linalg.toeplitz import (
+    kms_determinant,
+    kms_inverse,
+    kms_matrix,
+    tridiagonal_premultiply,
+)
+
+ALPHAS = [Fraction(1, 5), Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)]
+SIZES = [2, 3, 4, 5, 6]
+
+
+class TestKmsMatrix:
+    def test_entries_are_powers(self):
+        k = kms_matrix(4, Fraction(1, 2))
+        for i in range(4):
+            for j in range(4):
+                assert k[i, j] == Fraction(1, 2) ** abs(i - j)
+
+    def test_symmetric(self):
+        k = kms_matrix(5, Fraction(1, 3))
+        assert k == k.transpose()
+
+    def test_unit_diagonal(self):
+        k = kms_matrix(3, Fraction(2, 5))
+        assert all(k[i, i] == 1 for i in range(3))
+
+    def test_size_one(self):
+        assert kms_matrix(1, Fraction(1, 2)).rows() == ((1,),)
+
+    def test_bad_size(self):
+        with pytest.raises(ValidationError):
+            kms_matrix(0, Fraction(1, 2))
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            kms_matrix(3, Fraction(3, 2))
+
+
+class TestDeterminant:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_closed_form_matches_elimination(self, size, alpha):
+        """Lemma 1: det G' = (1 - alpha^2)^(m-1), verified exactly."""
+        assert kms_matrix(size, alpha).determinant() == kms_determinant(
+            size, alpha
+        )
+
+    def test_positive(self):
+        for alpha in ALPHAS:
+            assert kms_determinant(4, alpha) > 0
+
+    def test_size_one_is_one(self):
+        assert kms_determinant(1, Fraction(1, 2)) == 1
+
+    def test_formula_value(self):
+        # (1 - 1/4)^2 = 9/16 for size 3, alpha = 1/2.
+        assert kms_determinant(3, Fraction(1, 2)) == Fraction(9, 16)
+
+
+class TestInverse:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_closed_form_is_inverse(self, size, alpha):
+        k = kms_matrix(size, alpha)
+        assert (k @ kms_inverse(size, alpha)).is_identity()
+
+    def test_tridiagonal_shape(self):
+        inv = kms_inverse(5, Fraction(1, 3))
+        for i in range(5):
+            for j in range(5):
+                if abs(i - j) > 1:
+                    assert inv[i, j] == 0
+
+    def test_corner_entries(self):
+        alpha = Fraction(1, 2)
+        inv = kms_inverse(4, alpha)
+        scale = 1 / (1 - alpha**2)
+        assert inv[0, 0] == scale
+        assert inv[3, 3] == scale
+        assert inv[1, 1] == (1 + alpha**2) * scale
+        assert inv[0, 1] == -alpha * scale
+
+    def test_size_one(self):
+        assert kms_inverse(1, Fraction(1, 2)).is_identity()
+
+
+class TestTridiagonalPremultiply:
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_matches_explicit_inverse_exact(self, alpha):
+        size = 4
+        matrix = RationalMatrix(
+            [[Fraction(i + j + 1, 7) for j in range(size)] for i in range(size)]
+        )
+        expected = kms_inverse(size, alpha) @ matrix
+        got = tridiagonal_premultiply(alpha, matrix.to_numpy())
+        assert (got == expected.to_numpy()).all()
+
+    def test_matches_explicit_inverse_float(self, rng):
+        size = 5
+        alpha = 0.37
+        matrix = rng.random((size, size))
+        inv = kms_inverse(size, Fraction(37, 100)).to_float()
+        expected = inv @ matrix
+        got = tridiagonal_premultiply(alpha, matrix)
+        assert np.allclose(got, expected, atol=1e-12)
+
+    def test_size_one_identity(self):
+        matrix = np.array([[2.0]])
+        assert tridiagonal_premultiply(0.5, matrix)[0, 0] == 2.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            tridiagonal_premultiply(0.5, np.array([1.0, 2.0]))

@@ -1,0 +1,81 @@
+"""Tests for the loss-function base class and monotonicity validation."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LossFunctionError
+from repro.losses.base import check_monotone, loss_matrix
+from repro.losses.standard import AbsoluteLoss, SquaredLoss, ZeroOneLoss
+
+
+class TestMatrixConstruction:
+    def test_matrix_shape(self):
+        assert AbsoluteLoss().matrix(4).shape == (5, 5)
+
+    def test_matrix_entries(self):
+        table = SquaredLoss().matrix(3)
+        assert table[0, 3] == 9
+        assert table[2, 2] == 0
+
+    def test_callable_protocol(self):
+        loss = AbsoluteLoss()
+        assert loss(1, 4) == loss.loss(1, 4) == 3
+
+    def test_loss_matrix_passthrough(self):
+        explicit = np.zeros((3, 3), dtype=object)
+        got = loss_matrix(explicit, 2)
+        assert got.shape == (3, 3)
+
+    def test_loss_matrix_wrong_shape(self):
+        with pytest.raises(LossFunctionError):
+            loss_matrix(np.zeros((2, 2)), 3)
+
+    def test_loss_matrix_from_function(self):
+        got = loss_matrix(ZeroOneLoss(), 2)
+        assert got[0, 0] == 0
+        assert got[0, 1] == 1
+
+
+class TestMonotonicityValidation:
+    @pytest.mark.parametrize(
+        "loss", [AbsoluteLoss(), SquaredLoss(), ZeroOneLoss()]
+    )
+    def test_standard_losses_pass(self, loss):
+        check_monotone(loss, 5)
+
+    def test_decreasing_in_distance_fails(self):
+        table = np.array(
+            [[0, 2, 1], [2, 0, 2], [1, 2, 0]], dtype=object
+        )
+        with pytest.raises(LossFunctionError, match="monotone"):
+            check_monotone(table, 2)
+
+    def test_negative_loss_fails(self):
+        table = np.array(
+            [[0, -1, 2], [1, 0, 1], [2, 1, 0]], dtype=object
+        )
+        with pytest.raises(LossFunctionError, match="non-negative"):
+            check_monotone(table, 2)
+
+    def test_asymmetric_distance_fails_by_default(self):
+        # l(1, 0) != l(1, 2): same distance, different loss.
+        table = np.array(
+            [[0, 1, 2], [5, 0, 1], [2, 1, 0]], dtype=object
+        )
+        with pytest.raises(LossFunctionError, match="through"):
+            check_monotone(table, 2)
+
+    def test_asymmetric_allowed_when_symmetry_not_required(self):
+        table = np.array(
+            [[0, 1, 2], [5, 0, 1], [2, 1, 0]], dtype=object
+        )
+        check_monotone(table, 2, require_distance_symmetry=False)
+
+    def test_constant_loss_is_monotone(self):
+        table = np.full((3, 3), Fraction(2), dtype=object)
+        check_monotone(table, 2)
+
+    def test_describe_default(self):
+        assert "AbsoluteLoss" in AbsoluteLoss().describe()

@@ -1,0 +1,120 @@
+"""Tests for loss combinators and their monotonicity preservation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import LossFunctionError
+from repro.losses.base import check_monotone
+from repro.losses.composite import (
+    CappedLoss,
+    MaxLoss,
+    ScaledLoss,
+    ShiftedLoss,
+    SumLoss,
+    ThresholdLoss,
+)
+from repro.losses.standard import AbsoluteLoss, SquaredLoss, ZeroOneLoss
+
+
+class TestScaledLoss:
+    def test_values(self):
+        loss = ScaledLoss(AbsoluteLoss(), Fraction(1, 2))
+        assert loss(0, 4) == 2
+
+    def test_zero_factor_allowed(self):
+        assert ScaledLoss(AbsoluteLoss(), 0)(0, 9) == 0
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(LossFunctionError):
+            ScaledLoss(AbsoluteLoss(), -1)
+
+    def test_non_loss_base_rejected(self):
+        with pytest.raises(LossFunctionError):
+            ScaledLoss(lambda i, r: 0, 1)
+
+    def test_monotone(self):
+        check_monotone(ScaledLoss(SquaredLoss(), 3), 5)
+
+
+class TestShiftedLoss:
+    def test_values(self):
+        loss = ShiftedLoss(ZeroOneLoss(), 2)
+        assert loss(1, 1) == 2
+        assert loss(1, 2) == 3
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(LossFunctionError):
+            ShiftedLoss(ZeroOneLoss(), -1)
+
+    def test_monotone(self):
+        check_monotone(ShiftedLoss(AbsoluteLoss(), 1), 4)
+
+
+class TestCappedLoss:
+    def test_saturates(self):
+        loss = CappedLoss(SquaredLoss(), 4)
+        assert loss(0, 1) == 1
+        assert loss(0, 2) == 4
+        assert loss(0, 5) == 4
+
+    def test_monotone(self):
+        check_monotone(CappedLoss(AbsoluteLoss(), 2), 6)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(LossFunctionError):
+            CappedLoss(AbsoluteLoss(), -3)
+
+
+class TestMaxAndSum:
+    def test_max_values(self):
+        loss = MaxLoss([AbsoluteLoss(), ScaledLoss(ZeroOneLoss(), 3)])
+        assert loss(0, 1) == 3
+        assert loss(0, 5) == 5
+        assert loss(2, 2) == 0
+
+    def test_sum_values(self):
+        loss = SumLoss([AbsoluteLoss(), SquaredLoss()])
+        assert loss(0, 3) == 12
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(LossFunctionError):
+            MaxLoss([])
+        with pytest.raises(LossFunctionError):
+            SumLoss([])
+
+    def test_monotone_combinations(self):
+        check_monotone(MaxLoss([AbsoluteLoss(), SquaredLoss()]), 5)
+        check_monotone(SumLoss([AbsoluteLoss(), ZeroOneLoss()]), 5)
+
+    def test_describe(self):
+        assert "max(" in MaxLoss([AbsoluteLoss()]).describe()
+
+
+class TestThresholdLoss:
+    def test_zero_within_tolerance(self):
+        loss = ThresholdLoss(2)
+        assert loss(5, 5) == 0
+        assert loss(5, 7) == 0
+        assert loss(5, 8) == 1
+
+    def test_custom_penalty(self):
+        loss = ThresholdLoss(0, penalty=Fraction(7, 2))
+        assert loss(0, 1) == Fraction(7, 2)
+
+    def test_tolerance_zero_is_zero_one(self):
+        threshold, zero_one = ThresholdLoss(0), ZeroOneLoss()
+        for i in range(4):
+            for r in range(4):
+                assert threshold(i, r) == zero_one(i, r)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(LossFunctionError):
+            ThresholdLoss(-1)
+
+    def test_non_integer_tolerance_rejected(self):
+        with pytest.raises(LossFunctionError):
+            ThresholdLoss(1.5)
+
+    def test_monotone(self):
+        check_monotone(ThresholdLoss(1, penalty=5), 6)

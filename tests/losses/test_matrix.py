@@ -1,0 +1,71 @@
+"""Tests for tabular losses."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LossFunctionError
+from repro.losses.matrix import TabularLoss
+from repro.losses.standard import AbsoluteLoss
+
+
+class TestTabularLoss:
+    def test_round_trip_from_standard(self):
+        table = AbsoluteLoss().matrix(3)
+        loss = TabularLoss(table)
+        for i in range(4):
+            for r in range(4):
+                assert loss(i, r) == abs(i - r)
+
+    def test_matrix_returns_copy(self):
+        loss = TabularLoss(AbsoluteLoss().matrix(2))
+        got = loss.matrix(2)
+        got[0, 0] = 99
+        assert loss(0, 0) == 0
+
+    def test_matrix_wrong_n_rejected(self):
+        loss = TabularLoss(AbsoluteLoss().matrix(2))
+        with pytest.raises(LossFunctionError):
+            loss.matrix(3)
+
+    def test_out_of_range_arguments(self):
+        loss = TabularLoss(AbsoluteLoss().matrix(2))
+        with pytest.raises(LossFunctionError):
+            loss(3, 0)
+        with pytest.raises(LossFunctionError):
+            loss(0, 3)
+
+    def test_validates_monotonicity_by_default(self):
+        bad = np.array([[0, 2, 1], [1, 0, 1], [1, 2, 0]], dtype=object)
+        with pytest.raises(LossFunctionError):
+            TabularLoss(bad)
+
+    def test_validation_can_be_disabled(self):
+        bad = np.array([[0, 2, 1], [1, 0, 1], [1, 2, 0]], dtype=object)
+        loss = TabularLoss(bad, validate_monotone=False)
+        assert loss(0, 2) == 1
+        assert not loss.validated
+
+    def test_rejects_non_square(self):
+        with pytest.raises(LossFunctionError):
+            TabularLoss(np.zeros((2, 3)))
+
+    def test_rejects_negative_entries(self):
+        bad = np.array([[0, -1], [1, 0]], dtype=object)
+        with pytest.raises(LossFunctionError):
+            TabularLoss(bad)
+
+    def test_rejects_tiny_table(self):
+        with pytest.raises(LossFunctionError):
+            TabularLoss(np.zeros((1, 1)))
+
+    def test_source_mutation_does_not_leak(self):
+        table = AbsoluteLoss().matrix(2)
+        loss = TabularLoss(table)
+        table[0, 1] = Fraction(100)
+        assert loss(0, 1) == 1
+
+    def test_describe_mentions_validation_state(self):
+        loss = TabularLoss(AbsoluteLoss().matrix(2))
+        assert "TabularLoss" in loss.describe()

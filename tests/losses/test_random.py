@@ -1,0 +1,54 @@
+"""Tests for random loss generators used by property tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LossFunctionError
+from repro.losses.base import check_monotone
+from repro.losses.random import random_monotone_loss, random_nonmonotone_loss
+
+
+class TestRandomMonotoneLoss:
+    def test_always_passes_validation(self, rng):
+        for _ in range(20):
+            loss = random_monotone_loss(4, rng=rng)
+            check_monotone(loss, 4)
+
+    def test_zero_on_diagonal(self, rng):
+        loss = random_monotone_loss(5, rng=rng)
+        for i in range(6):
+            assert loss(i, i) == 0
+
+    def test_shared_profile_mode(self, rng):
+        loss = random_monotone_loss(4, rng=rng, per_row=False)
+        # Shared profile: loss depends only on the distance.
+        assert loss(0, 2) == loss(1, 3) == loss(2, 4)
+
+    def test_deterministic_with_seed(self):
+        a = random_monotone_loss(3, rng=np.random.default_rng(5))
+        b = random_monotone_loss(3, rng=np.random.default_rng(5))
+        assert (a.matrix(3) == b.matrix(3)).all()
+
+    def test_float_mode(self, rng):
+        loss = random_monotone_loss(3, rng=rng, exact=False)
+        assert isinstance(loss(0, 2), float)
+
+    def test_bad_max_increment(self, rng):
+        with pytest.raises(LossFunctionError):
+            random_monotone_loss(3, rng=rng, max_increment=0)
+
+
+class TestRandomNonmonotoneLoss:
+    def test_violates_monotonicity(self, rng):
+        for _ in range(5):
+            loss = random_nonmonotone_loss(4, rng=rng)
+            with pytest.raises(LossFunctionError):
+                check_monotone(loss, 4)
+
+    def test_zero_on_diagonal(self, rng):
+        loss = random_nonmonotone_loss(3, rng=rng)
+        for i in range(4):
+            assert loss(i, i) == 0
+
+    def test_unvalidated_flag(self, rng):
+        assert not random_nonmonotone_loss(3, rng=rng).validated

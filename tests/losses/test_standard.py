@@ -1,0 +1,87 @@
+"""Tests for the paper's named loss functions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import LossFunctionError
+from repro.losses.standard import (
+    AbsoluteLoss,
+    PowerLoss,
+    SquaredLoss,
+    ZeroOneLoss,
+)
+
+
+class TestAbsoluteLoss:
+    def test_values(self):
+        loss = AbsoluteLoss()
+        assert loss(0, 0) == 0
+        assert loss(0, 5) == 5
+        assert loss(5, 0) == 5
+
+    def test_symmetric(self):
+        loss = AbsoluteLoss()
+        assert loss(2, 7) == loss(7, 2)
+
+    def test_exact_integers(self):
+        assert isinstance(AbsoluteLoss()(1, 3), int)
+
+
+class TestSquaredLoss:
+    def test_values(self):
+        loss = SquaredLoss()
+        assert loss(1, 4) == 9
+        assert loss(4, 1) == 9
+        assert loss(3, 3) == 0
+
+    def test_dominates_absolute_beyond_one(self):
+        squared, absolute = SquaredLoss(), AbsoluteLoss()
+        for d in range(2, 10):
+            assert squared(0, d) > absolute(0, d)
+
+
+class TestZeroOneLoss:
+    def test_zero_on_diagonal(self):
+        loss = ZeroOneLoss()
+        assert loss(3, 3) == 0
+
+    def test_one_off_diagonal(self):
+        loss = ZeroOneLoss()
+        assert loss(3, 4) == 1
+        assert loss(0, 9) == 1
+
+
+class TestPowerLoss:
+    def test_power_one_is_absolute(self):
+        assert PowerLoss(1)(2, 5) == AbsoluteLoss()(2, 5)
+
+    def test_power_two_is_squared(self):
+        assert PowerLoss(2)(2, 5) == SquaredLoss()(2, 5)
+
+    def test_power_zero_is_indicator_like(self):
+        # |d|^0 == 1 for every d, including d = 0 (0**0 == 1 in Python).
+        loss = PowerLoss(0)
+        assert loss(1, 1) == 1
+        assert loss(1, 5) == 1
+
+    def test_fractional_power_returns_float(self):
+        value = PowerLoss(0.5)(0, 4)
+        assert value == pytest.approx(2.0)
+
+    def test_integer_power_stays_exact(self):
+        assert isinstance(PowerLoss(3)(0, 2), int)
+
+    def test_fraction_power_with_unit_denominator(self):
+        assert PowerLoss(Fraction(2, 1))(0, 3) == 9
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(LossFunctionError):
+            PowerLoss(-1)
+
+    def test_non_number_rejected(self):
+        with pytest.raises(LossFunctionError):
+            PowerLoss("two")
+
+    def test_describe_mentions_exponent(self):
+        assert "3" in PowerLoss(3).describe()

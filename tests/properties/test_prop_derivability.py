@@ -1,0 +1,112 @@
+"""Property-based tests for Theorem 2's characterization."""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.characterization import three_entry_condition
+from repro.core.derivability import (
+    check_derivability,
+    derivation_factor,
+    privacy_chain_kernel,
+)
+from repro.core.geometric import GeometricMechanism
+from repro.core.privacy import is_differentially_private
+from repro.linalg.stochastic import (
+    is_generalized_stochastic,
+    random_stochastic_matrix,
+)
+
+alphas = st.fractions(
+    min_value=Fraction(1, 10), max_value=Fraction(9, 10), max_denominator=30
+)
+sizes = st.integers(min_value=1, max_value=4)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def random_mechanism(n, seed):
+    return random_stochastic_matrix(
+        n + 1, rng=np.random.default_rng(seed), exact=True
+    )
+
+
+class TestFactorProperties:
+    @given(n=sizes, alpha=alphas, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_factor_has_unit_row_sums(self, n, alpha, seed):
+        """Poole's group fact, for arbitrary stochastic targets."""
+        factor = derivation_factor(random_mechanism(n, seed), alpha)
+        assert is_generalized_stochastic(factor)
+
+    @given(n=sizes, alpha=alphas, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_reconstruction_identity(self, n, alpha, seed):
+        """G @ (G^{-1} M) == M exactly, derivable or not."""
+        target = random_mechanism(n, seed)
+        factor = derivation_factor(target, alpha)
+        product = np.dot(GeometricMechanism(n, alpha).matrix, factor)
+        assert (product == target).all()
+
+    @given(n=sizes, alpha=alphas, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_sufficiency_direction(self, n, alpha, seed):
+        """Every G @ T is derivable and its factor is T itself."""
+        kernel = random_mechanism(n, seed)
+        induced = GeometricMechanism(n, alpha).post_process(kernel)
+        report = check_derivability(induced, alpha)
+        assert report.derivable
+        assert (report.factor == kernel).all()
+
+    @given(n=st.integers(min_value=2, max_value=4), alpha=alphas, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_characterization_matches_entry_conditions(self, n, alpha, seed):
+        """Theorem 2 both ways: factor >= 0 iff the DP boundary rows plus
+        every interior three-entry condition hold."""
+        matrix = random_mechanism(n, seed)
+        report = check_derivability(matrix, alpha)
+        boundary_ok = all(
+            matrix[0, j] >= alpha * matrix[1, j]
+            and matrix[n, j] >= alpha * matrix[n - 1, j]
+            for j in range(n + 1)
+        )
+        interior_ok = all(
+            three_entry_condition(
+                alpha, matrix[i - 1, j], matrix[i, j], matrix[i + 1, j]
+            )
+            for j in range(n + 1)
+            for i in range(1, n)
+        )
+        assert report.derivable == (boundary_ok and interior_ok)
+
+    @given(n=sizes, alpha=alphas, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_derivable_implies_private(self, n, alpha, seed):
+        """Derivability is strictly stronger than alpha-DP."""
+        matrix = random_mechanism(n, seed)
+        report = check_derivability(matrix, alpha)
+        if report.derivable:
+            assert is_differentially_private(matrix, alpha)
+
+
+class TestLemma3Properties:
+    @given(a=alphas, b=alphas, n=sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_chain_kernel_direction(self, a, b, n):
+        """T_{a,b} exists iff a <= b."""
+        from repro.exceptions import NotDerivableError
+
+        if a <= b:
+            kernel = privacy_chain_kernel(n, a, b)
+            product = np.dot(GeometricMechanism(n, a).matrix, kernel)
+            assert (product == GeometricMechanism(n, b).matrix).all()
+        else:
+            try:
+                privacy_chain_kernel(n, a, b)
+            except NotDerivableError:
+                pass
+            else:
+                raise AssertionError(
+                    f"privacy removal a={a} > b={b} must be impossible"
+                )

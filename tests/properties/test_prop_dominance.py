@@ -1,0 +1,55 @@
+"""Property-based dominance: geometric beats random DP mechanisms.
+
+Theorem 1's quantifier is over ALL alpha-DP mechanisms. Hypothesis pits
+the geometric deployment against random vertices of the DP polytope for
+random monotone consumers; the geometric side may never lose.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometric import GeometricMechanism
+from repro.core.interaction import optimal_interaction
+from repro.core.polytope import random_private_mechanism
+from repro.losses.random import random_monotone_loss
+
+alphas = st.fractions(
+    min_value=Fraction(1, 6), max_value=Fraction(5, 6), max_denominator=12
+)
+seeds = st.integers(min_value=0, max_value=2**31)
+sizes = st.integers(min_value=1, max_value=3)
+
+
+class TestDominance:
+    @given(n=sizes, alpha=alphas, seed=seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_geometric_never_loses(self, n, alpha, seed):
+        rng = np.random.default_rng(seed)
+        rival = random_private_mechanism(n, alpha, rng)
+        loss = random_monotone_loss(n, rng=rng)
+        members = sorted(
+            set(rng.integers(0, n + 1, size=rng.integers(1, n + 2)).tolist())
+        )
+        g = GeometricMechanism(n, alpha)
+        with_g = optimal_interaction(g, loss, members, exact=True).loss
+        with_rival = optimal_interaction(
+            rival, loss, members, exact=True
+        ).loss
+        assert with_g <= with_rival
+
+    @given(n=sizes, alpha=alphas, seed=seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_vertices_never_beat_the_bespoke_optimum(self, n, alpha, seed):
+        """The bespoke LP optimum lower-bounds every deployed mechanism's
+        post-interaction loss — including raw polytope vertices."""
+        from repro.core.optimal import optimal_mechanism
+
+        rng = np.random.default_rng(seed)
+        rival = random_private_mechanism(n, alpha, rng)
+        loss = random_monotone_loss(n, rng=rng)
+        bespoke = optimal_mechanism(n, alpha, loss, exact=True).loss
+        with_rival = optimal_interaction(rival, loss, exact=True).loss
+        assert bespoke <= with_rival

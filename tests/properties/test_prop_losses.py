@@ -1,0 +1,85 @@
+"""Property-based tests for loss-function invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.losses.base import check_monotone
+from repro.losses.composite import (
+    CappedLoss,
+    MaxLoss,
+    ScaledLoss,
+    ShiftedLoss,
+    SumLoss,
+)
+from repro.losses.random import random_monotone_loss
+from repro.losses.standard import AbsoluteLoss, PowerLoss
+
+seeds = st.integers(min_value=0, max_value=2**31)
+sizes = st.integers(min_value=1, max_value=6)
+
+
+class TestRandomMonotoneProperties:
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_always_inside_the_model(self, n, seed):
+        loss = random_monotone_loss(n, rng=np.random.default_rng(seed))
+        check_monotone(loss, n)
+
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_diagonal_is_global_minimum_per_row(self, n, seed):
+        loss = random_monotone_loss(n, rng=np.random.default_rng(seed))
+        table = loss.matrix(n)
+        for i in range(n + 1):
+            assert table[i, i] == min(table[i, r] for r in range(n + 1))
+
+
+class TestCombinatorClosure:
+    """Combinators keep losses inside the paper's model."""
+
+    @given(
+        n=sizes,
+        seed=seeds,
+        factor=st.integers(min_value=0, max_value=10),
+        offset=st.integers(min_value=0, max_value=5),
+        cap=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_composites_stay_monotone(self, n, seed, factor, offset, cap):
+        rng = np.random.default_rng(seed)
+        base_a = random_monotone_loss(n, rng=rng)
+        base_b = random_monotone_loss(n, rng=rng)
+        for combined in (
+            ScaledLoss(base_a, factor),
+            ShiftedLoss(base_a, offset),
+            CappedLoss(base_a, cap),
+            MaxLoss([base_a, base_b]),
+            SumLoss([base_a, base_b]),
+        ):
+            check_monotone(combined, n)
+
+    @given(exponent=st.integers(min_value=0, max_value=5), n=sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_power_losses_monotone(self, exponent, n):
+        check_monotone(PowerLoss(exponent), n)
+
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_sum_dominates_parts(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = random_monotone_loss(n, rng=rng)
+        b = random_monotone_loss(n, rng=rng)
+        combined = SumLoss([a, b])
+        for i in range(n + 1):
+            for r in range(n + 1):
+                assert combined(i, r) >= max(a(i, r), b(i, r))
+
+    @given(n=sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_absolute_triangle_inequality(self, n):
+        loss = AbsoluteLoss()
+        for i in range(n + 1):
+            for j in range(n + 1):
+                for k in range(n + 1):
+                    assert loss(i, k) <= loss(i, j) + loss(j, k)

@@ -1,0 +1,107 @@
+"""Property-based tests for mechanism-composition invariants."""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometric import GeometricMechanism
+from repro.core.mechanism import Mechanism
+from repro.core.multilevel import MultiLevelRelease
+from repro.linalg.stochastic import random_stochastic_matrix
+
+alphas = st.fractions(
+    min_value=Fraction(1, 10), max_value=Fraction(9, 10), max_denominator=24
+)
+sizes = st.integers(min_value=1, max_value=4)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def kernel(n, seed):
+    return random_stochastic_matrix(
+        n + 1, rng=np.random.default_rng(seed), exact=True
+    )
+
+
+class TestCompositionProperties:
+    @given(n=sizes, alpha=alphas, s1=seeds, s2=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_post_process_is_associative(self, n, alpha, s1, s2):
+        """(M T1) T2 == M (T1 T2) — Definition 3 composes."""
+        g = GeometricMechanism(n, alpha)
+        t1, t2 = kernel(n, s1), kernel(n, s2)
+        left = g.post_process(t1).post_process(t2)
+        right = g.post_process(np.dot(t1, t2))
+        assert left == right
+
+    @given(n=sizes, alpha=alphas, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_post_process_preserves_stochasticity(self, n, alpha, seed):
+        g = GeometricMechanism(n, alpha)
+        induced = g.post_process(kernel(n, seed))
+        for i in range(n + 1):
+            row = induced.distribution(i)
+            assert sum(row.tolist()) == 1
+            assert all(entry >= 0 for entry in row.tolist())
+
+    @given(n=sizes, alpha=alphas)
+    @settings(max_examples=30, deadline=None)
+    def test_identity_kernel_neutral(self, n, alpha):
+        g = GeometricMechanism(n, alpha)
+        assert g.post_process(Mechanism.identity(n).matrix) == Mechanism(
+            g.matrix
+        )
+
+    @given(n=sizes, alpha=alphas, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_worst_case_loss_bounds(self, n, alpha, seed):
+        """Equation 1's evaluation is bounded by the loss range, and the
+        *optimal* interaction never does worse than the best constant
+        guess (which is a feasible kernel)."""
+        from repro.core.interaction import optimal_interaction
+        from repro.losses import AbsoluteLoss
+
+        g = GeometricMechanism(n, alpha)
+        induced = g.post_process(kernel(n, seed))
+        face_value = induced.worst_case_loss(AbsoluteLoss())
+        assert 0 <= face_value <= n
+        best_constant = min(
+            max(abs(i - r) for i in range(n + 1)) for r in range(n + 1)
+        )
+        optimal = optimal_interaction(g, AbsoluteLoss(), exact=True)
+        assert optimal.loss <= best_constant
+
+
+class TestAlgorithmOneProperties:
+    @given(
+        a=alphas,
+        b=alphas,
+        n=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_two_level_marginals_and_collusion(self, a, b, n):
+        if a >= b:
+            a, b = b, a
+        if a == b:
+            return
+        release = MultiLevelRelease(n, [a, b])
+        for check in release.verify_all_coalitions():
+            assert check.holds
+
+    @given(a=alphas, b=alphas, n=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_second_marginal_exact(self, a, b, n):
+        if a >= b:
+            a, b = b, a
+        if a == b:
+            return
+        release = MultiLevelRelease(n, [a, b])
+        expected = GeometricMechanism(n, b).matrix
+        for i in range(n + 1):
+            joint = release.joint_distribution(i)
+            for r in range(n + 1):
+                marginal = sum(
+                    p for pattern, p in joint.items() if pattern[1] == r
+                )
+                assert marginal == expected[i, r]

@@ -1,0 +1,100 @@
+"""Property-based tests for privacy invariants."""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometric import GeometricMechanism
+from repro.core.mechanism import Mechanism
+from repro.core.privacy import (
+    alpha_to_epsilon,
+    epsilon_to_alpha,
+    is_differentially_private,
+    tightest_alpha,
+)
+from repro.linalg.stochastic import random_stochastic_matrix
+
+# Rational alphas strictly inside (0, 1).
+alphas = st.fractions(
+    min_value=Fraction(1, 20), max_value=Fraction(19, 20), max_denominator=40
+)
+
+sizes = st.integers(min_value=1, max_value=5)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+class TestGeometricPrivacyProperties:
+    @given(n=sizes, alpha=alphas)
+    @settings(max_examples=40, deadline=None)
+    def test_geometric_tightest_alpha_is_construction_alpha(self, n, alpha):
+        assert tightest_alpha(GeometricMechanism(n, alpha)) == alpha
+
+    @given(n=sizes, alpha=alphas)
+    @settings(max_examples=40, deadline=None)
+    def test_geometric_private_at_every_weaker_level(self, n, alpha):
+        g = GeometricMechanism(n, alpha)
+        weaker = alpha / 2
+        assert is_differentially_private(g, weaker)
+
+    @given(n=sizes, alpha=alphas, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_post_processing_preserves_privacy(self, n, alpha, seed):
+        """The data-processing inequality for Definition 2."""
+        g = GeometricMechanism(n, alpha)
+        kernel = random_stochastic_matrix(
+            n + 1, rng=np.random.default_rng(seed), exact=True
+        )
+        processed = g.post_process(kernel)
+        assert is_differentially_private(processed, alpha)
+
+    @given(n=sizes, alpha=alphas, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_tightest_alpha_definition(self, n, alpha, seed):
+        """is_dp(M, a) for every a up to tightest_alpha, not beyond."""
+        g = GeometricMechanism(n, alpha)
+        kernel = random_stochastic_matrix(
+            n + 1, rng=np.random.default_rng(seed), exact=True
+        )
+        mechanism = g.post_process(kernel)
+        tight = tightest_alpha(mechanism)
+        assert is_differentially_private(mechanism, tight)
+        if tight < 1:
+            just_above = tight + (1 - tight) / 1000
+            assert not is_differentially_private(mechanism, just_above)
+
+
+class TestConversionProperties:
+    @given(
+        epsilon=st.floats(
+            min_value=0.001, max_value=20, allow_nan=False
+        )
+    )
+    def test_epsilon_alpha_round_trip(self, epsilon):
+        import math
+
+        alpha = epsilon_to_alpha(epsilon)
+        assert 0 < alpha < 1
+        assert math.isclose(alpha_to_epsilon(alpha), epsilon, rel_tol=1e-9)
+
+    @given(a=alphas, b=alphas)
+    def test_alpha_order_reverses_epsilon_order(self, a, b):
+        if a < b:
+            assert alpha_to_epsilon(a) > alpha_to_epsilon(b)
+
+
+class TestMixtureProperties:
+    @given(n=sizes, alpha=alphas, weight=st.fractions(
+        min_value=Fraction(0), max_value=Fraction(1), max_denominator=20
+    ))
+    @settings(max_examples=30, deadline=None)
+    def test_mixture_with_uniform_only_helps_privacy(self, n, alpha, weight):
+        """Mixing any mechanism with the uniform one increases privacy."""
+        g = GeometricMechanism(n, alpha).matrix
+        u = Mechanism.uniform(n).matrix
+        mixed = np.empty_like(g)
+        for i in range(n + 1):
+            for r in range(n + 1):
+                mixed[i, r] = (1 - weight) * g[i, r] + weight * u[i, r]
+        assert tightest_alpha(mixed) >= alpha

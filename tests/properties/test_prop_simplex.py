@@ -1,0 +1,78 @@
+"""Property-based agreement between the exact simplex and HiGHS."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InfeasibleProgramError
+from repro.solvers.base import LinearProgram
+from repro.solvers.scipy_backend import ScipyBackend
+from repro.solvers.simplex import ExactSimplexBackend
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def random_bounded_program(seed, num_vars=4, num_cuts=3):
+    """A random LP guaranteed bounded: variables live on a simplex."""
+    rng = np.random.default_rng(seed)
+    lp = LinearProgram(num_vars)
+    lp.set_objective(
+        [
+            (i, Fraction(int(rng.integers(-8, 9)), 5))
+            for i in range(num_vars)
+        ]
+    )
+    lp.add_eq([(i, 1) for i in range(num_vars)], 1)
+    for _ in range(num_cuts):
+        terms = [
+            (i, Fraction(int(rng.integers(0, 4)), 2))
+            for i in range(num_vars)
+        ]
+        rhs = Fraction(int(rng.integers(1, 5)), 2)
+        lp.add_le(terms, rhs)
+    return lp
+
+
+class TestBackendAgreement:
+    @given(seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_same_objective_value(self, seed):
+        lp = random_bounded_program(seed)
+        try:
+            exact = ExactSimplexBackend().solve(lp)
+        except InfeasibleProgramError:
+            with pytest.raises(InfeasibleProgramError):
+                ScipyBackend().solve(lp)
+            return
+        approx = ScipyBackend().solve(lp)
+        assert float(exact.objective) == pytest.approx(
+            approx.objective, abs=1e-7
+        )
+
+    @given(seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_solution_is_feasible(self, seed):
+        lp = random_bounded_program(seed)
+        try:
+            solution = ExactSimplexBackend().solve(lp)
+        except InfeasibleProgramError:
+            return
+        values = solution.values
+        assert all(v >= 0 for v in values)
+        for terms, rhs in lp.le_constraints:
+            assert sum(c * values[v] for v, c in terms) <= rhs
+        for terms, rhs in lp.eq_constraints:
+            assert sum(c * values[v] for v, c in terms) == rhs
+
+    @given(seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_objective_value_consistent_with_solution(self, seed):
+        lp = random_bounded_program(seed)
+        try:
+            solution = ExactSimplexBackend().solve(lp)
+        except InfeasibleProgramError:
+            return
+        assert lp.evaluate_objective(solution.values) == solution.objective

@@ -1,0 +1,72 @@
+"""Tests for empirical privacy auditing."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.geometric import GeometricMechanism
+from repro.core.mechanism import Mechanism
+from repro.exceptions import ValidationError
+from repro.release.audit import (
+    empirical_alpha,
+    empirical_mechanism_matrix,
+)
+
+
+class TestEmpiricalMatrix:
+    def test_rows_are_distributions(self, g3_half, rng):
+        estimated = empirical_mechanism_matrix(g3_half, 500, rng)
+        assert np.allclose(estimated.sum(axis=1), 1.0)
+
+    def test_converges_to_truth(self, g3_half, rng):
+        estimated = empirical_mechanism_matrix(g3_half, 40000, rng)
+        truth = np.asarray(g3_half.matrix, dtype=float)
+        assert np.abs(estimated - truth).max() < 0.02
+
+    def test_smoothing_avoids_zeros(self, rng):
+        # Identity has true zeros; smoothing keeps the estimate positive.
+        estimated = empirical_mechanism_matrix(
+            Mechanism.identity(2), 100, rng, smoothing=0.5
+        )
+        assert (estimated > 0).all()
+
+    def test_no_smoothing_allows_zeros(self, rng):
+        estimated = empirical_mechanism_matrix(
+            Mechanism.identity(2), 100, rng, smoothing=0.0
+        )
+        assert estimated[0, 1] == 0.0
+
+    def test_parameter_validation(self, g3_half, rng):
+        with pytest.raises(ValidationError):
+            empirical_mechanism_matrix(g3_half, 0, rng)
+        with pytest.raises(ValidationError):
+            empirical_mechanism_matrix(g3_half, 10, rng, smoothing=-1)
+
+
+class TestEmpiricalAlpha:
+    def test_geometric_audit_consistent(self, rng):
+        mechanism = GeometricMechanism(3, Fraction(1, 2))
+        report = empirical_alpha(mechanism, 20000, rng)
+        assert report.exact_alpha == Fraction(1, 2)
+        assert report.empirical_alpha == pytest.approx(0.5, abs=0.05)
+        assert report.consistent
+
+    def test_claimed_alpha_recorded(self, rng):
+        mechanism = GeometricMechanism(2, Fraction(1, 4))
+        report = empirical_alpha(mechanism, 5000, rng)
+        assert report.claimed_alpha == Fraction(1, 4)
+
+    def test_epsilon_reported(self, rng):
+        import math
+
+        mechanism = GeometricMechanism(2, Fraction(1, 2))
+        report = empirical_alpha(mechanism, 20000, rng)
+        assert report.empirical_epsilon == pytest.approx(
+            math.log(2), abs=0.15
+        )
+
+    def test_uniform_audits_as_absolutely_private(self, rng):
+        report = empirical_alpha(Mechanism.uniform(2), 20000, rng)
+        assert report.exact_alpha == 1
+        assert report.empirical_alpha > 0.9

@@ -1,0 +1,71 @@
+"""Tests for the averaging collusion attack."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.release.collusion import (
+    averaging_attack,
+    compare_release_strategies,
+)
+
+# Levels close together: the averaging attack's gain is clearest when
+# the independent copies carry comparable noise.
+LEVELS = [Fraction(1, 2), Fraction(11, 20), Fraction(3, 5), Fraction(13, 20)]
+
+
+class TestAveragingAttack:
+    def test_perfect_samples_perfect_hit_rate(self):
+        samples = np.full((100, 3), 2.0)
+        result = averaging_attack(samples, 2, 4)
+        assert result.hit_rate == 1.0
+        assert result.mse == 0.0
+
+    def test_noisy_samples(self):
+        samples = np.array([[1, 3], [0, 4], [2, 2]])
+        result = averaging_attack(samples, 2, 4)
+        assert result.hit_rate == 1.0
+
+    def test_biased_samples(self):
+        samples = np.full((10, 2), 0.0)
+        result = averaging_attack(samples, 3, 4)
+        assert result.hit_rate == 0.0
+        assert result.mse == 9.0
+        assert result.mean_absolute_error == 3.0
+
+    def test_estimates_clipped_to_range(self):
+        samples = np.full((10, 1), 9.0)
+        result = averaging_attack(samples, 4, 4)
+        assert result.mean_absolute_error == 0.0  # clipped to 4
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            averaging_attack(np.array([1.0, 2.0]), 1, 3)
+
+
+class TestStrategyComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_release_strategies(
+            6, LEVELS, true_result=3, trials=4000, rng=77
+        )
+
+    def test_naive_beats_single(self, comparison):
+        """Averaging k independent releases sharpens the estimate."""
+        assert comparison.naive.mse < comparison.single_best.mse
+
+    def test_chained_gains_nothing_substantial(self, comparison):
+        """Against Algorithm 1, colluding is not materially better than
+        the least-private release alone (Lemma 4's behavioural face)."""
+        assert comparison.chained.mse >= comparison.single_best.mse * 0.9
+
+    def test_naive_beats_chained(self, comparison):
+        assert comparison.naive.mse < comparison.chained.mse
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            compare_release_strategies(4, LEVELS, 2, trials=0)
+        with pytest.raises(ValidationError):
+            compare_release_strategies(4, LEVELS, 9, trials=10)

@@ -1,0 +1,60 @@
+"""Tests for the tiered publisher."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.generators import flu_population, flu_query
+from repro.db.schema import Attribute, Schema
+from repro.exceptions import ValidationError
+from repro.release.multilevel import MultiLevelPublisher
+
+
+@pytest.fixture
+def publisher():
+    return MultiLevelPublisher(
+        flu_population(10, 3),
+        {"internet": Fraction(1, 2), "government": Fraction(1, 4)},
+    )
+
+
+class TestMultiLevelPublisher:
+    def test_tiers_sorted_least_private_first(self, publisher):
+        assert publisher.tier_names == ("government", "internet")
+
+    def test_publish_covers_all_tiers(self, publisher, rng):
+        release = publisher.publish(flu_query(), rng)
+        assert set(release.results) == {"government", "internet"}
+        assert release.alphas["internet"] == Fraction(1, 2)
+
+    def test_values_in_range(self, publisher, rng):
+        for _ in range(10):
+            release = publisher.publish(flu_query(), rng)
+            assert all(0 <= v <= 10 for v in release.results.values())
+
+    def test_collusion_resistance_delegated(self, publisher):
+        checks = publisher.verify_collusion_resistance()
+        assert len(checks) == 3
+        assert all(check.holds for check in checks)
+
+    def test_duplicate_levels_rejected(self):
+        schema = Schema([Attribute("x", "bool")])
+        db = Database(schema, [{"x": True}])
+        with pytest.raises(ValidationError):
+            MultiLevelPublisher(
+                db, {"a": Fraction(1, 2), "b": Fraction(1, 2)}
+            )
+
+    def test_empty_tiers_rejected(self):
+        schema = Schema([Attribute("x", "bool")])
+        db = Database(schema, [{"x": True}])
+        with pytest.raises(ValidationError):
+            MultiLevelPublisher(db, {})
+
+    def test_requires_database(self):
+        with pytest.raises(ValidationError):
+            MultiLevelPublisher([], {"a": Fraction(1, 2)})
+
+    def test_chain_exposes_algorithm1(self, publisher):
+        assert publisher.chain.alphas == (Fraction(1, 4), Fraction(1, 2))

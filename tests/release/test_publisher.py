@@ -1,0 +1,55 @@
+"""Tests for the single-level publisher."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.db.generators import flu_population, flu_query
+from repro.exceptions import ValidationError
+from repro.release.publisher import Publisher
+
+
+@pytest.fixture
+def publisher():
+    return Publisher(flu_population(30, 3), Fraction(1, 2))
+
+
+class TestPublisher:
+    def test_publish_fields(self, publisher, rng):
+        statistic = publisher.publish(flu_query(), rng)
+        assert 0 <= statistic.value <= 30
+        assert statistic.alpha == Fraction(1, 2)
+        assert statistic.n == 30
+        assert "San Diego" in statistic.query_description
+
+    def test_publish_many(self, publisher, rng):
+        statistics = publisher.publish_many(flu_query(), 5, rng)
+        assert len(statistics) == 5
+
+    def test_publish_many_negative(self, publisher, rng):
+        with pytest.raises(ValidationError):
+            publisher.publish_many(flu_query(), -1, rng)
+
+    def test_mechanism_is_geometric_at_alpha(self, publisher):
+        assert publisher.mechanism.alpha == Fraction(1, 2)
+        assert publisher.mechanism.n == 30
+
+    def test_requires_database(self):
+        with pytest.raises(ValidationError):
+            Publisher([1, 2], Fraction(1, 2))
+
+    def test_published_value_distribution(self, rng):
+        """Published values follow the geometric row of the true count."""
+        db = flu_population(6, 11, flu_rate=0.5, san_diego_share=1.0)
+        publisher = Publisher(db, Fraction(1, 3))
+        true_value = flu_query()(db)
+        expected = publisher.mechanism.matrix[true_value]
+        import numpy as np
+
+        draws = np.array(
+            [publisher.publish(flu_query(), rng).value for _ in range(4000)]
+        )
+        for r in range(7):
+            assert np.mean(draws == r) == pytest.approx(
+                float(expected[r]), abs=0.03
+            )

@@ -1,0 +1,85 @@
+"""Tests for the two-sided geometric sampler."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.sampling.geometric import (
+    sample_geometric_failures,
+    sample_two_sided_geometric,
+    two_sided_geometric_pmf,
+)
+
+
+class TestPmf:
+    def test_exact_values(self):
+        alpha = Fraction(1, 2)
+        assert two_sided_geometric_pmf(alpha, 0) == Fraction(1, 3)
+        assert two_sided_geometric_pmf(alpha, 1) == Fraction(1, 6)
+        assert two_sided_geometric_pmf(alpha, -1) == Fraction(1, 6)
+
+    def test_difference_identity(self):
+        """pmf of X1 - X2 (iid geometric failures) == two-sided pmf."""
+        alpha = Fraction(1, 3)
+
+        def failures_pmf(k):
+            return (1 - alpha) * alpha**k
+
+        for z in range(-4, 5):
+            convolution = sum(
+                failures_pmf(k) * failures_pmf(k - z) for k in range(max(z, 0), 60)
+            )
+            direct = two_sided_geometric_pmf(alpha, z)
+            assert abs(float(convolution - direct)) < 1e-25
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            two_sided_geometric_pmf(1.0, 0)
+
+
+class TestFailureSampler:
+    def test_support_nonnegative(self, rng):
+        draws = sample_geometric_failures(0.5, rng, 1000)
+        assert (draws >= 0).all()
+
+    def test_mean_matches_alpha_over_one_minus_alpha(self, rng):
+        alpha = 0.4
+        draws = sample_geometric_failures(alpha, rng, 100000)
+        assert draws.mean() == pytest.approx(alpha / (1 - alpha), abs=0.02)
+
+    def test_scalar_draw(self, rng):
+        value = sample_geometric_failures(0.5, rng)
+        assert int(value) >= 0
+
+    def test_negative_size_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            sample_geometric_failures(0.5, rng, -1)
+
+
+class TestTwoSidedSampler:
+    def test_scalar_type(self, rng):
+        assert isinstance(sample_two_sided_geometric(0.5, rng), int)
+
+    def test_array_shape(self, rng):
+        draws = sample_two_sided_geometric(0.5, rng, 100)
+        assert draws.shape == (100,)
+
+    def test_symmetry(self, rng):
+        draws = sample_two_sided_geometric(0.5, rng, 100000)
+        assert abs(float(np.mean(draws))) < 0.02
+
+    def test_empirical_pmf_matches_exact(self, rng):
+        alpha = 0.3
+        draws = sample_two_sided_geometric(alpha, rng, 100000)
+        for z in range(-2, 3):
+            expected = two_sided_geometric_pmf(alpha, z)
+            assert np.mean(draws == z) == pytest.approx(expected, abs=0.01)
+
+    def test_variance_formula(self, rng):
+        """Var Z = 2 alpha / (1 - alpha)^2 for the two-sided geometric."""
+        alpha = 0.5
+        draws = sample_two_sided_geometric(alpha, rng, 200000)
+        expected = 2 * alpha / (1 - alpha) ** 2
+        assert np.var(draws) == pytest.approx(expected, rel=0.05)

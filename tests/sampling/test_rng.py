@@ -1,0 +1,32 @@
+"""Tests for RNG normalization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.sampling.rng import ensure_generator
+
+
+class TestEnsureGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_generator(42).random()
+        b = ensure_generator(42).random()
+        assert a == b
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert ensure_generator(rng) is rng
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(
+            ensure_generator(np.int64(7)), np.random.Generator
+        )
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            ensure_generator("seed")
+        with pytest.raises(ValidationError):
+            ensure_generator(True)

@@ -1,0 +1,63 @@
+"""Tests for the backend-neutral LP description."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.solvers.base import LinearProgram, choose_backend
+from repro.solvers.scipy_backend import ScipyBackend
+from repro.solvers.simplex import ExactSimplexBackend
+
+
+class TestLinearProgram:
+    def test_requires_positive_vars(self):
+        with pytest.raises(ValidationError):
+            LinearProgram(0)
+
+    def test_rejects_out_of_range_variable(self):
+        lp = LinearProgram(2)
+        with pytest.raises(ValidationError):
+            lp.add_le([(2, 1)], 0)
+
+    def test_zero_coefficients_dropped(self):
+        lp = LinearProgram(2)
+        lp.set_objective([(0, 0), (1, 3)])
+        assert lp.objective_terms == [(1, 3)]
+
+    def test_constraint_bookkeeping(self):
+        lp = LinearProgram(3)
+        lp.add_le([(0, 1)], 5)
+        lp.add_eq([(1, 1), (2, 1)], 1)
+        assert lp.num_constraints() == 2
+        assert len(lp.le_constraints) == 1
+        assert len(lp.eq_constraints) == 1
+
+    def test_evaluate_objective(self):
+        lp = LinearProgram(2)
+        lp.set_objective([(0, 2), (1, Fraction(1, 2))])
+        assert lp.evaluate_objective([3, 4]) == 8
+
+    def test_copy_is_independent(self):
+        lp = LinearProgram(2)
+        lp.add_le([(0, 1)], 1)
+        clone = lp.copy()
+        clone.add_le([(1, 1)], 1)
+        assert lp.num_constraints() == 1
+        assert clone.num_constraints() == 2
+
+    def test_repr(self):
+        lp = LinearProgram(2)
+        assert "vars=2" in repr(lp)
+
+
+class TestChooseBackend:
+    def test_exact_selects_simplex(self):
+        assert isinstance(choose_backend(exact=True), ExactSimplexBackend)
+
+    def test_float_selects_scipy(self):
+        assert isinstance(choose_backend(exact=False), ScipyBackend)
+
+    def test_huge_exact_program_rejected(self):
+        with pytest.raises(ValidationError):
+            choose_backend(exact=True, size_hint=10_000)

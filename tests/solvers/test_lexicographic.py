@@ -1,0 +1,72 @@
+"""Tests for the two-stage lexicographic solve."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solvers.base import LinearProgram
+from repro.solvers.lexicographic import solve_lexicographic
+from repro.solvers.scipy_backend import ScipyBackend
+from repro.solvers.simplex import ExactSimplexBackend
+
+
+def degenerate_program():
+    """min x0 with a fat optimal face over (x1, x2)."""
+    lp = LinearProgram(3)
+    lp.set_objective([(0, 1)])
+    lp.add_eq([(0, 1)], 1)          # pins the primary objective
+    lp.add_eq([(1, 1), (2, 1)], 2)  # x1 + x2 == 2, both free on the face
+    return lp
+
+
+class TestLexicographic:
+    def test_primary_value_preserved_exact(self):
+        lp = degenerate_program()
+        primary, refined = solve_lexicographic(
+            lp, [(1, 1)], ExactSimplexBackend()
+        )
+        assert primary.objective == 1
+        # Refined still satisfies the pinned primary objective.
+        assert refined.values[0] == 1
+
+    def test_secondary_minimized_on_face(self):
+        lp = degenerate_program()
+        _, refined = solve_lexicographic(
+            lp, [(1, 1)], ExactSimplexBackend()
+        )
+        # Minimizing x1 over the face drives it to 0 (x2 takes the 2).
+        assert refined.values[1] == 0
+        assert refined.values[2] == 2
+
+    def test_secondary_direction_matters(self):
+        lp = degenerate_program()
+        _, refined = solve_lexicographic(
+            lp, [(2, 1)], ExactSimplexBackend()
+        )
+        assert refined.values[2] == 0
+        assert refined.values[1] == 2
+
+    def test_float_backend_with_slack(self):
+        lp = degenerate_program()
+        _, refined = solve_lexicographic(
+            lp, [(1, 1)], ScipyBackend(), slack=1e-9
+        )
+        assert refined.values[1] == pytest.approx(0.0, abs=1e-7)
+
+    def test_empty_primary_objective_rejected(self):
+        lp = LinearProgram(1)
+        lp.add_le([(0, 1)], 1)
+        with pytest.raises(SolverError):
+            solve_lexicographic(lp, [(0, 1)], ExactSimplexBackend())
+
+    def test_exact_fraction_face(self):
+        # Face defined by a fractional pin.
+        lp = LinearProgram(2)
+        lp.set_objective([(0, 1), (1, 1)])
+        lp.add_le([(0, -1), (1, -1)], -Fraction(1, 3))
+        _, refined = solve_lexicographic(
+            lp, [(0, 1)], ExactSimplexBackend()
+        )
+        assert refined.values[0] == 0
+        assert refined.values[1] == Fraction(1, 3)

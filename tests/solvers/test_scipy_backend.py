@@ -1,0 +1,61 @@
+"""Tests for the scipy/HiGHS backend."""
+
+import pytest
+
+from repro.exceptions import InfeasibleProgramError, UnboundedProgramError
+from repro.solvers.base import LinearProgram
+from repro.solvers.scipy_backend import ScipyBackend
+
+
+def solve(lp):
+    return ScipyBackend().solve(lp)
+
+
+class TestScipyBackend:
+    def test_simple_program(self):
+        lp = LinearProgram(2)
+        lp.set_objective([(0, 1), (1, 2)])
+        lp.add_eq([(0, 1), (1, 1)], 1)
+        solution = solve(lp)
+        assert solution.objective == pytest.approx(1.0)
+        assert solution.values[0] == pytest.approx(1.0)
+
+    def test_backend_name_recorded(self):
+        lp = LinearProgram(1)
+        lp.set_objective([(0, 1)])
+        lp.add_le([(0, 1)], 1)
+        assert solve(lp).backend == "scipy-highs"
+
+    def test_infeasible(self):
+        lp = LinearProgram(1)
+        lp.set_objective([(0, 1)])
+        lp.add_eq([(0, 1)], 1)
+        lp.add_eq([(0, 1)], 2)
+        with pytest.raises(InfeasibleProgramError):
+            solve(lp)
+
+    def test_unbounded(self):
+        lp = LinearProgram(1)
+        lp.set_objective([(0, -1)])
+        with pytest.raises(UnboundedProgramError):
+            solve(lp)
+
+    def test_handles_fraction_coefficients(self):
+        from fractions import Fraction
+
+        lp = LinearProgram(1)
+        lp.set_objective([(0, Fraction(1, 3))])
+        lp.add_le([(0, -1)], -Fraction(3, 2))
+        solution = solve(lp)
+        assert solution.objective == pytest.approx(0.5)
+
+    def test_larger_sparse_program(self):
+        # min sum x_i with n cover constraints x_i >= i/100.
+        size = 200
+        lp = LinearProgram(size)
+        lp.set_objective([(i, 1) for i in range(size)])
+        for i in range(size):
+            lp.add_le([(i, -1)], -i / 100)
+        solution = solve(lp)
+        expected = sum(i / 100 for i in range(size))
+        assert solution.objective == pytest.approx(expected)

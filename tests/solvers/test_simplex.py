@@ -1,0 +1,159 @@
+"""Tests for the exact Fraction simplex."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import (
+    InfeasibleProgramError,
+    UnboundedProgramError,
+)
+from repro.solvers.base import LinearProgram
+from repro.solvers.scipy_backend import ScipyBackend
+from repro.solvers.simplex import ExactSimplexBackend
+
+
+def solve(lp):
+    return ExactSimplexBackend().solve(lp)
+
+
+class TestBasicPrograms:
+    def test_trivial_minimum_at_zero(self):
+        lp = LinearProgram(1)
+        lp.set_objective([(0, 1)])
+        lp.add_le([(0, 1)], 10)
+        solution = solve(lp)
+        assert solution.objective == 0
+        assert solution.values == [0]
+
+    def test_maximization_via_negation(self):
+        # max x s.t. x <= 7  ==  min -x.
+        lp = LinearProgram(1)
+        lp.set_objective([(0, -1)])
+        lp.add_le([(0, 1)], 7)
+        solution = solve(lp)
+        assert solution.objective == -7
+        assert solution.values == [7]
+
+    def test_two_variable_vertex(self):
+        # min -(x + 2y) s.t. x + y <= 4, y <= 3.
+        lp = LinearProgram(2)
+        lp.set_objective([(0, -1), (1, -2)])
+        lp.add_le([(0, 1), (1, 1)], 4)
+        lp.add_le([(1, 1)], 3)
+        solution = solve(lp)
+        assert solution.values == [1, 3]
+        assert solution.objective == -7
+
+    def test_equality_constraints(self):
+        # min x + y s.t. x + y == 2, x - y == 0.
+        lp = LinearProgram(2)
+        lp.set_objective([(0, 1), (1, 1)])
+        lp.add_eq([(0, 1), (1, 1)], 2)
+        lp.add_eq([(0, 1), (1, -1)], 0)
+        solution = solve(lp)
+        assert solution.values == [1, 1]
+        assert solution.objective == 2
+
+    def test_exact_fraction_answer(self):
+        # min x s.t. 3x >= 1  ->  x = 1/3 exactly.
+        lp = LinearProgram(1)
+        lp.set_objective([(0, 1)])
+        lp.add_le([(0, -3)], -1)
+        solution = solve(lp)
+        assert solution.values == [Fraction(1, 3)]
+
+    def test_negative_rhs_handled(self):
+        # x >= 5 encoded as -x <= -5.
+        lp = LinearProgram(1)
+        lp.set_objective([(0, 1)])
+        lp.add_le([(0, -1)], -5)
+        assert solve(lp).objective == 5
+
+    def test_redundant_equality_rows(self):
+        lp = LinearProgram(2)
+        lp.set_objective([(0, 1), (1, 1)])
+        lp.add_eq([(0, 1), (1, 1)], 2)
+        lp.add_eq([(0, 2), (1, 2)], 4)  # same hyperplane
+        solution = solve(lp)
+        assert solution.objective == 2
+
+
+class TestFailureModes:
+    def test_infeasible_detected(self):
+        lp = LinearProgram(1)
+        lp.set_objective([(0, 1)])
+        lp.add_eq([(0, 1)], 3)
+        lp.add_eq([(0, 1)], 4)
+        with pytest.raises(InfeasibleProgramError):
+            solve(lp)
+
+    def test_infeasible_inequalities(self):
+        lp = LinearProgram(1)
+        lp.set_objective([(0, 1)])
+        lp.add_le([(0, 1)], 1)
+        lp.add_le([(0, -1)], -2)  # x >= 2 contradicts x <= 1
+        with pytest.raises(InfeasibleProgramError):
+            solve(lp)
+
+    def test_unbounded_detected(self):
+        lp = LinearProgram(1)
+        lp.set_objective([(0, -1)])
+        lp.add_le([(0, -1)], 0)  # x >= 0 only
+        with pytest.raises(UnboundedProgramError):
+            solve(lp)
+
+
+class TestDegeneracy:
+    def test_blands_rule_terminates_on_degenerate_program(self):
+        # Multiple constraints active at the optimum (degenerate vertex).
+        lp = LinearProgram(3)
+        lp.set_objective([(0, -3), (1, -2), (2, -1)])
+        lp.add_le([(0, 1), (1, 1), (2, 1)], 1)
+        lp.add_le([(0, 1), (1, 1)], 1)
+        lp.add_le([(0, 1)], 1)
+        solution = solve(lp)
+        assert solution.objective == -3
+        assert solution.values[0] == 1
+
+    def test_probability_simplex_program(self):
+        # min sum(c_i x_i) over the probability simplex: picks min cost.
+        lp = LinearProgram(4)
+        costs = [Fraction(3), Fraction(1, 2), Fraction(2), Fraction(5)]
+        lp.set_objective(list(enumerate(costs)))
+        lp.add_eq([(i, 1) for i in range(4)], 1)
+        solution = solve(lp)
+        assert solution.objective == Fraction(1, 2)
+        assert solution.values[1] == 1
+
+
+class TestAgreementWithScipy:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_programs_agree(self, seed):
+        """Exact and float backends find the same optimum value."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        num_vars = 5
+        lp = LinearProgram(num_vars)
+        lp.set_objective(
+            [(i, Fraction(int(rng.integers(1, 10)), 7)) for i in range(num_vars)]
+        )
+        # Random cover constraints keep the program feasible and bounded.
+        for _ in range(4):
+            terms = [
+                (i, Fraction(int(rng.integers(-3, 6)), 3))
+                for i in range(num_vars)
+            ]
+            lp.add_le([(v, -c) for v, c in terms], -Fraction(1))
+        lp.add_eq([(i, 1) for i in range(num_vars)], 3)
+        try:
+            exact = ExactSimplexBackend().solve(lp)
+        except InfeasibleProgramError:
+            with pytest.raises(InfeasibleProgramError):
+                ScipyBackend().solve(lp)
+            return
+        approx = ScipyBackend().solve(lp)
+        assert float(exact.objective) == pytest.approx(
+            approx.objective, abs=1e-7
+        )

@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_fraction_alpha(self):
+        args = build_parser().parse_args(
+            ["optimal", "-n", "3", "--alpha", "1/4"]
+        )
+        from fractions import Fraction
+
+        assert args.alpha == Fraction(1, 4)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["optimal", "-n", "3", "--alpha", "abc"]
+            )
+
+
+class TestCommands:
+    def test_reproduce_table1(self, capsys):
+        assert main(["reproduce", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "168/415" in out
+
+    def test_reproduce_table2(self, capsys):
+        assert main(["reproduce", "table2", "-n", "2", "--alpha", "1/2"]) == 0
+        assert "det G'" in capsys.readouterr().out
+
+    def test_reproduce_figure1(self, capsys):
+        assert main(["reproduce", "figure1"]) == 0
+        assert "#" in capsys.readouterr().out
+
+    def test_reproduce_appendix_b(self, capsys):
+        assert main(["reproduce", "appendix-b"]) == 0
+        out = capsys.readouterr().out
+        assert "-1/12" in out
+        assert "derivable from the geometric mechanism: False" in out
+
+    def test_optimal_command(self, capsys):
+        code = main(
+            [
+                "optimal",
+                "-n",
+                "2",
+                "--alpha",
+                "1/2",
+                "--loss",
+                "squared",
+                "--side",
+                "0",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "minimax loss" in capsys.readouterr().out
+
+    def test_release_command(self, capsys):
+        code = main(
+            [
+                "release",
+                "-n",
+                "3",
+                "--alphas",
+                "1/4",
+                "1/2",
+                "--true-result",
+                "2",
+                "--seed",
+                "11",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "collusion resistance" in out
+        assert "OK" in out
+
+    def test_audit_command(self, capsys):
+        code = main(
+            [
+                "audit",
+                "-n",
+                "2",
+                "--alpha",
+                "1/2",
+                "--samples",
+                "2000",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "empirical alpha" in capsys.readouterr().out
+
+    def test_tradeoff_command(self, capsys):
+        code = main(
+            [
+                "tradeoff",
+                "-n",
+                "2",
+                "--alphas",
+                "1/4",
+                "1/2",
+                "--loss",
+                "absolute",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frontier" in out
+        assert "epsilon" in out
+
+    def test_domain_error_returns_one(self, capsys):
+        # Release levels must be increasing: triggers a ReproError.
+        code = main(
+            [
+                "release",
+                "-n",
+                "3",
+                "--alphas",
+                "1/2",
+                "1/4",
+                "--true-result",
+                "1",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err

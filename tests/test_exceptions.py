@@ -1,0 +1,73 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    InfeasibleProgramError,
+    LossFunctionError,
+    NotDerivableError,
+    NotPrivateError,
+    NotStochasticError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SideInformationError,
+    SolverError,
+    UnboundedProgramError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ValidationError,
+            NotStochasticError,
+            NotPrivateError,
+            NotDerivableError,
+            SolverError,
+            InfeasibleProgramError,
+            UnboundedProgramError,
+            SchemaError,
+            QueryError,
+            SideInformationError,
+            LossFunctionError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_validation_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(SchemaError, ValueError)
+
+    def test_program_errors_are_solver_errors(self):
+        assert issubclass(InfeasibleProgramError, SolverError)
+        assert issubclass(UnboundedProgramError, SolverError)
+
+    def test_catch_all_boundary(self):
+        """One except clause catches everything the library raises."""
+        with pytest.raises(ReproError):
+            raise SchemaError("bad row")
+        with pytest.raises(ReproError):
+            raise UnboundedProgramError("unbounded")
+
+
+class TestWitnessPayloads:
+    def test_not_private_witness(self):
+        err = NotPrivateError("ratio violated", witness=(2, 3))
+        assert err.witness == (2, 3)
+
+    def test_not_derivable_witness(self):
+        err = NotDerivableError("condition violated", witness=(1, 1))
+        assert err.witness == (1, 1)
+
+    def test_not_stochastic_row(self):
+        err = NotStochasticError("bad row", row=4)
+        assert err.row == 4
+
+    def test_witness_defaults_none(self):
+        assert NotPrivateError("x").witness is None
+        assert NotDerivableError("x").witness is None
+        assert NotStochasticError("x").row is None

@@ -1,0 +1,121 @@
+"""Tests for the multi-query extension (the paper's open question)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.predicates import Eq
+from repro.db.queries import CountQuery
+from repro.db.schema import Attribute, Schema
+from repro.exceptions import ValidationError
+from repro.extensions.multiquery import (
+    MultiQueryPublisher,
+    compose_alphas,
+    split_budget,
+)
+from repro.losses import AbsoluteLoss
+from repro.release.ledger import BudgetExceededError
+
+
+def make_db(size=4):
+    schema = Schema(
+        [Attribute("sick", "bool"), Attribute("adult", "bool")]
+    )
+    rows = [
+        {"sick": i % 2 == 0, "adult": i < 3} for i in range(size)
+    ]
+    return Database(schema, rows)
+
+
+SICK = CountQuery(Eq("sick", True))
+ADULT = CountQuery(Eq("adult", True))
+
+
+class TestComposition:
+    def test_product_rule(self):
+        assert compose_alphas(
+            [Fraction(1, 2), Fraction(1, 3)]
+        ) == Fraction(1, 6)
+
+    def test_single_level(self):
+        assert compose_alphas([Fraction(2, 3)]) == Fraction(2, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            compose_alphas([])
+
+    def test_split_budget_recomposes_within_budget(self):
+        total = Fraction(1, 4)
+        for count in (1, 2, 3, 5):
+            levels = split_budget(total, count)
+            assert len(levels) == count
+            recomposed = 1.0
+            for level in levels:
+                recomposed *= float(level)
+            assert recomposed <= float(total) + 1e-12
+
+    def test_split_budget_single_is_exact(self):
+        assert split_budget(Fraction(1, 3), 1) == [Fraction(1, 3)]
+
+    def test_split_budget_count_validated(self):
+        with pytest.raises(ValidationError):
+            split_budget(Fraction(1, 2), 0)
+
+
+class TestMultiQueryPublisher:
+    def test_answers_every_query(self, rng):
+        publisher = MultiQueryPublisher(make_db())
+        answer = publisher.answer(
+            [SICK, ADULT], [Fraction(1, 2), Fraction(1, 3)], rng
+        )
+        assert len(answer.values) == 2
+        assert all(0 <= v <= 4 for v in answer.values)
+        assert answer.joint_alpha == Fraction(1, 6)
+
+    def test_ledger_tracks_joint_cost(self, rng):
+        publisher = MultiQueryPublisher(make_db())
+        publisher.answer([SICK], [Fraction(1, 2)], rng)
+        publisher.answer([ADULT], [Fraction(1, 2)], rng)
+        assert publisher.ledger.cumulative_alpha == Fraction(1, 4)
+
+    def test_floor_enforced_atomically(self, rng):
+        publisher = MultiQueryPublisher(
+            make_db(), joint_floor=Fraction(1, 4)
+        )
+        publisher.answer([SICK], [Fraction(1, 2)], rng)
+        with pytest.raises(BudgetExceededError):
+            publisher.answer(
+                [ADULT, SICK], [Fraction(1, 2), Fraction(1, 2)], rng
+            )
+        # Atomic refusal: nothing was charged by the failed batch.
+        assert publisher.ledger.cumulative_alpha == Fraction(1, 2)
+
+    def test_mismatched_lengths_rejected(self, rng):
+        publisher = MultiQueryPublisher(make_db())
+        with pytest.raises(ValidationError):
+            publisher.answer([SICK, ADULT], [Fraction(1, 2)], rng)
+
+    def test_requires_count_queries(self, rng):
+        publisher = MultiQueryPublisher(make_db())
+        with pytest.raises(ValidationError):
+            publisher.answer(["not a query"], [Fraction(1, 2)], rng)
+
+    def test_per_query_universality_survives(self):
+        """Theorem 1 applies verbatim to each individual release."""
+        publisher = MultiQueryPublisher(make_db())
+        assert publisher.verify_per_query_universality(
+            Fraction(1, 2), AbsoluteLoss(), {1, 2, 3}
+        )
+
+    def test_joint_degradation_is_real(self, rng):
+        """The open problem: jointly, the guarantee is the product —
+        strictly weaker than any single release's level."""
+        publisher = MultiQueryPublisher(make_db())
+        answer = publisher.answer(
+            [SICK, ADULT, SICK],
+            [Fraction(1, 2)] * 3,
+            rng,
+        )
+        assert answer.joint_alpha == Fraction(1, 8)
+        assert answer.joint_alpha < min(answer.per_query_alpha)

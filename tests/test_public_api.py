@@ -1,0 +1,48 @@
+"""Tests for the top-level public API surface."""
+
+from fractions import Fraction
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        """The docstring's quickstart, as a test."""
+        g = repro.GeometricMechanism(3, Fraction(1, 4))
+        agent = repro.MinimaxAgent(repro.AbsoluteLoss(), None, n=3)
+        interaction = agent.best_interaction(g, exact=True)
+        bespoke = agent.bespoke_mechanism(Fraction(1, 4), exact=True)
+        assert interaction.loss == bespoke.loss
+
+    def test_exceptions_form_hierarchy(self):
+        assert issubclass(repro.NotPrivateError, repro.ReproError)
+        assert issubclass(repro.ValidationError, repro.ReproError)
+        assert issubclass(repro.ValidationError, ValueError)
+        assert issubclass(repro.InfeasibleProgramError, repro.SolverError)
+
+    def test_db_roundtrip_through_top_level(self, rng):
+        from repro.db import Attribute, Eq
+
+        schema = repro.Schema([Attribute("sick", "bool")])
+        db = repro.Database(
+            schema, [{"sick": True}, {"sick": False}, {"sick": True}]
+        )
+        engine = repro.QueryEngine(db)
+        query = repro.CountQuery(Eq("sick", True))
+        result = engine.answer_private(query, Fraction(1, 2), rng=rng)
+        assert 0 <= result.value <= 3
+
+    def test_doctest_of_package_docstring(self):
+        import doctest
+
+        failures, _ = doctest.testmod(repro, verbose=False)
+        assert failures == 0

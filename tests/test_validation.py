@@ -1,0 +1,134 @@
+"""Tests for the shared validation helpers."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotStochasticError, ValidationError
+from repro.validation import (
+    as_fraction,
+    as_fraction_matrix,
+    as_float_matrix,
+    check_alpha,
+    check_index,
+    check_probability_vector,
+    check_result_range,
+    check_row_stochastic,
+    is_exact_array,
+)
+
+
+class TestCheckAlpha:
+    def test_interior_values_pass(self):
+        check_alpha(Fraction(1, 2))
+        check_alpha(0.3)
+
+    @pytest.mark.parametrize("bad", [0, 1, -0.1, 1.5, "0.5", None, True])
+    def test_bad_values_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            check_alpha(bad)
+
+    def test_endpoints_opt_in(self):
+        check_alpha(0, allow_endpoints=True)
+        check_alpha(1, allow_endpoints=True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            check_alpha(float("nan"))
+
+
+class TestCheckResultRange:
+    def test_valid(self):
+        assert check_result_range(5) == 5
+        assert check_result_range(np.int64(3)) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "3", True])
+    def test_invalid(self, bad):
+        with pytest.raises(ValidationError):
+            check_result_range(bad)
+
+
+class TestCheckIndex:
+    def test_valid(self):
+        assert check_index(0, 3) == 0
+        assert check_index(3, 3) == 3
+
+    @pytest.mark.parametrize("bad", [-1, 4, 1.5, True])
+    def test_invalid(self, bad):
+        with pytest.raises(ValidationError):
+            check_index(bad, 3)
+
+
+class TestAsFraction:
+    def test_fraction_passthrough(self):
+        assert as_fraction(Fraction(2, 3)) == Fraction(2, 3)
+
+    def test_int(self):
+        assert as_fraction(7) == Fraction(7)
+
+    def test_clean_dyadic_float(self):
+        assert as_fraction(0.375) == Fraction(3, 8)
+
+    def test_messy_float_rejected(self):
+        with pytest.raises(ValidationError):
+            as_fraction(0.1)
+
+    def test_non_number_rejected(self):
+        with pytest.raises(ValidationError):
+            as_fraction("1/2")
+
+
+class TestMatrices:
+    def test_as_fraction_matrix(self):
+        m = as_fraction_matrix([[1, Fraction(1, 2)], [0, 1]])
+        assert m.dtype == object
+        assert m[0, 1] == Fraction(1, 2)
+
+    def test_as_fraction_matrix_ragged(self):
+        with pytest.raises(ValidationError):
+            as_fraction_matrix([[1, 2], [3]])
+
+    def test_as_fraction_matrix_empty(self):
+        with pytest.raises(ValidationError):
+            as_fraction_matrix([])
+
+    def test_as_float_matrix(self):
+        m = as_float_matrix([[Fraction(1, 2), 1], [0, 1]])
+        assert m.dtype == float
+        assert m[0, 0] == 0.5
+
+    def test_is_exact_array(self):
+        exact = as_fraction_matrix([[1, 2]])
+        assert is_exact_array(exact)
+        assert not is_exact_array(np.array([[0.5]]))
+
+
+class TestStochasticChecks:
+    def test_probability_vector_exact(self):
+        check_probability_vector(
+            np.array([Fraction(1, 2), Fraction(1, 2)], dtype=object)
+        )
+
+    def test_probability_vector_float(self):
+        check_probability_vector(np.array([0.3, 0.7]))
+
+    def test_bad_sum_exact(self):
+        with pytest.raises(NotStochasticError):
+            check_probability_vector(
+                np.array([Fraction(1, 2), Fraction(1, 3)], dtype=object)
+            )
+
+    def test_negative_entry(self):
+        with pytest.raises(NotStochasticError):
+            check_probability_vector(np.array([1.2, -0.2]))
+
+    def test_row_stochastic_reports_row(self):
+        matrix = np.array([[0.5, 0.5], [0.6, 0.6]])
+        with pytest.raises(NotStochasticError) as excinfo:
+            check_row_stochastic(matrix)
+        assert excinfo.value.row == 1
+
+    def test_row_stochastic_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            check_row_stochastic(np.array([1.0]))
