@@ -38,8 +38,10 @@ from .core import (
     check_derivability,
     derivation_factor,
     derive_mechanism,
+    cached_geometric_mechanism,
     epsilon_to_alpha,
     geometric_matrix,
+    gprime_inverse,
     gprime_matrix,
     is_derivable_from_geometric,
     is_differentially_private,
@@ -75,6 +77,7 @@ from .losses import (
     AbsoluteLoss,
     CappedLoss,
     LossFunction,
+    cached_loss_matrix,
     PowerLoss,
     SquaredLoss,
     TabularLoss,
@@ -96,6 +99,8 @@ __all__ = [
     "GeometricMechanism",
     "UnboundedGeometricMechanism",
     "geometric_matrix",
+    "cached_geometric_mechanism",
+    "gprime_inverse",
     "gprime_matrix",
     "truncated_laplace_mechanism",
     "randomized_response_mechanism",
@@ -131,6 +136,7 @@ __all__ = [
     "SideInformation",
     # losses
     "LossFunction",
+    "cached_loss_matrix",
     "AbsoluteLoss",
     "SquaredLoss",
     "ZeroOneLoss",

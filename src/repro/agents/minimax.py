@@ -137,7 +137,14 @@ class MinimaxAgent:
         rng = ensure_generator(rng)
         row = np.asarray(kernel[observed], dtype=float)
         row = np.clip(row, 0.0, None)
-        row = row / row.sum()
+        total = float(row.sum())
+        if not np.isfinite(total) or total <= 0.0:
+            raise ValidationError(
+                f"interaction kernel row {observed} has no positive mass "
+                f"(sum={total!r}); a reinterpretation row must be a "
+                "probability distribution"
+            )
+        row = row / total
         return int(rng.choice(kernel.shape[1], p=row))
 
     def __repr__(self) -> str:

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..agents.bayesian import BayesianAgent
-from ..core.geometric import GeometricMechanism
+from ..core.geometric import cached_geometric_mechanism
 from ..core.interaction import optimal_interaction
 from ..core.optimal import optimal_mechanism
 from ..exceptions import ValidationError
@@ -63,13 +63,36 @@ class UniversalityRecord:
     holds: bool
 
 
+def _cell_key(n, alpha, loss, members, exact):
+    """Hashable identity of one sweep cell (the tuple itself, so dict
+    lookups keep full equality semantics rather than bare hashes).
+
+    Loss functions hash by identity, which is the right notion here:
+    grids are built by repeating the same loss objects across cells.
+    Unhashable alphas disable caching for the cell (return ``None``).
+    """
+    key = (n, alpha, loss, members, exact)
+    try:
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
 def universality_sweep(
     cases,
     *,
     exact: bool = False,
     tolerance: float = 1e-6,
+    cache: dict | None = None,
 ) -> list[UniversalityRecord]:
     """Run the Theorem 1 check over ``(n, alpha, loss, side_info)`` cases.
+
+    Repeated ``(n, alpha, loss, side_information)`` cells are deduped:
+    the bespoke LP and the interaction LP each solve once per distinct
+    cell, and the deployed geometric mechanism is shared per
+    ``(n, alpha)`` via
+    :func:`repro.core.geometric.cached_geometric_mechanism`.
 
     Parameters
     ----------
@@ -80,27 +103,44 @@ def universality_sweep(
         Use the exact simplex (slower; zero tolerance).
     tolerance:
         Gap tolerance in the float regime.
+    cache:
+        Optional dict reused across calls so successive sweeps over
+        overlapping grids skip already-solved cells. Defaults to a fresh
+        per-call cache.
     """
     records: list[UniversalityRecord] = []
+    solved = {} if cache is None else cache
     for n, alpha, loss, side in cases:
         if not isinstance(loss, LossFunction):
             raise ValidationError("sweep cases must use LossFunction losses")
-        bespoke = optimal_mechanism(n, alpha, loss, side, exact=exact)
-        deployed = GeometricMechanism(n, alpha if exact else float(alpha))
-        interaction = optimal_interaction(deployed, loss, side, exact=exact)
-        gap = bespoke.loss - interaction.loss
-        holds = gap == 0 if exact else abs(float(gap)) <= tolerance
         members = tuple(
             range(n + 1) if side is None else sorted(int(i) for i in side)
         )
+        key = _cell_key(n, alpha, loss, members, exact)
+        if key is not None and key in solved:
+            bespoke_loss, interaction_loss = solved[key]
+        else:
+            bespoke = optimal_mechanism(n, alpha, loss, side, exact=exact)
+            deployed = cached_geometric_mechanism(
+                n, alpha if exact else float(alpha)
+            )
+            interaction = optimal_interaction(
+                deployed, loss, side, exact=exact
+            )
+            bespoke_loss = bespoke.loss
+            interaction_loss = interaction.loss
+            if key is not None:
+                solved[key] = (bespoke_loss, interaction_loss)
+        gap = bespoke_loss - interaction_loss
+        holds = gap == 0 if exact else abs(float(gap)) <= tolerance
         records.append(
             UniversalityRecord(
                 n=n,
                 alpha=alpha,
                 loss_name=loss.describe(),
                 side_information=members,
-                bespoke_loss=bespoke.loss,
-                interaction_loss=interaction.loss,
+                bespoke_loss=bespoke_loss,
+                interaction_loss=interaction_loss,
                 gap=gap,
                 holds=holds,
             )
@@ -113,21 +153,33 @@ def bayesian_universality_sweep(
     *,
     exact: bool = False,
     tolerance: float = 1e-6,
+    cache: dict | None = None,
 ) -> list[UniversalityRecord]:
     """GRS09 baseline: the same sweep for Bayesian consumers.
 
     ``cases`` are ``(n, alpha, loss, prior)`` tuples. For each, the
     prior-expected loss achieved by the Bayesian agent's deterministic
     remap of the geometric mechanism is compared against the GRS09
-    bespoke LP optimum.
+    bespoke LP optimum. Repeated cells are deduped as in
+    :func:`universality_sweep` (the prior participates in the cell key).
     """
     records: list[UniversalityRecord] = []
+    solved = {} if cache is None else cache
     for n, alpha, loss, prior in cases:
         agent = BayesianAgent(loss, prior, n=n)
-        _, bespoke_loss = agent.bespoke_mechanism(alpha, exact=exact)
-        deployed = GeometricMechanism(n, alpha if exact else float(alpha))
-        interaction = agent.best_interaction(deployed)
-        gap = bespoke_loss - interaction.loss
+        prior_key = tuple(np.asarray(prior).tolist())
+        key = _cell_key(n, alpha, loss, prior_key, exact)
+        if key is not None and key in solved:
+            bespoke_loss, interaction_loss = solved[key]
+        else:
+            _, bespoke_loss = agent.bespoke_mechanism(alpha, exact=exact)
+            deployed = cached_geometric_mechanism(
+                n, alpha if exact else float(alpha)
+            )
+            interaction_loss = agent.best_interaction(deployed).loss
+            if key is not None:
+                solved[key] = (bespoke_loss, interaction_loss)
+        gap = bespoke_loss - interaction_loss
         holds = gap == 0 if exact else abs(float(gap)) <= tolerance
         records.append(
             UniversalityRecord(
@@ -136,7 +188,7 @@ def bayesian_universality_sweep(
                 loss_name=loss.describe(),
                 side_information=tuple(range(n + 1)),
                 bespoke_loss=bespoke_loss,
-                interaction_loss=interaction.loss,
+                interaction_loss=interaction_loss,
                 gap=gap,
                 holds=holds,
             )

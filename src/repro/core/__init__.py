@@ -48,7 +48,9 @@ from .geometric import (
     UnboundedGeometricMechanism,
     column_scaling,
     geometric_matrix,
+    cached_geometric_mechanism,
     geometric_noise_pmf,
+    gprime_inverse,
     gprime_matrix,
 )
 from .interaction import (
@@ -91,6 +93,8 @@ __all__ = [
     "geometric_matrix",
     "geometric_noise_pmf",
     "gprime_matrix",
+    "gprime_inverse",
+    "cached_geometric_mechanism",
     "column_scaling",
     "alpha_to_epsilon",
     "epsilon_to_alpha",

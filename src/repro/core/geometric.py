@@ -19,13 +19,17 @@ Table 2 used throughout the proofs.
 from __future__ import annotations
 
 from fractions import Fraction
+from functools import lru_cache
 
 import numpy as np
 
 from ..exceptions import ValidationError
 from ..linalg.rational import RationalMatrix
-from ..linalg.toeplitz import kms_matrix
-from ..sampling.geometric import sample_two_sided_geometric
+from ..linalg.toeplitz import kms_inverse, kms_matrix
+from ..sampling.geometric import (
+    sample_two_sided_geometric,
+    two_sided_geometric_pmf,
+)
 from ..validation import as_fraction, check_alpha, check_result_range
 from .mechanism import Mechanism
 
@@ -33,7 +37,9 @@ __all__ = [
     "geometric_noise_pmf",
     "geometric_matrix",
     "gprime_matrix",
+    "gprime_inverse",
     "column_scaling",
+    "cached_geometric_mechanism",
     "GeometricMechanism",
     "UnboundedGeometricMechanism",
 ]
@@ -42,33 +48,23 @@ __all__ = [
 def geometric_noise_pmf(alpha, z: int):
     """Two-sided geometric pmf ``Pr[Z = z]`` from Definition 1.
 
-    Exact when ``alpha`` is a Fraction, float otherwise.
+    Exact when ``alpha`` is a Fraction, float otherwise. Delegates to
+    :func:`repro.sampling.geometric.two_sided_geometric_pmf`, the single
+    implementation of Definition 1's law.
 
     Examples
     --------
     >>> geometric_noise_pmf(Fraction(1, 2), 0)
     Fraction(1, 3)
     """
-    if isinstance(alpha, Fraction):
-        check_alpha(alpha)
-        return (1 - alpha) / (1 + alpha) * alpha ** abs(int(z))
-    alpha = float(alpha)
-    check_alpha(alpha)
-    return (1.0 - alpha) / (1.0 + alpha) * alpha ** abs(int(z))
+    return two_sided_geometric_pmf(alpha, z)
 
 
-def geometric_matrix(n: int, alpha) -> np.ndarray:
-    """The range-restricted geometric mechanism matrix ``G_{n,alpha}``.
+def _geometric_matrix_loops(n: int, alpha) -> np.ndarray:
+    """Reference O(n^2)-Python-ops construction of ``G_{n,alpha}``.
 
-    Definition 4 of the paper: for true result ``k``,
-
-    * interior outputs ``0 < z < n`` get mass
-      ``(1-alpha)/(1+alpha) * alpha^{|z-k|}``;
-    * the boundary outputs ``z in {0, n}`` absorb the tails and get mass
-      ``alpha^{|z-k|} / (1+alpha)``.
-
-    Returns an object-dtype array of Fractions when ``alpha`` is exact
-    (Fraction/int), float64 otherwise.
+    Kept as the ground truth the vectorized :func:`geometric_matrix` is
+    tested and benchmarked against; not part of the public API.
     """
     n = check_result_range(n)
     exact = isinstance(alpha, (Fraction, int)) and not isinstance(alpha, bool)
@@ -89,6 +85,60 @@ def geometric_matrix(n: int, alpha) -> np.ndarray:
     return out
 
 
+def geometric_matrix(n: int, alpha) -> np.ndarray:
+    """The range-restricted geometric mechanism matrix ``G_{n,alpha}``.
+
+    Definition 4 of the paper: for true result ``k``,
+
+    * interior outputs ``0 < z < n`` get mass
+      ``(1-alpha)/(1+alpha) * alpha^{|z-k|}``;
+    * the boundary outputs ``z in {0, n}`` absorb the tails and get mass
+      ``alpha^{|z-k|} / (1+alpha)``.
+
+    Returns an object-dtype array of Fractions when ``alpha`` is exact
+    (Fraction/int), float64 otherwise.
+
+    Both regimes are built from one outer absolute-difference index array.
+    The float path is pure numpy broadcasting; the exact path spends only
+    O(n) Fraction multiplications on a power table of ``alpha`` before
+    fancy-indexing the (immutable, safely shared) entries into place, and
+    is exactly equal — Fraction ``==`` — to the quadratic loop
+    construction it replaced.
+    """
+    n = check_result_range(n)
+    exact = isinstance(alpha, (Fraction, int)) and not isinstance(alpha, bool)
+    if exact:
+        alpha = as_fraction(alpha, name="alpha")
+    else:
+        alpha = float(alpha)
+    check_alpha(alpha)
+    size = n + 1
+    indices = np.arange(size)
+    absdiff = np.abs(indices[:, None] - indices[None, :])
+    if not exact:
+        # O(n) pow evaluations, then pure indexing: alpha ** absdiff
+        # would call pow n^2 times for the same n distinct exponents.
+        powers = alpha ** np.arange(size, dtype=float)
+        out = ((1.0 - alpha) / (1.0 + alpha)) * powers[absdiff]
+        out[:, 0] = powers[absdiff[:, 0]] / (1.0 + alpha)
+        out[:, n] = powers[absdiff[:, n]] / (1.0 + alpha)
+        return out
+    interior = (1 - alpha) / (1 + alpha)
+    boundary = 1 / (1 + alpha)
+    powers = [Fraction(1)]
+    for _ in range(n):
+        powers.append(powers[-1] * alpha)
+    interior_values = np.empty(size, dtype=object)
+    boundary_values = np.empty(size, dtype=object)
+    for d, power in enumerate(powers):
+        interior_values[d] = interior * power
+        boundary_values[d] = boundary * power
+    out = interior_values[absdiff]
+    out[:, 0] = boundary_values[absdiff[:, 0]]
+    out[:, n] = boundary_values[absdiff[:, n]]
+    return out
+
+
 def gprime_matrix(n: int, alpha) -> RationalMatrix:
     """The matrix ``G'_{n,alpha}`` of Table 2: ``G'[i, j] = alpha^{|i-j|}``.
 
@@ -99,6 +149,52 @@ def gprime_matrix(n: int, alpha) -> RationalMatrix:
     """
     n = check_result_range(n)
     return kms_matrix(n + 1, as_fraction(alpha, name="alpha"))
+
+
+@lru_cache(maxsize=256)
+def _gprime_inverse_cached(n: int, alpha: Fraction) -> RationalMatrix:
+    return kms_inverse(n + 1, alpha)
+
+
+def gprime_inverse(n: int, alpha) -> RationalMatrix:
+    """The exact tridiagonal inverse of ``G'_{n,alpha}``, memoized.
+
+    The derivability and Theorem-2 chains repeatedly invert the same
+    ``G'`` for one deployment's ``(n, alpha)``; the closed-form
+    tridiagonal inverse (see :func:`repro.linalg.toeplitz.kms_inverse`)
+    is cached here keyed by ``(n, alpha)``. :class:`RationalMatrix` is
+    immutable, so sharing the cached instance is safe.
+    """
+    n = check_result_range(n)
+    alpha = as_fraction(alpha, name="alpha")
+    check_alpha(alpha)
+    return _gprime_inverse_cached(n, alpha)
+
+
+@lru_cache(maxsize=256)
+def _cached_geometric_mechanism(
+    n: int, alpha, exact: bool
+) -> "GeometricMechanism":
+    return GeometricMechanism(n, alpha)
+
+
+def cached_geometric_mechanism(n: int, alpha) -> "GeometricMechanism":
+    """Memoized :class:`GeometricMechanism` constructor.
+
+    Sweeps and batch pipelines instantiate the deployed mechanism for the
+    same ``(n, alpha)`` cell over and over; this returns one shared
+    instance per key. The key includes the arithmetic regime — Python
+    hashes ``0.5`` and ``Fraction(1, 2)`` identically, but the float and
+    exact mechanisms they build are distinct. Treat the result as
+    read-only (mechanisms expose no mutating API, and
+    :attr:`Mechanism.matrix` already returns a copy). Unhashable
+    ``alpha`` values fall back to a fresh instance.
+    """
+    exact = isinstance(alpha, (Fraction, int)) and not isinstance(alpha, bool)
+    try:
+        return _cached_geometric_mechanism(n, alpha, exact)
+    except TypeError:
+        return GeometricMechanism(n, alpha)
 
 
 def column_scaling(n: int, alpha) -> list[Fraction]:
@@ -157,6 +253,15 @@ class GeometricMechanism(Mechanism):
                 "with a Fraction alpha"
             )
         return gprime_matrix(self.n, self.alpha)
+
+    def gprime_inverse(self) -> RationalMatrix:
+        """Return the cached tridiagonal inverse of ``G'`` (exact only)."""
+        if not self.is_exact:
+            raise ValidationError(
+                "G'^{-1} is defined for exact alpha; construct the "
+                "mechanism with a Fraction alpha"
+            )
+        return gprime_inverse(self.n, self.alpha)
 
 
 class UnboundedGeometricMechanism:

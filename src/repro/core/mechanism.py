@@ -279,21 +279,27 @@ class Mechanism:
     # Loss evaluation (Section 2.3)
     # ------------------------------------------------------------------
     def expected_loss(self, loss, true_result: int):
-        """Expected loss ``sum_r l(i, r) x[i, r]`` for a fixed ``i``."""
-        from ..losses.base import loss_matrix  # deferred: avoids cycle
+        """Expected loss ``sum_r l(i, r) x[i, r]`` for a fixed ``i``.
+
+        The loss table is memoized per ``(loss, n, regime)`` (see
+        :func:`repro.losses.base.cached_loss_matrix`), so repeated
+        evaluations — notably :meth:`worst_case_loss` — no longer rebuild
+        it per call. Exact mechanisms keep the original term-by-term
+        Fraction sum (bit-identical results); float mechanisms take a
+        vectorized dot-product fast path.
+        """
+        from ..losses.base import cached_loss_matrix  # deferred: avoids cycle
 
         i = check_index(true_result, self.n, name="true_result")
-        table = loss_matrix(loss, self.n)
-        return sum(
-            table[i, r] * self._matrix[i, r] for r in range(self.size)
-        )
+        if self._exact:
+            table = cached_loss_matrix(loss, self.n)
+            return sum(
+                table[i, r] * self._matrix[i, r] for r in range(self.size)
+            )
+        table = cached_loss_matrix(loss, self.n, as_float=True)
+        return float(table[i] @ self._matrix[i])
 
-    def worst_case_loss(self, loss, side_information=None):
-        """Minimax disutility ``max_{i in S} sum_r l(i, r) x[i, r]``.
-
-        ``side_information`` may be an iterable of admissible results or
-        ``None`` for the full range (Equation 1 of the paper).
-        """
+    def _admissible_members(self, side_information) -> list[int]:
         members = (
             range(self.size)
             if side_information is None
@@ -305,7 +311,28 @@ class Mechanism:
         members = list(members)
         if not members:
             raise ValidationError("side information must be non-empty")
-        return max(self.expected_loss(loss, i) for i in members)
+        return members
+
+    def worst_case_loss(self, loss, side_information=None):
+        """Minimax disutility ``max_{i in S} sum_r l(i, r) x[i, r]``.
+
+        ``side_information`` may be an iterable of admissible results or
+        ``None`` for the full range (Equation 1 of the paper). Float
+        mechanisms evaluate all rows at once as
+        ``(L * X).sum(axis=1)`` and take the max over the admissible set;
+        exact mechanisms share one cached loss table across the row sums.
+        """
+        members = self._admissible_members(side_information)
+        if self._exact:
+            return max(self.expected_loss(loss, i) for i in members)
+        from ..losses.base import cached_loss_matrix  # deferred: avoids cycle
+
+        table = cached_loss_matrix(loss, self.n, as_float=True)
+        if len(members) == self.size:
+            row_losses = (table * self._matrix).sum(axis=1)
+        else:
+            row_losses = (table[members] * self._matrix[members]).sum(axis=1)
+        return float(row_losses.max())
 
     # ------------------------------------------------------------------
     # Comparison / display

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from fractions import Fraction
+from math import gcd, prod
 
 import numpy as np
 
@@ -21,6 +22,75 @@ from ..exceptions import ValidationError
 from ..validation import as_fraction
 
 __all__ = ["RationalMatrix"]
+
+
+def _cleared_integer_rows(
+    rows: Sequence[Sequence[Fraction]],
+) -> tuple[list[list[int]], list[int]]:
+    """Clear denominators once per row.
+
+    Returns integer rows plus the per-row multiplier (the lcm of the
+    row's denominators) so callers can undo the scaling after an
+    integer-only elimination.
+    """
+    work: list[list[int]] = []
+    multipliers: list[int] = []
+    for row in rows:
+        multiplier = 1
+        for entry in row:
+            denominator = entry.denominator
+            multiplier *= denominator // gcd(multiplier, denominator)
+        work.append(
+            [
+                entry.numerator * (multiplier // entry.denominator)
+                for entry in row
+            ]
+        )
+        multipliers.append(multiplier)
+    return work, multipliers
+
+
+def _fraction_free_gauss_jordan(
+    work: list[list[int]], size: int, width: int, *, context: str
+) -> int:
+    """In-place fraction-free (Bareiss-style) Gauss-Jordan over ints.
+
+    Reduces the ``size x width`` augmented integer matrix so the left
+    block becomes ``d * I`` and returns ``d``; column ``size + k`` then
+    holds ``d`` times the solution of the ``k``-th augmented system.
+    The one-step update ``(pivot * a[i][j] - a[i][k] * a[k][j]) / prev``
+    keeps every intermediate entry an exact integer (a minor of the
+    input), eliminating per-step Fraction gcd churn; after each step the
+    diagonal of every processed row equals the current pivot.
+
+    Raises
+    ------
+    ValidationError
+        When no nonzero pivot exists (singular matrix).
+    """
+    prev = 1
+    for col in range(size):
+        pivot_row = next(
+            (r for r in range(col, size) if work[r][col] != 0), None
+        )
+        if pivot_row is None:
+            raise ValidationError(f"matrix is singular; {context}")
+        if pivot_row != col:
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+        pivot = work[col][col]
+        base = work[col]
+        for r in range(size):
+            if r == col:
+                continue
+            row = work[r]
+            factor = row[col]
+            for j in range(col + 1, width):
+                row[j] = (pivot * row[j] - factor * base[j]) // prev
+            row[col] = 0
+        for r in range(col):
+            work[r][r] = pivot
+        prev = pivot
+    return prev
 
 
 class RationalMatrix:
@@ -221,7 +291,13 @@ class RationalMatrix:
     # Elimination-based operations
     # ------------------------------------------------------------------
     def determinant(self) -> Fraction:
-        """Return the exact determinant (Gaussian elimination).
+        """Return the exact determinant (fraction-free Bareiss elimination).
+
+        Denominators are cleared once per row, the elimination runs over
+        Python ints (every intermediate entry is a minor of the scaled
+        matrix, so the single-step division is exact), and one division
+        at the end restores the rational value — the same Fraction naive
+        Gaussian elimination produces, without its per-step gcd churn.
 
         Raises
         ------
@@ -231,9 +307,10 @@ class RationalMatrix:
         if not self.is_square:
             raise ValidationError("determinant requires a square matrix")
         size = self._shape[0]
-        work = [list(row) for row in self._rows]
-        det = Fraction(1)
-        for col in range(size):
+        work, multipliers = _cleared_integer_rows(self._rows)
+        sign = 1
+        prev = 1
+        for col in range(size - 1):
             pivot_row = next(
                 (r for r in range(col, size) if work[r][col] != 0), None
             )
@@ -241,21 +318,25 @@ class RationalMatrix:
                 return Fraction(0)
             if pivot_row != col:
                 work[col], work[pivot_row] = work[pivot_row], work[col]
-                det = -det
+                sign = -sign
             pivot = work[col][col]
-            det *= pivot
+            base = work[col]
             for r in range(col + 1, size):
-                if work[r][col] == 0:
-                    continue
-                factor = work[r][col] / pivot
-                work[r] = [
-                    entry - factor * top
-                    for entry, top in zip(work[r], work[col])
-                ]
-        return det
+                row = work[r]
+                factor = row[col]
+                for j in range(col + 1, size):
+                    row[j] = (pivot * row[j] - factor * base[j]) // prev
+                row[col] = 0
+            prev = pivot
+        return Fraction(sign * work[size - 1][size - 1], prod(multipliers))
 
     def inverse(self) -> "RationalMatrix":
-        """Return the exact inverse (Gauss-Jordan elimination).
+        """Return the exact inverse (fraction-free Gauss-Jordan).
+
+        Row denominators are cleared once — reducing the integer system
+        ``[diag(m) A | diag(m)]`` directly yields ``A^{-1}`` — and the
+        elimination itself is integer-only, with a single rational
+        division per entry at the end.
 
         Raises
         ------
@@ -265,32 +346,28 @@ class RationalMatrix:
         if not self.is_square:
             raise ValidationError("inverse requires a square matrix")
         size = self._shape[0]
-        work = [
-            list(row) + [Fraction(int(i == j)) for j in range(size)]
-            for i, row in enumerate(self._rows)
-        ]
-        for col in range(size):
-            pivot_row = next(
-                (r for r in range(col, size) if work[r][col] != 0), None
-            )
-            if pivot_row is None:
-                raise ValidationError("matrix is singular; no inverse exists")
-            if pivot_row != col:
-                work[col], work[pivot_row] = work[pivot_row], work[col]
-            pivot = work[col][col]
-            work[col] = [entry / pivot for entry in work[col]]
-            for r in range(size):
-                if r == col or work[r][col] == 0:
-                    continue
-                factor = work[r][col]
-                work[r] = [
-                    entry - factor * top
-                    for entry, top in zip(work[r], work[col])
-                ]
-        return RationalMatrix([row[size:] for row in work])
+        work, multipliers = _cleared_integer_rows(self._rows)
+        for i, row in enumerate(work):
+            row.extend(0 for _ in range(size))
+            row[size + i] = multipliers[i]
+        denominator = _fraction_free_gauss_jordan(
+            work, size, 2 * size, context="no inverse exists"
+        )
+        return RationalMatrix(
+            [
+                [Fraction(entry, denominator) for entry in row[size:]]
+                for row in work
+            ]
+        )
 
     def solve(self, rhs: Sequence[object]) -> tuple[Fraction, ...]:
-        """Solve ``A x = rhs`` exactly for a square nonsingular ``A``."""
+        """Solve ``A x = rhs`` exactly for a square nonsingular ``A``.
+
+        Uses the same fraction-free integer elimination as
+        :meth:`inverse`: denominators of each row (including its rhs
+        entry) are cleared once, then a single division per unknown
+        restores the rational solution.
+        """
         if not self.is_square:
             raise ValidationError("solve requires a square matrix")
         values = [as_fraction(entry) for entry in rhs]
@@ -300,26 +377,16 @@ class RationalMatrix:
                 f"{self._shape[0]}"
             )
         size = self._shape[0]
-        work = [list(row) + [values[i]] for i, row in enumerate(self._rows)]
-        for col in range(size):
-            pivot_row = next(
-                (r for r in range(col, size) if work[r][col] != 0), None
-            )
-            if pivot_row is None:
-                raise ValidationError("matrix is singular; cannot solve")
-            if pivot_row != col:
-                work[col], work[pivot_row] = work[pivot_row], work[col]
-            pivot = work[col][col]
-            work[col] = [entry / pivot for entry in work[col]]
-            for r in range(size):
-                if r == col or work[r][col] == 0:
-                    continue
-                factor = work[r][col]
-                work[r] = [
-                    entry - factor * top
-                    for entry, top in zip(work[r], work[col])
-                ]
-        return tuple(work[i][size] for i in range(size))
+        augmented = [
+            list(row) + [values[i]] for i, row in enumerate(self._rows)
+        ]
+        work, _ = _cleared_integer_rows(augmented)
+        denominator = _fraction_free_gauss_jordan(
+            work, size, size + 1, context="cannot solve"
+        )
+        return tuple(
+            Fraction(work[i][size], denominator) for i in range(size)
+        )
 
     def replace_column(
         self, j: int, column: Sequence[object]

@@ -17,7 +17,12 @@ This subpackage provides:
 * a validator for the paper's monotonicity assumption.
 """
 
-from .base import LossFunction, check_monotone, loss_matrix
+from .base import (
+    LossFunction,
+    cached_loss_matrix,
+    check_monotone,
+    loss_matrix,
+)
 from .composite import (
     CappedLoss,
     MaxLoss,
@@ -37,6 +42,7 @@ from .standard import (
 
 __all__ = [
     "LossFunction",
+    "cached_loss_matrix",
     "check_monotone",
     "loss_matrix",
     "AbsoluteLoss",

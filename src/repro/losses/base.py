@@ -12,13 +12,19 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Iterable
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
 from ..exceptions import LossFunctionError
 from ..validation import check_result_range
 
-__all__ = ["LossFunction", "check_monotone", "loss_matrix"]
+__all__ = [
+    "LossFunction",
+    "check_monotone",
+    "loss_matrix",
+    "cached_loss_matrix",
+]
 
 
 class LossFunction(abc.ABC):
@@ -52,6 +58,17 @@ class LossFunction(abc.ABC):
                 out[i, r] = self.loss(i, r)
         return out
 
+    def _float_table(self, n: int) -> np.ndarray | None:
+        """Optional vectorized float64 loss table.
+
+        Subclasses with closed-form losses may return the full
+        ``(n+1) x (n+1)`` float table built by numpy broadcasting;
+        returning ``None`` (the default) makes
+        :func:`cached_loss_matrix` fall back to converting the exact
+        object table entry by entry.
+        """
+        return None
+
     def describe(self) -> str:
         """A short human-readable description (class name by default)."""
         return type(self).__name__
@@ -76,6 +93,56 @@ def loss_matrix(loss: LossFunction | np.ndarray, n: int) -> np.ndarray:
             f"got {matrix.shape}"
         )
     return matrix
+
+
+#: Per-loss memo of built tables. Weak keys let loss instances (and their
+#: tables) be collected when callers drop them; values map
+#: ``(n, regime)`` to a read-only array.
+_TABLE_CACHE: "WeakKeyDictionary[LossFunction, dict]" = WeakKeyDictionary()
+
+
+def cached_loss_matrix(
+    loss: LossFunction | np.ndarray, n: int, *, as_float: bool = False
+) -> np.ndarray:
+    """Memoized :func:`loss_matrix`, keyed by ``(loss, n, regime)``.
+
+    Building a loss table is O(n^2) Python calls; the evaluation hot
+    paths (:meth:`repro.core.mechanism.Mechanism.expected_loss` and
+    friends) ask for the same table once per input otherwise. Tables for
+    :class:`LossFunction` instances are built once per ``(loss, n)`` and
+    regime (exact object entries, or float64 when ``as_float``) and
+    returned **read-only** — callers that need to mutate should use
+    :func:`loss_matrix`, which always returns a fresh array. Explicit
+    matrix inputs are only normalized, never cached.
+    """
+    n = check_result_range(n)
+    if not isinstance(loss, LossFunction):
+        table = loss_matrix(loss, n)
+        if as_float and table.dtype != float:
+            table = np.asarray(table, dtype=float)
+        return table
+    per_loss = _TABLE_CACHE.setdefault(loss, {})
+    key = (n, "float" if as_float else "object")
+    table = per_loss.get(key)
+    if table is None:
+        if as_float:
+            table = loss._float_table(n)
+            if table is None:
+                table = np.asarray(
+                    cached_loss_matrix(loss, n), dtype=float
+                )
+            else:
+                table = np.asarray(table, dtype=float)
+                if table.shape != (n + 1, n + 1):
+                    raise LossFunctionError(
+                        f"_float_table must have shape {(n + 1, n + 1)}, "
+                        f"got {table.shape}"
+                    )
+        else:
+            table = loss.matrix(n)
+        table.setflags(write=False)
+        per_loss[key] = table
+    return table
 
 
 def check_monotone(

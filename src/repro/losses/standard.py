@@ -17,10 +17,17 @@ from __future__ import annotations
 
 from fractions import Fraction
 
+import numpy as np
+
 from ..exceptions import LossFunctionError
 from .base import LossFunction
 
 __all__ = ["AbsoluteLoss", "SquaredLoss", "ZeroOneLoss", "PowerLoss"]
+
+
+def _distance_table(n: int) -> np.ndarray:
+    indices = np.arange(n + 1)
+    return np.abs(indices[:, None] - indices[None, :])
 
 
 class AbsoluteLoss(LossFunction):
@@ -28,6 +35,9 @@ class AbsoluteLoss(LossFunction):
 
     def loss(self, true_result: int, reported_result: int) -> int:
         return abs(true_result - reported_result)
+
+    def _float_table(self, n: int) -> np.ndarray:
+        return _distance_table(n).astype(float)
 
     def describe(self) -> str:
         return "AbsoluteLoss |i-r|"
@@ -39,6 +49,10 @@ class SquaredLoss(LossFunction):
     def loss(self, true_result: int, reported_result: int) -> int:
         return (true_result - reported_result) ** 2
 
+    def _float_table(self, n: int) -> np.ndarray:
+        distance = _distance_table(n).astype(float)
+        return distance * distance
+
     def describe(self) -> str:
         return "SquaredLoss (i-r)^2"
 
@@ -48,6 +62,9 @@ class ZeroOneLoss(LossFunction):
 
     def loss(self, true_result: int, reported_result: int) -> int:
         return int(true_result != reported_result)
+
+    def _float_table(self, n: int) -> np.ndarray:
+        return (_distance_table(n) != 0).astype(float)
 
     def describe(self) -> str:
         return "ZeroOneLoss 1[i != r]"

@@ -9,7 +9,10 @@ the publisher does exactly that and records everything an auditor needs.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..core.geometric import GeometricMechanism
 from ..core.mechanism import Mechanism
@@ -17,6 +20,7 @@ from ..db.database import Database
 from ..db.engine import QueryEngine
 from ..db.queries import CountQuery
 from ..exceptions import ValidationError
+from ..sampling.geometric import sample_two_sided_geometric
 from ..sampling.rng import ensure_generator
 
 __all__ = ["PublishedStatistic", "Publisher"]
@@ -46,6 +50,11 @@ class PublishedStatistic:
 
 class Publisher:
     """Publishes geometric-mechanism releases for one database.
+
+    Single statistics go through :meth:`publish`; query batches should
+    use :meth:`publish_batch`, which draws all noise in one vectorized
+    shot while keeping each release distributed identically to
+    :meth:`publish`.
 
     Parameters
     ----------
@@ -101,3 +110,47 @@ class Publisher:
             raise ValidationError(f"count must be >= 0, got {count}")
         rng = ensure_generator(rng)
         return [self.publish(query, rng) for _ in range(count)]
+
+    def publish_batch(
+        self, queries: Iterable[CountQuery], rng=None
+    ) -> list[PublishedStatistic]:
+        """Release one geometric perturbation per query, vectorized.
+
+        The fast path for heavy traffic: evaluates every query exactly,
+        then draws *all* two-sided geometric noise in one
+        ``rng.geometric`` pair (Definition 1's noise is the difference of
+        two one-sided geometrics) and clamps to the range ``{0..n}`` with
+        ``np.clip`` — exactly the tail-collapsing projection of
+        Definition 4, so each release is distributed identically to
+        :meth:`publish`. With a seeded ``rng`` the batch is reproducible:
+        the same seed and query batch yield identical releases.
+
+        Like :meth:`publish_many`, releasing many statistics composes
+        privacy loss; the per-release guarantee is alpha-DP.
+        """
+        queries = list(queries)
+        for query in queries:
+            if not isinstance(query, CountQuery):
+                raise ValidationError(
+                    f"expected CountQuery, got {type(query).__name__}"
+                )
+        if not queries:
+            return []
+        rng = ensure_generator(rng)
+        true_values = np.array(
+            [self._engine.answer_exact(query) for query in queries],
+            dtype=np.int64,
+        )
+        noise = sample_two_sided_geometric(
+            float(self.alpha), rng, size=len(queries)
+        )
+        published = np.clip(true_values + noise, 0, self.n)
+        return [
+            PublishedStatistic(
+                query_description=query.describe(),
+                value=int(value),
+                alpha=self.alpha,
+                n=self.n,
+            )
+            for query, value in zip(queries, published)
+        ]

@@ -1,0 +1,44 @@
+"""Regression test: reinterpret must reject an all-zero kernel row."""
+
+import numpy as np
+import pytest
+
+from repro.agents.minimax import MinimaxAgent
+from repro.exceptions import ValidationError
+from repro.losses import AbsoluteLoss
+
+
+@pytest.fixture
+def agent():
+    return MinimaxAgent(AbsoluteLoss(), None, n=2)
+
+
+class TestReinterpretGuard:
+    def test_zero_row_raises_validation_error(self, agent):
+        kernel = np.array([[0.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        with pytest.raises(ValidationError, match="no positive mass"):
+            agent.reinterpret(0, kernel, rng=np.random.default_rng(0))
+
+    def test_negative_row_clipped_to_zero_raises(self, agent):
+        kernel = np.array(
+            [[-1.0, -2.0, -3.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+        )
+        with pytest.raises(ValidationError, match="no positive mass"):
+            agent.reinterpret(0, kernel, rng=np.random.default_rng(0))
+
+    def test_nan_row_raises(self, agent):
+        kernel = np.array(
+            [[np.nan, 0.5, 0.5], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+        )
+        with pytest.raises(ValidationError):
+            agent.reinterpret(0, kernel, rng=np.random.default_rng(0))
+
+    def test_valid_rows_still_sample(self, agent):
+        kernel = np.array([[0.5, 0.5, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        result = agent.reinterpret(1, kernel, rng=np.random.default_rng(0))
+        assert result == 1
+
+    def test_out_of_range_observed_rejected(self, agent):
+        kernel = np.eye(3)
+        with pytest.raises(ValidationError):
+            agent.reinterpret(3, kernel)

@@ -1,0 +1,210 @@
+"""Equivalence tests for the vectorized fast paths.
+
+The vectorized constructions and cached evaluation paths must be
+indistinguishable from the loop-based originals: bit-identical Fractions
+in the exact regime, ``allclose`` in the float regime.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.geometric import (
+    GeometricMechanism,
+    _geometric_matrix_loops,
+    cached_geometric_mechanism,
+    geometric_matrix,
+    gprime_inverse,
+    gprime_matrix,
+)
+from repro.core.mechanism import Mechanism
+from repro.exceptions import ValidationError
+from repro.linalg.toeplitz import kms_inverse
+from repro.losses import (
+    AbsoluteLoss,
+    PowerLoss,
+    SquaredLoss,
+    ZeroOneLoss,
+    cached_loss_matrix,
+    loss_matrix,
+)
+
+EXACT_GRID = [
+    (n, alpha)
+    for n in (1, 2, 3, 5, 8, 13)
+    for alpha in (Fraction(1, 5), Fraction(1, 4), Fraction(1, 2), Fraction(2, 3), Fraction(9, 10))
+]
+FLOAT_GRID = [
+    (n, alpha)
+    for n in (1, 2, 3, 7, 16, 33)
+    for alpha in (0.1, 0.25, 0.5, 0.75, 0.95)
+]
+
+
+class TestGeometricMatrixEquivalence:
+    @pytest.mark.parametrize("n,alpha", EXACT_GRID)
+    def test_exact_bit_identical_to_loops(self, n, alpha):
+        vectorized = geometric_matrix(n, alpha)
+        loops = _geometric_matrix_loops(n, alpha)
+        assert vectorized.dtype == object
+        assert (vectorized == loops).all()
+        assert all(isinstance(entry, Fraction) for entry in vectorized.flat)
+
+    @pytest.mark.parametrize("n,alpha", FLOAT_GRID)
+    def test_float_allclose_to_loops(self, n, alpha):
+        vectorized = geometric_matrix(n, alpha)
+        loops = _geometric_matrix_loops(n, alpha)
+        assert vectorized.dtype == float
+        assert np.allclose(vectorized, loops, rtol=0.0, atol=1e-15)
+
+    @pytest.mark.parametrize("n,alpha", EXACT_GRID)
+    def test_exact_rows_sum_to_one(self, n, alpha):
+        matrix = geometric_matrix(n, alpha)
+        assert all(sum(row) == 1 for row in matrix)
+
+    def test_float_rows_sum_to_one_at_scale(self):
+        matrix = geometric_matrix(512, 0.5)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_int_alpha_rejected_by_range_check(self):
+        with pytest.raises(ValidationError):
+            geometric_matrix(3, 1)
+
+
+class TestCachedGeometricMechanism:
+    def test_shared_instance_per_key(self):
+        first = cached_geometric_mechanism(4, Fraction(1, 3))
+        second = cached_geometric_mechanism(4, Fraction(1, 3))
+        assert first is second
+
+    def test_distinct_keys_distinct_instances(self):
+        exact = cached_geometric_mechanism(4, Fraction(1, 2))
+        floaty = cached_geometric_mechanism(4, 0.5)
+        assert exact is not floaty
+        assert exact.is_exact and not floaty.is_exact
+
+    def test_matches_direct_construction(self):
+        cached = cached_geometric_mechanism(5, Fraction(1, 4))
+        direct = GeometricMechanism(5, Fraction(1, 4))
+        assert cached == direct
+
+
+class TestGprimeInverse:
+    @pytest.mark.parametrize("n", [1, 2, 3, 6])
+    def test_matches_kms_inverse(self, n):
+        alpha = Fraction(2, 5)
+        assert gprime_inverse(n, alpha) == kms_inverse(n + 1, alpha)
+
+    def test_is_a_true_inverse(self):
+        alpha = Fraction(1, 3)
+        product = gprime_matrix(4, alpha) @ gprime_inverse(4, alpha)
+        assert product.is_identity()
+
+    def test_cached_instance_shared(self):
+        assert gprime_inverse(3, Fraction(1, 7)) is gprime_inverse(
+            3, Fraction(1, 7)
+        )
+
+    def test_mechanism_method_requires_exact(self):
+        with pytest.raises(ValidationError):
+            GeometricMechanism(3, 0.5).gprime_inverse()
+        exact = GeometricMechanism(3, Fraction(1, 2))
+        assert exact.gprime_inverse() == kms_inverse(4, Fraction(1, 2))
+
+
+class TestCachedLossMatrix:
+    def test_object_table_cached_and_read_only(self):
+        loss = AbsoluteLoss()
+        first = cached_loss_matrix(loss, 6)
+        second = cached_loss_matrix(loss, 6)
+        assert first is second
+        assert not first.flags.writeable
+        assert (first == loss_matrix(loss, 6)).all()
+
+    def test_float_table_matches_object_table(self):
+        for loss in (AbsoluteLoss(), SquaredLoss(), ZeroOneLoss(), PowerLoss(3)):
+            table = cached_loss_matrix(loss, 9, as_float=True)
+            reference = np.asarray(loss_matrix(loss, 9), dtype=float)
+            assert table.dtype == float
+            assert np.allclose(table, reference, rtol=0.0, atol=0.0)
+
+    def test_explicit_matrices_only_normalized(self):
+        # Explicit matrices pass through loss_matrix untouched (asarray
+        # on an ndarray is a no-op) and never enter the cache.
+        explicit = loss_matrix(AbsoluteLoss(), 3)
+        normalized = cached_loss_matrix(explicit, 3)
+        assert normalized is explicit
+        assert normalized.flags.writeable
+
+    def test_loss_matrix_still_returns_fresh_arrays(self):
+        loss = AbsoluteLoss()
+        table = loss_matrix(loss, 4)
+        table[0, 0] = 99  # mutating a fresh table must not poison the cache
+        assert cached_loss_matrix(loss, 4)[0, 0] == 0
+
+
+class TestLossEvaluationFastPath:
+    def _reference_expected_loss(self, mechanism, loss, i):
+        table = loss_matrix(loss, mechanism.n)
+        matrix = mechanism.matrix
+        return sum(table[i, r] * matrix[i, r] for r in range(mechanism.size))
+
+    @pytest.mark.parametrize("loss", [AbsoluteLoss(), SquaredLoss(), ZeroOneLoss()])
+    def test_exact_expected_loss_bit_identical(self, loss):
+        mechanism = GeometricMechanism(6, Fraction(1, 3))
+        for i in range(mechanism.size):
+            expected = self._reference_expected_loss(mechanism, loss, i)
+            got = mechanism.expected_loss(loss, i)
+            assert got == expected
+            assert isinstance(got, Fraction)
+
+    @pytest.mark.parametrize("loss", [AbsoluteLoss(), SquaredLoss(), ZeroOneLoss()])
+    def test_float_expected_loss_allclose(self, loss):
+        mechanism = GeometricMechanism(16, 0.4)
+        for i in range(mechanism.size):
+            expected = float(self._reference_expected_loss(mechanism, loss, i))
+            assert mechanism.expected_loss(loss, i) == pytest.approx(expected)
+
+    def test_exact_worst_case_loss_matches_rowwise_max(self):
+        mechanism = GeometricMechanism(5, Fraction(1, 2))
+        loss = AbsoluteLoss()
+        reference = max(
+            self._reference_expected_loss(mechanism, loss, i)
+            for i in range(mechanism.size)
+        )
+        assert mechanism.worst_case_loss(loss) == reference
+
+    def test_float_worst_case_loss_matches_rowwise_max(self):
+        mechanism = GeometricMechanism(24, 0.6)
+        loss = SquaredLoss()
+        reference = max(
+            float(self._reference_expected_loss(mechanism, loss, i))
+            for i in range(mechanism.size)
+        )
+        assert mechanism.worst_case_loss(loss) == pytest.approx(reference)
+
+    def test_float_worst_case_respects_side_information(self):
+        mechanism = GeometricMechanism(10, 0.5)
+        loss = AbsoluteLoss()
+        members = [0, 5, 10]
+        reference = max(
+            float(self._reference_expected_loss(mechanism, loss, i))
+            for i in members
+        )
+        assert mechanism.worst_case_loss(loss, members) == pytest.approx(
+            reference
+        )
+
+    def test_worst_case_rejects_empty_side_information(self):
+        mechanism = GeometricMechanism(4, 0.5)
+        with pytest.raises(ValidationError):
+            mechanism.worst_case_loss(AbsoluteLoss(), [])
+
+    def test_explicit_loss_matrix_still_accepted(self):
+        mechanism = Mechanism(np.full((4, 4), 0.25))
+        table = np.arange(16.0).reshape(4, 4)
+        reference = max(
+            float((table[i] * 0.25).sum()) for i in range(4)
+        )
+        assert mechanism.worst_case_loss(table) == pytest.approx(reference)

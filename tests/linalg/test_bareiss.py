@@ -1,0 +1,163 @@
+"""Cross-validation of the fraction-free (Bareiss) elimination paths.
+
+The reference implementations below are the naive Fraction-arithmetic
+eliminations the library used before switching
+:class:`~repro.linalg.rational.RationalMatrix` to fraction-free integer
+elimination; the new paths must agree exactly on random rational
+matrices.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.rational import RationalMatrix
+from repro.linalg.toeplitz import kms_determinant, kms_inverse, kms_matrix
+
+
+def reference_determinant(matrix: RationalMatrix) -> Fraction:
+    size = matrix.shape[0]
+    work = [list(row) for row in matrix.rows()]
+    det = Fraction(1)
+    for col in range(size):
+        pivot_row = next(
+            (r for r in range(col, size) if work[r][col] != 0), None
+        )
+        if pivot_row is None:
+            return Fraction(0)
+        if pivot_row != col:
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            det = -det
+        pivot = work[col][col]
+        det *= pivot
+        for r in range(col + 1, size):
+            if work[r][col] == 0:
+                continue
+            factor = work[r][col] / pivot
+            work[r] = [
+                entry - factor * top for entry, top in zip(work[r], work[col])
+            ]
+    return det
+
+
+def reference_inverse(matrix: RationalMatrix) -> RationalMatrix:
+    size = matrix.shape[0]
+    work = [
+        list(row) + [Fraction(int(i == j)) for j in range(size)]
+        for i, row in enumerate(matrix.rows())
+    ]
+    for col in range(size):
+        pivot_row = next(
+            (r for r in range(col, size) if work[r][col] != 0), None
+        )
+        if pivot_row is None:
+            raise ValidationError("singular")
+        if pivot_row != col:
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+        pivot = work[col][col]
+        work[col] = [entry / pivot for entry in work[col]]
+        for r in range(size):
+            if r == col or work[r][col] == 0:
+                continue
+            factor = work[r][col]
+            work[r] = [
+                entry - factor * top for entry, top in zip(work[r], work[col])
+            ]
+    return RationalMatrix([row[size:] for row in work])
+
+
+def random_rational_matrix(rng: random.Random, size: int) -> RationalMatrix:
+    return RationalMatrix(
+        [
+            [
+                Fraction(rng.randint(-12, 12), rng.randint(1, 9))
+                for _ in range(size)
+            ]
+            for _ in range(size)
+        ]
+    )
+
+
+class TestBareissDeterminant:
+    def test_agrees_with_reference_on_random_matrices(self):
+        rng = random.Random(20100115)
+        for _ in range(120):
+            matrix = random_rational_matrix(rng, rng.randint(1, 6))
+            assert matrix.determinant() == reference_determinant(matrix)
+
+    def test_singular_matrix_gives_zero(self):
+        matrix = RationalMatrix([[1, 2, 3], [2, 4, 6], [0, 1, 1]])
+        assert matrix.determinant() == 0
+
+    def test_kms_closed_form(self):
+        for size in (1, 2, 4, 8):
+            alpha = Fraction(3, 7)
+            assert kms_matrix(size, alpha).determinant() == kms_determinant(
+                size, alpha
+            )
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([[1, 2, 3], [4, 5, 6]]).determinant()
+
+
+class TestBareissInverse:
+    def test_agrees_with_reference_on_random_matrices(self):
+        rng = random.Random(20090531)
+        checked = 0
+        while checked < 60:
+            matrix = random_rational_matrix(rng, rng.randint(1, 6))
+            if matrix.determinant() == 0:
+                continue
+            assert matrix.inverse() == reference_inverse(matrix)
+            checked += 1
+
+    def test_inverse_times_matrix_is_identity(self):
+        rng = random.Random(7)
+        for _ in range(30):
+            matrix = random_rational_matrix(rng, rng.randint(1, 5))
+            if matrix.determinant() == 0:
+                continue
+            assert (matrix @ matrix.inverse()).is_identity()
+            assert (matrix.inverse() @ matrix).is_identity()
+
+    def test_kms_tridiagonal_closed_form(self):
+        for size in (2, 3, 6):
+            alpha = Fraction(1, 4)
+            assert kms_matrix(size, alpha).inverse() == kms_inverse(
+                size, alpha
+            )
+
+    def test_singular_raises(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([[1, 2], [2, 4]]).inverse()
+
+
+class TestBareissSolve:
+    def test_solution_satisfies_system(self):
+        rng = random.Random(42)
+        solved = 0
+        while solved < 60:
+            size = rng.randint(1, 6)
+            matrix = random_rational_matrix(rng, size)
+            if matrix.determinant() == 0:
+                continue
+            rhs = [
+                Fraction(rng.randint(-12, 12), rng.randint(1, 9))
+                for _ in range(size)
+            ]
+            solution = matrix.solve(rhs)
+            assert matrix.matvec(solution) == tuple(rhs)
+            # Cross-check against the inverse route.
+            assert solution == matrix.inverse().matvec(rhs)
+            solved += 1
+
+    def test_singular_raises(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([[1, 1], [1, 1]]).solve([1, 2])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix([[1, 0], [0, 1]]).solve([1, 2, 3])
