@@ -6,10 +6,17 @@ cell, the loss achieved by optimally interacting with the deployed
 geometric mechanism must equal the optimum of the consumer's bespoke LP.
 A Bayesian variant reproduces the GRS09 baseline result the paper
 generalizes.
+
+Both sweeps scale out with ``workers=``: distinct unsolved cells are
+chunked across a process pool, each worker returns its chunk of
+``(bespoke, interaction)`` losses, and the chunks merge back into the
+shared cell cache — so the records (and the cache a caller passes in)
+are bit-identical to a serial run, just produced on all cores.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -79,12 +86,72 @@ def _cell_key(n, alpha, loss, members, exact):
     return key
 
 
+def _solve_universality_cell(cell):
+    """Solve one distinct sweep cell (runs in worker processes too)."""
+    n, alpha, loss, members, exact = cell
+    bespoke = optimal_mechanism(n, alpha, loss, members, exact=exact)
+    deployed = cached_geometric_mechanism(
+        n, alpha if exact else float(alpha)
+    )
+    interaction = optimal_interaction(deployed, loss, members, exact=exact)
+    return bespoke.loss, interaction.loss
+
+
+def _solve_universality_chunk(args):
+    cells, exact = args
+    return [
+        _solve_universality_cell(cell + (exact,)) for cell in cells
+    ]
+
+
+def _solve_bayesian_cell(cell):
+    """Solve one distinct Bayesian sweep cell (worker-safe)."""
+    n, alpha, loss, prior, exact = cell
+    agent = BayesianAgent(loss, prior, n=n)
+    _, bespoke_loss = agent.bespoke_mechanism(alpha, exact=exact)
+    deployed = cached_geometric_mechanism(
+        n, alpha if exact else float(alpha)
+    )
+    return bespoke_loss, agent.best_interaction(deployed).loss
+
+
+def _solve_bayesian_chunk(args):
+    cells, exact = args
+    return [_solve_bayesian_cell(cell + (exact,)) for cell in cells]
+
+
+def _parallel_fill(solved, pending, chunk_solver, exact, workers):
+    """Solve ``pending`` (key -> cell) on a process pool, merge results.
+
+    Cells are chunked round-robin so workers stay balanced on grids
+    whose cost grows along one axis (e.g. increasing ``n``); each chunk
+    comes back as a list aligned with its cells, and the merged
+    ``solved`` cache is indistinguishable from a serial run's.
+    """
+    keys = list(pending)
+    workers = max(1, min(int(workers), len(keys)))
+    if workers == 1 or len(keys) < 2:
+        for key in keys:
+            solved[key] = chunk_solver(([pending[key]], exact))[0]
+        return
+    chunks = [keys[start::workers] for start in range(workers)]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        chunk_results = pool.map(
+            chunk_solver,
+            [([pending[key] for key in chunk], exact) for chunk in chunks],
+        )
+        for chunk, results in zip(chunks, chunk_results):
+            for key, result in zip(chunk, results):
+                solved[key] = result
+
+
 def universality_sweep(
     cases,
     *,
     exact: bool = False,
     tolerance: float = 1e-6,
     cache: dict | None = None,
+    workers: int | None = None,
 ) -> list[UniversalityRecord]:
     """Run the Theorem 1 check over ``(n, alpha, loss, side_info)`` cases.
 
@@ -100,19 +167,41 @@ def universality_sweep(
         Iterable of ``(n, alpha, loss, side_information)`` tuples;
         ``side_information`` may be None or an iterable of results.
     exact:
-        Use the exact simplex (slower; zero tolerance).
+        Use the exact (certify-first) backend (zero tolerance).
     tolerance:
         Gap tolerance in the float regime.
     cache:
         Optional dict reused across calls so successive sweeps over
         overlapping grids skip already-solved cells. Defaults to a fresh
         per-call cache.
+    workers:
+        When > 1, distinct unsolved cells are solved on a process pool
+        of this size and merged back into ``cache``; records are
+        bit-identical to a serial run. Cells whose key is unhashable
+        (and hence uncacheable) are solved serially.
     """
     records: list[UniversalityRecord] = []
     solved = {} if cache is None else cache
+    cases = [
+        (n, alpha, loss, side) for n, alpha, loss, side in cases
+    ]
     for n, alpha, loss, side in cases:
         if not isinstance(loss, LossFunction):
             raise ValidationError("sweep cases must use LossFunction losses")
+    if workers is not None and workers > 1:
+        pending: dict = {}
+        for n, alpha, loss, side in cases:
+            members = tuple(
+                range(n + 1) if side is None else sorted(int(i) for i in side)
+            )
+            key = _cell_key(n, alpha, loss, members, exact)
+            if key is not None and key not in solved and key not in pending:
+                pending[key] = (n, alpha, loss, members)
+        if pending:
+            _parallel_fill(
+                solved, pending, _solve_universality_chunk, exact, workers
+            )
+    for n, alpha, loss, side in cases:
         members = tuple(
             range(n + 1) if side is None else sorted(int(i) for i in side)
         )
@@ -120,15 +209,9 @@ def universality_sweep(
         if key is not None and key in solved:
             bespoke_loss, interaction_loss = solved[key]
         else:
-            bespoke = optimal_mechanism(n, alpha, loss, side, exact=exact)
-            deployed = cached_geometric_mechanism(
-                n, alpha if exact else float(alpha)
+            bespoke_loss, interaction_loss = _solve_universality_cell(
+                (n, alpha, loss, members, exact)
             )
-            interaction = optimal_interaction(
-                deployed, loss, side, exact=exact
-            )
-            bespoke_loss = bespoke.loss
-            interaction_loss = interaction.loss
             if key is not None:
                 solved[key] = (bespoke_loss, interaction_loss)
         gap = bespoke_loss - interaction_loss
@@ -154,6 +237,7 @@ def bayesian_universality_sweep(
     exact: bool = False,
     tolerance: float = 1e-6,
     cache: dict | None = None,
+    workers: int | None = None,
 ) -> list[UniversalityRecord]:
     """GRS09 baseline: the same sweep for Bayesian consumers.
 
@@ -161,22 +245,33 @@ def bayesian_universality_sweep(
     prior-expected loss achieved by the Bayesian agent's deterministic
     remap of the geometric mechanism is compared against the GRS09
     bespoke LP optimum. Repeated cells are deduped as in
-    :func:`universality_sweep` (the prior participates in the cell key).
+    :func:`universality_sweep` (the prior participates in the cell key),
+    and ``workers=`` fans distinct cells out to a process pool the same
+    way.
     """
     records: list[UniversalityRecord] = []
     solved = {} if cache is None else cache
+    cases = [(n, alpha, loss, prior) for n, alpha, loss, prior in cases]
+    if workers is not None and workers > 1:
+        pending: dict = {}
+        for n, alpha, loss, prior in cases:
+            prior_key = tuple(np.asarray(prior).tolist())
+            key = _cell_key(n, alpha, loss, prior_key, exact)
+            if key is not None and key not in solved and key not in pending:
+                pending[key] = (n, alpha, loss, prior)
+        if pending:
+            _parallel_fill(
+                solved, pending, _solve_bayesian_chunk, exact, workers
+            )
     for n, alpha, loss, prior in cases:
-        agent = BayesianAgent(loss, prior, n=n)
         prior_key = tuple(np.asarray(prior).tolist())
         key = _cell_key(n, alpha, loss, prior_key, exact)
         if key is not None and key in solved:
             bespoke_loss, interaction_loss = solved[key]
         else:
-            _, bespoke_loss = agent.bespoke_mechanism(alpha, exact=exact)
-            deployed = cached_geometric_mechanism(
-                n, alpha if exact else float(alpha)
+            bespoke_loss, interaction_loss = _solve_bayesian_cell(
+                (n, alpha, loss, prior, exact)
             )
-            interaction_loss = agent.best_interaction(deployed).loss
             if key is not None:
                 solved[key] = (bespoke_loss, interaction_loss)
         gap = bespoke_loss - interaction_loss

@@ -18,7 +18,6 @@ non-negative.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
 
 import numpy as np
 
@@ -155,15 +154,15 @@ def optimal_interaction(
         backend = choose_backend(exact=exact, size_hint=num_vars)
     solution = backend.solve(program)
 
-    kernel = np.empty((size, size), dtype=object if exact else float)
-    for r in range(size):
-        for r_prime in range(size):
-            value = solution.values[r * size + r_prime]
-            kernel[r, r_prime] = (
-                Fraction(value) if exact else float(value)
-            )
-    if not exact:
-        kernel = np.clip(kernel.astype(float), 0.0, None)
+    flat = solution.values[: size * size]
+    if exact:
+        # Exact backends hand back Fractions; a flat object-array fill
+        # replaces the old per-entry double loop.
+        kernel = np.empty((size, size), dtype=object)
+        kernel.ravel()[:] = flat
+    else:
+        kernel = np.asarray(flat, dtype=float).reshape(size, size)
+        kernel = np.clip(kernel, 0.0, None)
         kernel = kernel / kernel.sum(axis=1, keepdims=True)
     induced = (deployed.to_exact() if exact else deployed.to_float()).post_process(
         kernel, name="induced"

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 
 import numpy as np
 
@@ -64,6 +65,35 @@ class OptimalMechanismResult:
     backend: str
 
 
+@lru_cache(maxsize=256)
+def _shared_constraint_blocks(n: int, alpha, regime: str):
+    """Privacy + stochasticity constraint blocks, cached per ``(n, alpha)``.
+
+    These rows depend only on the instance size and the privacy level —
+    not on the consumer — so sweeps over many losses/side-information
+    sets at one ``(n, alpha)`` reuse a single prebuilt block instead of
+    re-materializing ``2 n (n+1) + (n+1)`` constraints per cell. The
+    ``regime`` tag keeps exact and float blocks apart even though
+    ``Fraction(1, 4) == 0.25`` hashes identically.
+    """
+    del regime  # participates only in the cache key
+    size = n + 1
+    # Differential privacy (Definition 2), both directions per column.
+    privacy = []
+    for i in range(n):
+        for r in range(size):
+            upper = i * size + r
+            lower = (i + 1) * size + r
+            privacy.append((((upper, -1), (lower, alpha)), 0))
+            privacy.append((((lower, -1), (upper, alpha)), 0))
+    # Row-stochasticity.
+    stochastic = tuple(
+        (tuple((i * size + r, 1) for r in range(size)), 1)
+        for i in range(size)
+    )
+    return tuple(privacy), stochastic
+
+
 def build_optimal_lp(
     n: int, alpha, table: np.ndarray, members: list[int]
 ) -> tuple[LinearProgram, int]:
@@ -71,7 +101,9 @@ def build_optimal_lp(
 
     Variable layout: ``x[i, r]`` at index ``i * (n+1) + r``; the epigraph
     variable ``d`` last. Exposed separately so benchmarks can measure LP
-    sizes and tests can inspect the constraint system.
+    sizes and tests can inspect the constraint system. Only the
+    consumer-specific loss rows are built per call; the privacy and
+    stochasticity blocks come from a shared per-``(n, alpha)`` cache.
     """
     size = n + 1
     num_vars = size * size + 1
@@ -87,16 +119,15 @@ def build_optimal_lp(
         ]
         terms.append((d_index, -1))
         program.add_le(terms, 0)
-    # Differential privacy (Definition 2), both directions per column.
-    for i in range(n):
-        for r in range(size):
-            upper = i * size + r
-            lower = (i + 1) * size + r
-            program.add_le([(upper, -1), (lower, alpha)], 0)
-            program.add_le([(lower, -1), (upper, alpha)], 0)
-    # Row-stochasticity.
-    for i in range(size):
-        program.add_eq([(i * size + r, 1) for r in range(size)], 1)
+    regime = "exact" if isinstance(alpha, (int, Fraction)) else "float"
+    try:
+        privacy, stochastic = _shared_constraint_blocks(n, alpha, regime)
+    except TypeError:  # unhashable alpha type: build uncached
+        privacy, stochastic = _shared_constraint_blocks.__wrapped__(
+            n, alpha, regime
+        )
+    program.extend_le(privacy)
+    program.extend_eq(stochastic)
     return program, d_index
 
 
@@ -163,7 +194,7 @@ def optimal_mechanism(
         alpha = as_fraction(alpha, name="alpha")
     else:
         alpha = float(alpha)
-        table = np.vectorize(float)(table)
+        table = table.astype(float)
     program, d_index = build_optimal_lp(n, alpha, table, members)
     size = n + 1
     if backend is None:
@@ -176,12 +207,13 @@ def optimal_mechanism(
     else:
         solution = backend.solve(program)
 
-    matrix = np.empty((size, size), dtype=object if exact else float)
-    for i in range(size):
-        for r in range(size):
-            matrix[i, r] = solution.values[i * size + r]
-    if not exact:
-        matrix = np.clip(matrix.astype(float), 0.0, None)
+    flat = solution.values[: size * size]
+    if exact:
+        matrix = np.empty((size, size), dtype=object)
+        matrix.ravel()[:] = flat
+    else:
+        matrix = np.asarray(flat, dtype=float).reshape(size, size)
+        matrix = np.clip(matrix, 0.0, None)
         matrix = matrix / matrix.sum(axis=1, keepdims=True)
     mechanism = Mechanism(matrix, name=f"optimal(alpha={alpha})")
     achieved = max(

@@ -141,6 +141,31 @@ class RationalMatrix:
         )
 
     @classmethod
+    def from_fractions(
+        cls, rows: Sequence[Sequence[Fraction]]
+    ) -> "RationalMatrix":
+        """Build from rows of entries that are already ``Fraction``.
+
+        Skips the per-entry coercion of the main constructor; the
+        arithmetic and elimination methods below route their results
+        through this (their entries are Fractions by construction), so
+        chained exact operations stop paying a quadratic re-validation
+        per step. Shape is still validated; entry types are not.
+        """
+        matrix = cls.__new__(cls)
+        data = tuple(tuple(row) for row in rows)
+        if not data:
+            raise ValidationError("matrix must have at least one row")
+        width = len(data[0])
+        if width == 0 or any(len(row) != width for row in data):
+            raise ValidationError(
+                "matrix rows must be non-empty and of equal length"
+            )
+        matrix._rows = data
+        matrix._shape = (len(data), width)
+        return matrix
+
+    @classmethod
     def zeros(cls, rows: int, cols: int | None = None) -> "RationalMatrix":
         """Return a ``rows x cols`` matrix of zeros (square by default)."""
         cols = rows if cols is None else cols
@@ -217,7 +242,7 @@ class RationalMatrix:
     # ------------------------------------------------------------------
     def __add__(self, other: "RationalMatrix") -> "RationalMatrix":
         self._check_same_shape(other, "add")
-        return RationalMatrix(
+        return RationalMatrix.from_fractions(
             [
                 [a + b for a, b in zip(ra, rb)]
                 for ra, rb in zip(self._rows, other._rows)
@@ -226,7 +251,7 @@ class RationalMatrix:
 
     def __sub__(self, other: "RationalMatrix") -> "RationalMatrix":
         self._check_same_shape(other, "subtract")
-        return RationalMatrix(
+        return RationalMatrix.from_fractions(
             [
                 [a - b for a, b in zip(ra, rb)]
                 for ra, rb in zip(self._rows, other._rows)
@@ -236,14 +261,14 @@ class RationalMatrix:
     def scale(self, factor: object) -> "RationalMatrix":
         """Return the matrix with every entry multiplied by ``factor``."""
         factor = as_fraction(factor, name="factor")
-        return RationalMatrix(
+        return RationalMatrix.from_fractions(
             [[factor * entry for entry in row] for row in self._rows]
         )
 
     def scale_column(self, j: int, factor: object) -> "RationalMatrix":
         """Return a copy with column ``j`` multiplied by ``factor``."""
         factor = as_fraction(factor, name="factor")
-        return RationalMatrix(
+        return RationalMatrix.from_fractions(
             [
                 [
                     entry * factor if k == j else entry
@@ -259,7 +284,7 @@ class RationalMatrix:
                 f"cannot multiply {self._shape} by {other._shape}"
             )
         other_cols = [other.column(j) for j in range(other._shape[1])]
-        return RationalMatrix(
+        return RationalMatrix.from_fractions(
             [
                 [
                     sum(a * b for a, b in zip(row, col))
@@ -283,7 +308,7 @@ class RationalMatrix:
 
     def transpose(self) -> "RationalMatrix":
         """Return the transpose."""
-        return RationalMatrix(
+        return RationalMatrix.from_fractions(
             [self.column(j) for j in range(self._shape[1])]
         )
 
@@ -353,7 +378,7 @@ class RationalMatrix:
         denominator = _fraction_free_gauss_jordan(
             work, size, 2 * size, context="no inverse exists"
         )
-        return RationalMatrix(
+        return RationalMatrix.from_fractions(
             [
                 [Fraction(entry, denominator) for entry in row[size:]]
                 for row in work
@@ -402,7 +427,7 @@ class RationalMatrix:
                 f"column length {len(values)} does not match height "
                 f"{self._shape[0]}"
             )
-        return RationalMatrix(
+        return RationalMatrix.from_fractions(
             [
                 [
                     values[i] if k == j else entry

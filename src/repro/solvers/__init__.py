@@ -6,9 +6,13 @@ are linear programs. This subpackage provides:
 
 * a backend-neutral problem description (:class:`LinearProgram`);
 * a float backend on :func:`scipy.optimize.linprog` (HiGHS);
-* an exact two-phase simplex over :class:`fractions.Fraction` with
-  Bland's anti-cycling rule, so small instances reproduce the paper's
-  exact fractions (Table 1); and
+* an exact two-phase simplex with integer fraction-free (Bareiss-style)
+  pivoting, so instances of any degeneracy reproduce the paper's exact
+  fractions (Table 1);
+* a certify-first hybrid backend (:class:`HybridBackend`) — the default
+  exact solver — that reconstructs and exactly certifies the float
+  optimum, falling back to the simplex only when certification fails;
+  and
 * a lexicographic two-stage solve used for the paper's ``(L, L')``
   refinement (Lemma 5).
 """
@@ -19,6 +23,7 @@ from .base import (
     LPSolution,
     choose_backend,
 )
+from .hybrid import HybridBackend
 from .lexicographic import solve_lexicographic
 from .scipy_backend import ScipyBackend
 from .simplex import ExactSimplexBackend
@@ -30,5 +35,6 @@ __all__ = [
     "choose_backend",
     "ScipyBackend",
     "ExactSimplexBackend",
+    "HybridBackend",
     "solve_lexicographic",
 ]

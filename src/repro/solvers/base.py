@@ -10,12 +10,19 @@ The canonical form used throughout the library:
 All decision variables are non-negative — the paper's LPs (mechanism
 entries, kernel entries, and the worst-case-loss epigraph variable) are
 naturally so. Constraints are stored sparsely as ``(variable, coeff)``
-term lists, which both backends consume directly.
+term lists, which all backends consume directly.
+
+Term lists are immutable tuples and the constraint accessors return
+cached views, so the hot backends (which walk every constraint on each
+solve) never pay a deep copy, and prebuilt constraint blocks — e.g. the
+privacy/stochasticity rows shared by every Section 2.5 LP with the same
+``(n, alpha)`` — can be appended wholesale via :meth:`LinearProgram.extend_le`
+/ :meth:`LinearProgram.extend_eq` without re-validation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 
 from ..exceptions import ValidationError
@@ -28,7 +35,7 @@ LinearTerm = tuple[int, object]
 
 @dataclass
 class _Constraint:
-    terms: list[LinearTerm]
+    terms: tuple[LinearTerm, ...]
     rhs: object
 
 
@@ -40,7 +47,7 @@ class LPSolution:
     ----------
     values:
         Optimal variable assignment (list, Fractions for the exact
-        backend, floats for scipy).
+        backends, floats for scipy).
     objective:
         Optimal objective value.
     backend:
@@ -71,12 +78,14 @@ class LinearProgram:
         if num_vars < 1:
             raise ValidationError(f"num_vars must be >= 1, got {num_vars}")
         self.num_vars = int(num_vars)
-        self._objective: list[LinearTerm] = []
+        self._objective: tuple[LinearTerm, ...] = ()
         self._le: list[_Constraint] = []
         self._eq: list[_Constraint] = []
+        self._le_view: tuple | None = ()
+        self._eq_view: tuple | None = ()
 
     # ------------------------------------------------------------------
-    def _check_terms(self, terms) -> list[LinearTerm]:
+    def _check_terms(self, terms) -> tuple[LinearTerm, ...]:
         cleaned: list[LinearTerm] = []
         for variable, coeff in terms:
             if not 0 <= int(variable) < self.num_vars:
@@ -86,7 +95,7 @@ class LinearProgram:
                 )
             if coeff != 0:
                 cleaned.append((int(variable), coeff))
-        return cleaned
+        return tuple(cleaned)
 
     def set_objective(self, terms) -> None:
         """Set the (sparse) objective ``min sum coeff * z[var]``."""
@@ -95,10 +104,34 @@ class LinearProgram:
     def add_le(self, terms, rhs) -> None:
         """Add an inequality ``sum coeff * z[var] <= rhs``."""
         self._le.append(_Constraint(self._check_terms(terms), rhs))
+        self._le_view = None
 
     def add_eq(self, terms, rhs) -> None:
         """Add an equality ``sum coeff * z[var] == rhs``."""
         self._eq.append(_Constraint(self._check_terms(terms), rhs))
+        self._eq_view = None
+
+    def extend_le(self, constraints) -> None:
+        """Append prebuilt ``(terms, rhs)`` inequality pairs.
+
+        Skips per-term validation: intended for constraint blocks built
+        once by this library and shared across many programs (e.g. the
+        privacy rows of the Section 2.5 LP, identical for every consumer
+        at the same ``(n, alpha)``). Term lists are stored as-is, so
+        callers must pass tuples of in-range ``(variable, coeff)`` pairs.
+        """
+        self._le.extend(
+            _Constraint(tuple(terms), rhs) for terms, rhs in constraints
+        )
+        self._le_view = None
+
+    def extend_eq(self, constraints) -> None:
+        """Append prebuilt ``(terms, rhs)`` equality pairs (see
+        :meth:`extend_le`)."""
+        self._eq.extend(
+            _Constraint(tuple(terms), rhs) for terms, rhs in constraints
+        )
+        self._eq_view = None
 
     # ------------------------------------------------------------------
     @property
@@ -106,12 +139,22 @@ class LinearProgram:
         return list(self._objective)
 
     @property
-    def le_constraints(self) -> list[tuple[list[LinearTerm], object]]:
-        return [(list(c.terms), c.rhs) for c in self._le]
+    def le_constraints(self) -> tuple[tuple[tuple[LinearTerm, ...], object], ...]:
+        """Cached view of ``(terms, rhs)`` inequality pairs.
+
+        Terms are immutable tuples shared with the program (no copy);
+        the view is rebuilt only after a mutation.
+        """
+        if self._le_view is None:
+            self._le_view = tuple((c.terms, c.rhs) for c in self._le)
+        return self._le_view
 
     @property
-    def eq_constraints(self) -> list[tuple[list[LinearTerm], object]]:
-        return [(list(c.terms), c.rhs) for c in self._eq]
+    def eq_constraints(self) -> tuple[tuple[tuple[LinearTerm, ...], object], ...]:
+        """Cached view of ``(terms, rhs)`` equality pairs (no copy)."""
+        if self._eq_view is None:
+            self._eq_view = tuple((c.terms, c.rhs) for c in self._eq)
+        return self._eq_view
 
     def num_constraints(self) -> int:
         """Total number of constraints (both kinds)."""
@@ -122,11 +165,13 @@ class LinearProgram:
         return sum(coeff * values[var] for var, coeff in self._objective)
 
     def copy(self) -> "LinearProgram":
-        """Deep-enough copy (terms are immutable tuples)."""
+        """Independent copy (term tuples are immutable, hence shared)."""
         clone = LinearProgram(self.num_vars)
-        clone._objective = list(self._objective)
-        clone._le = [_Constraint(list(c.terms), c.rhs) for c in self._le]
-        clone._eq = [_Constraint(list(c.terms), c.rhs) for c in self._eq]
+        clone._objective = self._objective
+        clone._le = [_Constraint(c.terms, c.rhs) for c in self._le]
+        clone._eq = [_Constraint(c.terms, c.rhs) for c in self._eq]
+        clone._le_view = self._le_view
+        clone._eq_view = self._eq_view
         return clone
 
     def __repr__(self) -> str:
@@ -139,22 +184,24 @@ class LinearProgram:
 def choose_backend(*, exact: bool, size_hint: int = 0):
     """Pick a default backend.
 
-    ``exact=True`` selects the Fraction simplex (appropriate for small
-    instances — the paper's tables); otherwise scipy/HiGHS.
-    ``size_hint`` (number of variables) guards against accidentally
-    running the exact solver on huge programs.
+    ``exact=True`` selects the certify-first hybrid backend: a float
+    HiGHS solve identifies the optimal basis, one fraction-free exact
+    basis solve reconstructs the rational vertex, and an exact
+    primal/dual certificate guards it — falling back to the integer
+    fraction-free simplex only when certification fails. This services
+    programs of any size (the old hard error above 2500 variables is
+    gone); ``size_hint`` is kept for API compatibility and future
+    routing heuristics.
+
+    ``exact=False`` selects scipy/HiGHS floats.
     """
     # Imports deferred to avoid a circular import at package load.
-    from .scipy_backend import ScipyBackend
-    from .simplex import ExactSimplexBackend
-
     if exact:
-        if size_hint > 2500:
-            raise ValidationError(
-                "exact simplex requested for a very large program "
-                f"({size_hint} variables); use the scipy backend"
-            )
-        return ExactSimplexBackend()
+        from .hybrid import HybridBackend
+
+        return HybridBackend()
+    from .scipy_backend import ScipyBackend
+
     return ScipyBackend()
 
 

@@ -6,6 +6,14 @@ objective ``L'(x) = sum_{i,r} x[i,r] |i - r|`` under the total order
 ``(a, b) >= (c, d) iff a > c or (a = c and b >= d)``. Computationally
 that is a two-stage solve: minimize ``L``; then add ``L <= L*`` as a
 constraint and minimize ``L'``.
+
+The second stage pins the primary objective to its exact optimum, which
+makes the stage-2 polytope a (typically degenerate) optimal face. The
+certify-first :class:`~repro.solvers.hybrid.HybridBackend` handles this
+regime: its float stage solves the pinned program, the dual-guided basis
+completion picks a certifiable basis on the face, and a failed
+certificate merely falls back to the exact integer-tableau simplex — so
+``slack=0`` stays the right choice for every exact backend.
 """
 
 from __future__ import annotations

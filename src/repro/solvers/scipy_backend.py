@@ -46,13 +46,12 @@ class ScipyBackend:
 
     name = "scipy-highs"
 
-    def solve(self, program: LinearProgram) -> LPSolution:
-        """Solve and return an :class:`LPSolution`.
+    def solve_raw(self, program: LinearProgram):
+        """Run HiGHS and return scipy's raw ``OptimizeResult``.
 
-        Raises
-        ------
-        InfeasibleProgramError, UnboundedProgramError, SolverError
-            On the corresponding HiGHS statuses.
+        Used by the certify-first hybrid backend, which needs the slack
+        vector (to identify the optimal basis) in addition to the
+        variable values; no status checking is performed here.
         """
         objective = np.zeros(program.num_vars)
         for var, coeff in program.objective_terms:
@@ -63,7 +62,7 @@ class ScipyBackend:
         a_eq, b_eq = _sparse_from_constraints(
             program.eq_constraints, program.num_vars
         )
-        result = linprog(
+        return linprog(
             objective,
             A_ub=a_ub,
             b_ub=b_ub,
@@ -72,6 +71,16 @@ class ScipyBackend:
             bounds=(0, None),
             method="highs",
         )
+
+    def solve(self, program: LinearProgram) -> LPSolution:
+        """Solve and return an :class:`LPSolution`.
+
+        Raises
+        ------
+        InfeasibleProgramError, UnboundedProgramError, SolverError
+            On the corresponding HiGHS statuses.
+        """
+        result = self.solve_raw(program)
         if result.status == 2:
             raise InfeasibleProgramError(
                 f"linear program infeasible: {result.message}"

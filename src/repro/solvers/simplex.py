@@ -1,4 +1,4 @@
-"""Exact two-phase simplex over :class:`fractions.Fraction`.
+"""Exact two-phase simplex with integer fraction-free pivoting.
 
 The paper's Table 1 reports an optimal mechanism with exact rational
 entries. Reproducing those requires an LP solver that never rounds —
@@ -7,14 +7,35 @@ pivot rule (guaranteeing termination despite degeneracy, which the
 paper's LPs exhibit: optimal mechanisms sit on many tight privacy
 constraints at once).
 
-Scope: intended for the small programs that arise from mechanisms with
-``n`` up to roughly 8 (hundreds of variables). Larger instances should
-use :class:`repro.solvers.scipy_backend.ScipyBackend`.
+Arithmetic: instead of a tableau of :class:`~fractions.Fraction` entries
+(whose every pivot pays a gcd normalization per cell), the tableau is a
+matrix of plain Python ints plus one shared positive denominator
+(Edmonds' integer pivoting). The pivot update
+
+.. math::  t'_{ij} = (t_{rc} t_{ij} - t_{ic} t_{rj}) / d
+
+divides exactly by the previous denominator ``d`` — every entry is, up
+to sign, a minor of the original integer system (Bareiss-style exact
+division) — so the hot loop is two multiplications, a subtraction, and
+one exact integer division per cell, with no rational normalization.
+Ratio tests and entering-column selection compare integers directly
+because the shared denominator cancels.
+
+The backend also accepts a *warm-start basis* (``initial_basis=``): the
+certify-first hybrid backend hands over the basis it recovered from a
+float solve, and when that basis can be pivoted in and is primal
+feasible, phase 1 is skipped entirely.
+
+Scope: intended for the paper-sized programs (hundreds of variables);
+larger instances should go through
+:class:`repro.solvers.hybrid.HybridBackend`, which only falls back here
+when exact certification fails.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
+from math import lcm
 
 from ..exceptions import (
     InfeasibleProgramError,
@@ -30,61 +51,111 @@ _ONE = Fraction(1)
 
 
 class _Tableau:
-    """Dense simplex tableau with an explicit basis.
+    """Dense integer simplex tableau with a shared denominator.
 
-    ``rows`` holds ``[A | b]`` with exactly one identity column per row
-    (the basis); ``objective`` holds the reduced-cost row with the
-    negated objective value in its last entry.
+    ``rows`` holds integer ``[A | b]`` entries whose rational values are
+    ``entry / den`` (``den > 0`` always); exactly one basis column per
+    row carries value 1. ``objective`` holds the reduced-cost row scaled
+    by ``den * obj_scale`` with the negated objective value in its last
+    entry.
     """
 
     def __init__(
         self,
-        rows: list[list[Fraction]],
+        rows: list[list[int]],
         basis: list[int],
         num_columns: int,
     ) -> None:
         self.rows = rows
         self.basis = basis
         self.num_columns = num_columns  # structural + auxiliary (no RHS)
-        self.objective: list[Fraction] = []
+        self.den = 1  # shared positive denominator of every row entry
+        self.objective: list[int] = []
+        self.obj_scale = 1  # objective entries = value * den * obj_scale
 
     def set_objective(self, costs: list[Fraction]) -> None:
-        """Install reduced costs for ``costs`` against the current basis."""
-        reduced = list(costs) + [_ZERO]
+        """Install reduced costs for ``costs`` against the current basis.
+
+        The elimination runs once in rational arithmetic (it is per-phase,
+        not per-pivot); the result is rescaled to integers so subsequent
+        pivots stay in the fraction-free update.
+        """
+        den = self.den
+        width = self.num_columns + 1
+        reduced = [coerce_exact(c) for c in costs] + [_ZERO]
         for row_index, basic_var in enumerate(self.basis):
             coeff = reduced[basic_var]
             if coeff != 0:
                 row = self.rows[row_index]
-                for j in range(self.num_columns + 1):
-                    reduced[j] -= coeff * row[j]
-        self.objective = reduced
+                for j in range(width):
+                    if row[j]:
+                        reduced[j] -= coeff * Fraction(row[j], den)
+        # den * reduced is integral up to the lcm of the cost denominators
+        # (Cramer: den * reduced_j = den*c_j - c_B adj(B) A_j).
+        scale = 1
+        for c in costs:
+            scale = lcm(scale, c.denominator)
+        self.obj_scale = scale
+        objective: list[int] = []
+        for value in reduced:
+            scaled = value * den * scale
+            if scaled.denominator != 1:
+                raise SolverError(
+                    "internal error: reduced-cost row is not integral "
+                    f"at scale {scale} (denominator {scaled.denominator})"
+                )
+            objective.append(scaled.numerator)
+        self.objective = objective
 
     def objective_value(self) -> Fraction:
-        return -self.objective[self.num_columns]
+        return Fraction(
+            -self.objective[self.num_columns], self.den * self.obj_scale
+        )
 
     def pivot(self, pivot_row: int, pivot_col: int) -> None:
-        row = self.rows[pivot_row]
-        pivot = row[pivot_col]
+        rows = self.rows
+        den = self.den
+        base = rows[pivot_row]
+        pivot = base[pivot_col]
         if pivot == 0:
             raise SolverError("internal error: zero pivot")
-        inv = _ONE / pivot
-        self.rows[pivot_row] = [entry * inv for entry in row]
-        row = self.rows[pivot_row]
-        for other_index, other in enumerate(self.rows):
-            if other_index == pivot_row or other[pivot_col] == 0:
+        rescale = pivot != den  # zero-factor rows still change denominator
+        for row_index, row in enumerate(rows):
+            if row_index == pivot_row:
                 continue
-            factor = other[pivot_col]
-            self.rows[other_index] = [
-                entry - factor * pivot_entry
-                for entry, pivot_entry in zip(other, row)
+            factor = row[pivot_col]
+            if factor == 0:
+                if rescale:
+                    rows[row_index] = [
+                        (pivot * entry) // den for entry in row
+                    ]
+                continue
+            rows[row_index] = [
+                (pivot * entry - factor * base_entry) // den
+                for entry, base_entry in zip(row, base)
             ]
-        if self.objective and self.objective[pivot_col] != 0:
+        if self.objective:
             factor = self.objective[pivot_col]
-            self.objective = [
-                entry - factor * pivot_entry
-                for entry, pivot_entry in zip(self.objective, row)
-            ]
+            if factor != 0:
+                self.objective = [
+                    (pivot * entry - factor * base_entry) // den
+                    for entry, base_entry in zip(self.objective, base)
+                ]
+            elif rescale:
+                self.objective = [
+                    (pivot * entry) // den for entry in self.objective
+                ]
         self.basis[pivot_row] = pivot_col
+        if pivot < 0:
+            # Keep the shared denominator positive so sign tests on raw
+            # entries remain valid (only non-ratio-test pivots, e.g.
+            # artificial eviction or warm starts, can hit this).
+            self.den = -pivot
+            self.rows = [[-entry for entry in row] for row in self.rows]
+            if self.objective:
+                self.objective = [-entry for entry in self.objective]
+        else:
+            self.den = pivot
 
     def run(self, allowed_columns) -> None:
         """Iterate pivots to optimality over ``allowed_columns``.
@@ -98,26 +169,33 @@ class _Tableau:
         stalled = 0
         last_objective = self.objective_value()
         use_bland = False
+        rhs_index = self.num_columns
         while True:
             entering = self._entering_column(allowed, use_bland)
             if entering is None:
                 return
+            # Integer ratio test: b_i / a_i comparisons cross-multiply
+            # (the shared denominator cancels; a_i > 0 keeps order).
             pivot_row = None
-            best_ratio = None
+            best_num = best_den = None
             for row_index, row in enumerate(self.rows):
                 coeff = row[entering]
                 if coeff <= 0:
                     continue
-                ratio = row[self.num_columns] / coeff
-                if (
-                    best_ratio is None
-                    or ratio < best_ratio
-                    or (
-                        ratio == best_ratio
-                        and self.basis[row_index] < self.basis[pivot_row]
-                    )
+                rhs = row[rhs_index]
+                if pivot_row is None:
+                    better = True
+                    tie = False
+                else:
+                    lhs = rhs * best_den
+                    rhs_cmp = best_num * coeff
+                    better = lhs < rhs_cmp
+                    tie = lhs == rhs_cmp
+                if better or (
+                    tie and self.basis[row_index] < self.basis[pivot_row]
                 ):
-                    best_ratio = ratio
+                    best_num = rhs
+                    best_den = coeff
                     pivot_row = row_index
             if pivot_row is None:
                 raise UnboundedProgramError(
@@ -135,14 +213,15 @@ class _Tableau:
                 last_objective = objective
 
     def _entering_column(self, allowed, use_bland: bool):
+        objective = self.objective
         if use_bland:
             return next(
-                (j for j in allowed if self.objective[j] < 0), None
+                (j for j in allowed if objective[j] < 0), None
             )
         entering = None
-        most_negative = _ZERO
+        most_negative = 0
         for j in allowed:
-            reduced = self.objective[j]
+            reduced = objective[j]
             if reduced < most_negative:
                 most_negative = reduced
                 entering = j
@@ -159,8 +238,21 @@ class ExactSimplexBackend:
 
     name = "exact-simplex"
 
-    def solve(self, program: LinearProgram) -> LPSolution:
+    def solve(
+        self, program: LinearProgram, *, initial_basis=None
+    ) -> LPSolution:
         """Solve and return exact optimal values.
+
+        Parameters
+        ----------
+        program:
+            The LP to solve.
+        initial_basis:
+            Optional warm-start basis: column indices in the
+            structural-then-slack layout (slack ``k`` of the ``k``-th
+            inequality is column ``num_vars + k``). When the basis can
+            be pivoted in and is primal feasible, phase 1 is skipped;
+            otherwise the solve silently restarts cold.
 
         Raises
         ------
@@ -168,23 +260,36 @@ class ExactSimplexBackend:
             For infeasible / unbounded programs.
         """
         tableau, structural = self._build(program)
-        self._phase_one(tableau)
+        warm = initial_basis is not None and self._warm_start(
+            tableau, initial_basis
+        )
+        if not warm:
+            if initial_basis is not None:
+                tableau, structural = self._build(program)
+            self._phase_one(tableau)
         objective = self._phase_two(tableau, program, structural)
         solution = [_ZERO] * program.num_vars
+        rhs_index = tableau.num_columns
+        den = tableau.den
         for row_index, basic_var in enumerate(tableau.basis):
             if basic_var < program.num_vars:
-                solution[basic_var] = tableau.rows[row_index][
-                    tableau.num_columns
-                ]
+                solution[basic_var] = Fraction(
+                    tableau.rows[row_index][rhs_index], den
+                )
         return LPSolution(
             values=solution, objective=objective, backend=self.name
         )
 
     # ------------------------------------------------------------------
     def _build(self, program: LinearProgram):
-        """Assemble the initial tableau with slacks and artificials."""
+        """Assemble the initial integer tableau with slacks/artificials.
+
+        Each constraint row is scaled by the lcm of its coefficient
+        denominators (an equivalence transform), so the tableau starts
+        as a pure integer matrix with shared denominator 1.
+        """
         num_structural = program.num_vars
-        prepared: list[tuple[list[Fraction], Fraction, str]] = []
+        prepared: list[tuple[list[int], int, str]] = []
         for terms, rhs in program.le_constraints:
             dense = [_ZERO] * num_structural
             for var, coeff in terms:
@@ -192,9 +297,9 @@ class ExactSimplexBackend:
             rhs = coerce_exact(rhs)
             if rhs < 0:
                 dense = [-entry for entry in dense]
-                prepared.append((dense, -rhs, "ge"))
+                prepared.append(self._integer_row(dense, -rhs, "ge"))
             else:
-                prepared.append((dense, rhs, "le"))
+                prepared.append(self._integer_row(dense, rhs, "le"))
         for terms, rhs in program.eq_constraints:
             dense = [_ZERO] * num_structural
             for var, coeff in terms:
@@ -203,9 +308,8 @@ class ExactSimplexBackend:
             if rhs < 0:
                 dense = [-entry for entry in dense]
                 rhs = -rhs
-            prepared.append((dense, rhs, "eq"))
+            prepared.append(self._integer_row(dense, rhs, "eq"))
 
-        num_rows = len(prepared)
         num_slack = sum(1 for _, _, kind in prepared if kind in ("le", "ge"))
         num_artificial = sum(
             1 for _, _, kind in prepared if kind in ("ge", "eq")
@@ -214,30 +318,83 @@ class ExactSimplexBackend:
         slack_cursor = num_structural
         artificial_cursor = num_structural + num_slack
         self._artificial_start = num_structural + num_slack
-        rows: list[list[Fraction]] = []
+        rows: list[list[int]] = []
         basis: list[int] = []
         for dense, rhs, kind in prepared:
-            row = list(dense) + [_ZERO] * (num_slack + num_artificial)
+            row = list(dense) + [0] * (num_slack + num_artificial)
             row.append(rhs)
             if kind == "le":
-                row[slack_cursor] = _ONE
+                row[slack_cursor] = 1
                 basis.append(slack_cursor)
                 slack_cursor += 1
             elif kind == "ge":
-                row[slack_cursor] = -_ONE
+                row[slack_cursor] = -1
                 slack_cursor += 1
-                row[artificial_cursor] = _ONE
+                row[artificial_cursor] = 1
                 basis.append(artificial_cursor)
                 artificial_cursor += 1
             else:
-                row[artificial_cursor] = _ONE
+                row[artificial_cursor] = 1
                 basis.append(artificial_cursor)
                 artificial_cursor += 1
             rows.append(row)
         if not rows:
             raise SolverError("program has no constraints")
-        tableau = _Tableau(rows, basis, total)
-        return tableau, num_structural
+        return _Tableau(rows, basis, total), num_structural
+
+    @staticmethod
+    def _integer_row(
+        dense: list[Fraction], rhs: Fraction, kind: str
+    ) -> tuple[list[int], int, str]:
+        """Scale one constraint row to integers (positive multiplier)."""
+        multiplier = rhs.denominator
+        for entry in dense:
+            multiplier = lcm(multiplier, entry.denominator)
+        return (
+            [
+                entry.numerator * (multiplier // entry.denominator)
+                for entry in dense
+            ],
+            rhs.numerator * (multiplier // rhs.denominator),
+            kind,
+        )
+
+    def _warm_start(self, tableau: _Tableau, columns) -> bool:
+        """Pivot the tableau to ``columns`` if possible and feasible.
+
+        Greedy Gauss-Jordan crash: repeatedly bring a missing target
+        column into the basis, pivoting in a row currently held by a
+        non-target (slack/artificial) variable. Returns ``False`` —
+        leaving the caller to restart cold — when the target set is not
+        a basis of the row space or the resulting vertex is infeasible.
+        """
+        target = list(dict.fromkeys(columns))
+        if len(target) != len(tableau.rows):
+            return False
+        artificial_start = self._artificial_start
+        if any(not 0 <= c < artificial_start for c in target):
+            return False
+        target_set = set(target)
+        in_basis = set(tableau.basis)
+        progress = True
+        while progress:
+            progress = False
+            for col in target:
+                if col in in_basis:
+                    continue
+                for row_index, basic_var in enumerate(tableau.basis):
+                    if basic_var in target_set:
+                        continue
+                    if tableau.rows[row_index][col] != 0:
+                        in_basis.discard(basic_var)
+                        tableau.pivot(row_index, col)
+                        in_basis.add(col)
+                        progress = True
+                        break
+        if in_basis != target_set:
+            return False
+        rhs_index = tableau.num_columns
+        return all(row[rhs_index] >= 0 for row in tableau.rows)
 
     def _phase_one(self, tableau: _Tableau) -> None:
         artificial_start = self._artificial_start

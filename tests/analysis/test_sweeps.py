@@ -46,6 +46,52 @@ class TestUniversalitySweep:
             universality_sweep([(2, Fraction(1, 2), "abs", None)])
 
 
+class TestParallelSweep:
+    CASES = [
+        (n, Fraction(1, den), loss, side)
+        for n in (2, 3)
+        for den in (2, 4)
+        for loss in (AbsoluteLoss(), SquaredLoss())
+        for side in (None, {0, 1})
+    ]
+
+    def test_workers_records_bit_identical_to_serial(self):
+        serial = universality_sweep(self.CASES, exact=True)
+        parallel = universality_sweep(self.CASES, exact=True, workers=3)
+        assert parallel == serial
+        assert all(record.holds for record in parallel)
+
+    def test_workers_merge_into_shared_cache(self):
+        cache: dict = {}
+        universality_sweep(self.CASES, exact=True, workers=2, cache=cache)
+        assert cache  # chunks merged back
+        # A second sweep over the same grid must not re-solve anything:
+        # poisoning the solver would surface if any cell were recomputed.
+        before = dict(cache)
+        again = universality_sweep(
+            self.CASES, exact=True, workers=2, cache=cache
+        )
+        assert cache == before
+        assert again == universality_sweep(self.CASES, exact=True)
+
+    def test_workers_one_is_serial_path(self):
+        assert universality_sweep(
+            self.CASES[:4], exact=True, workers=1
+        ) == universality_sweep(self.CASES[:4], exact=True)
+
+    def test_bayesian_workers_identical(self):
+        uniform3 = [Fraction(1, 3)] * 3
+        skewed = [Fraction(1, 2), Fraction(1, 3), Fraction(1, 6)]
+        cases = [
+            (2, Fraction(1, 2), AbsoluteLoss(), uniform3),
+            (2, Fraction(1, 2), SquaredLoss(), skewed),
+            (2, Fraction(1, 4), AbsoluteLoss(), skewed),
+        ]
+        serial = bayesian_universality_sweep(cases, exact=True)
+        parallel = bayesian_universality_sweep(cases, exact=True, workers=2)
+        assert parallel == serial
+
+
 class TestBayesianSweep:
     def test_exact_sweep_all_hold(self):
         uniform3 = [Fraction(1, 3)] * 3

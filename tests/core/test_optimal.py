@@ -28,6 +28,30 @@ class TestLPConstruction:
         assert len(program.le_constraints) == 2 + 24
         assert len(program.eq_constraints) == 4
 
+    def test_shared_blocks_reused_across_consumers(self):
+        """Privacy/stochasticity rows are per-(n, alpha), not per-cell."""
+        table_abs = loss_matrix(AbsoluteLoss(), 3)
+        table_sq = loss_matrix(SquaredLoss(), 3)
+        first, _ = build_optimal_lp(3, Fraction(1, 4), table_abs, [0, 1])
+        second, _ = build_optimal_lp(3, Fraction(1, 4), table_sq, [0, 1, 2])
+        # The privacy term tuples are the very same objects.
+        assert (
+            first.le_constraints[2][0] is second.le_constraints[3][0]
+        )
+        assert first.eq_constraints[0][0] is second.eq_constraints[0][0]
+
+    def test_exact_and_float_blocks_stay_separate(self):
+        """Fraction(1, 4) == 0.25 must not alias cache entries."""
+        table = loss_matrix(AbsoluteLoss(), 3)
+        exact_program, _ = build_optimal_lp(
+            3, Fraction(1, 4), table, [0]
+        )
+        float_program, _ = build_optimal_lp(3, 0.25, table, [0])
+        exact_alpha = exact_program.le_constraints[1][0][1][1]
+        float_alpha = float_program.le_constraints[1][0][1][1]
+        assert isinstance(exact_alpha, Fraction)
+        assert isinstance(float_alpha, float)
+
 
 class TestOptimalMechanism:
     def test_result_is_private(self):

@@ -36,6 +36,18 @@ class TestConstruction:
         with pytest.raises(ValidationError):
             RationalMatrix([[1, 2], [3]])
 
+    def test_from_fractions_trusted_constructor(self):
+        rows = [[Fraction(1, 2), Fraction(3)], [Fraction(0), Fraction(1)]]
+        m = RationalMatrix.from_fractions(rows)
+        assert m == RationalMatrix(rows)
+        assert m.determinant() == Fraction(1, 2)
+
+    def test_from_fractions_validates_shape(self):
+        with pytest.raises(ValidationError):
+            RationalMatrix.from_fractions([])
+        with pytest.raises(ValidationError):
+            RationalMatrix.from_fractions([[Fraction(1)], []])
+
     def test_identity(self):
         eye = RationalMatrix.identity(3)
         assert eye.is_identity()

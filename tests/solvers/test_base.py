@@ -6,6 +6,7 @@ import pytest
 
 from repro.exceptions import ValidationError
 from repro.solvers.base import LinearProgram, choose_backend
+from repro.solvers.hybrid import HybridBackend
 from repro.solvers.scipy_backend import ScipyBackend
 from repro.solvers.simplex import ExactSimplexBackend
 
@@ -52,12 +53,49 @@ class TestLinearProgram:
 
 
 class TestChooseBackend:
-    def test_exact_selects_simplex(self):
-        assert isinstance(choose_backend(exact=True), ExactSimplexBackend)
+    def test_exact_selects_certify_first_hybrid(self):
+        assert isinstance(choose_backend(exact=True), HybridBackend)
 
     def test_float_selects_scipy(self):
         assert isinstance(choose_backend(exact=False), ScipyBackend)
 
-    def test_huge_exact_program_rejected(self):
-        with pytest.raises(ValidationError):
-            choose_backend(exact=True, size_hint=10_000)
+    def test_huge_exact_program_routes_to_hybrid(self):
+        """Large exact programs are serviceable now — no hard error."""
+        backend = choose_backend(exact=True, size_hint=10_000)
+        assert isinstance(backend, HybridBackend)
+
+
+class TestConstraintViews:
+    def test_views_are_cached_and_cheap(self):
+        lp = LinearProgram(3)
+        lp.add_le([(0, 1), (1, 2)], 5)
+        first = lp.le_constraints
+        assert lp.le_constraints is first  # cached, no per-access copy
+        lp.add_le([(2, 1)], 1)
+        assert lp.le_constraints is not first  # invalidated on mutation
+        assert len(lp.le_constraints) == 2
+
+    def test_terms_are_immutable_tuples(self):
+        lp = LinearProgram(2)
+        lp.add_eq([(0, 1), (1, 1)], 1)
+        (terms, rhs), = lp.eq_constraints
+        assert isinstance(terms, tuple)
+        assert rhs == 1
+        with pytest.raises(TypeError):
+            terms[0] = (1, 2)
+
+    def test_copy_shares_term_tuples_but_not_lists(self):
+        lp = LinearProgram(2)
+        lp.add_le([(0, 1)], 1)
+        clone = lp.copy()
+        assert clone.le_constraints[0][0] is lp.le_constraints[0][0]
+        clone.add_le([(1, 1)], 2)
+        assert lp.num_constraints() == 1
+
+    def test_extend_blocks_skip_revalidation(self):
+        lp = LinearProgram(2)
+        block = ((((0, 1), (1, 1)), 1),)
+        lp.extend_le(block)
+        lp.extend_eq(block)
+        assert lp.num_constraints() == 2
+        assert lp.le_constraints[0][0] == ((0, 1), (1, 1))

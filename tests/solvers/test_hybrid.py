@@ -1,0 +1,211 @@
+"""Tests for the certify-first hybrid exact backend."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.geometric import GeometricMechanism
+from repro.core.interaction import optimal_interaction
+from repro.core.optimal import optimal_mechanism
+from repro.exceptions import (
+    InfeasibleProgramError,
+    UnboundedProgramError,
+)
+from repro.losses import AbsoluteLoss, SquaredLoss
+from repro.solvers.base import LinearProgram
+from repro.solvers.hybrid import HybridBackend, _sparse_exact_solve
+from repro.solvers.simplex import ExactSimplexBackend
+
+
+def both_solve(lp):
+    return HybridBackend().solve(lp), ExactSimplexBackend().solve(lp)
+
+
+class TestAgainstExactSimplex:
+    def test_simple_program_identical(self):
+        lp = LinearProgram(2)
+        lp.set_objective([(0, -1), (1, -2)])
+        lp.add_le([(0, 1), (1, 1)], 4)
+        lp.add_le([(1, 1)], 3)
+        hybrid, simplex = both_solve(lp)
+        assert hybrid.values == simplex.values
+        assert hybrid.objective == simplex.objective
+        assert all(isinstance(v, Fraction) for v in hybrid.values)
+
+    def test_fractional_vertex_is_exact(self):
+        lp = LinearProgram(1)
+        lp.set_objective([(0, 1)])
+        lp.add_le([(0, -3)], -1)  # 3x >= 1
+        solution = HybridBackend().solve(lp)
+        assert solution.values == [Fraction(1, 3)]
+
+    def test_table1_instance_bit_identical(self):
+        """Acceptance: the paper's Table 1 LP, solved both ways."""
+        hybrid_backend = HybridBackend()
+        hybrid = optimal_mechanism(
+            3, Fraction(1, 4), AbsoluteLoss(), backend=hybrid_backend,
+            exact=True,
+        )
+        simplex = optimal_mechanism(
+            3, Fraction(1, 4), AbsoluteLoss(),
+            backend=ExactSimplexBackend(), exact=True,
+        )
+        assert hybrid_backend.last_path == "certified"
+        assert hybrid.loss == simplex.loss == Fraction(168, 415)
+        assert (hybrid.mechanism.matrix == simplex.mechanism.matrix).all()
+
+    def test_table1_interaction_kernel_bit_identical(self):
+        deployed = GeometricMechanism(3, Fraction(1, 4))
+        hybrid = optimal_interaction(
+            deployed, AbsoluteLoss(), backend=HybridBackend(), exact=True
+        )
+        simplex = optimal_interaction(
+            deployed, AbsoluteLoss(), backend=ExactSimplexBackend(),
+            exact=True,
+        )
+        assert hybrid.loss == simplex.loss
+        assert (hybrid.kernel == simplex.kernel).all()
+
+    @pytest.mark.parametrize(
+        "n,alpha",
+        [(3, Fraction(1, 4)), (4, Fraction(1, 3)), (5, Fraction(1, 2))],
+    )
+    def test_table2_parameter_grid_bit_identical(self, n, alpha):
+        """Acceptance: Table 2 (n, alpha) instances across backends."""
+        hybrid = optimal_mechanism(
+            n, alpha, AbsoluteLoss(), backend=HybridBackend(), exact=True
+        )
+        simplex = optimal_mechanism(
+            n, alpha, AbsoluteLoss(), backend=ExactSimplexBackend(),
+            exact=True,
+        )
+        assert hybrid.loss == simplex.loss
+        assert (hybrid.mechanism.matrix == simplex.mechanism.matrix).all()
+
+    def test_squared_loss_certifies(self):
+        backend = HybridBackend()
+        result = optimal_mechanism(
+            4, Fraction(2, 5), SquaredLoss(), backend=backend, exact=True
+        )
+        assert backend.last_path == "certified"
+        reference = optimal_mechanism(
+            4, Fraction(2, 5), SquaredLoss(),
+            backend=ExactSimplexBackend(), exact=True,
+        )
+        assert result.loss == reference.loss
+
+
+class TestFailureModes:
+    def test_infeasible_diagnosed_exactly(self):
+        lp = LinearProgram(1)
+        lp.set_objective([(0, 1)])
+        lp.add_eq([(0, 1)], 3)
+        lp.add_eq([(0, 1)], 4)
+        with pytest.raises(InfeasibleProgramError):
+            HybridBackend().solve(lp)
+
+    def test_unbounded_diagnosed_exactly(self):
+        lp = LinearProgram(1)
+        lp.set_objective([(0, -1)])
+        lp.add_le([(0, -1)], 0)
+        with pytest.raises(UnboundedProgramError):
+            HybridBackend().solve(lp)
+
+    def test_degenerate_certification_failure_falls_back(self):
+        """Regression: a wrecked float stage must not corrupt results.
+
+        The float identification is forced to hand back a garbage basis
+        (worst case for certification); the exact fallback must still
+        produce the true optimum, bit-identical to the cold simplex.
+        """
+        backend = HybridBackend()
+        backend._float_backend = _LyingFloatBackend()
+        result = optimal_mechanism(
+            3, Fraction(1, 4), AbsoluteLoss(), backend=backend, exact=True
+        )
+        assert backend.last_path == "fallback"
+        assert result.loss == Fraction(168, 415)
+        reference = optimal_mechanism(
+            3, Fraction(1, 4), AbsoluteLoss(),
+            backend=ExactSimplexBackend(), exact=True,
+        )
+        assert (result.mechanism.matrix == reference.mechanism.matrix).all()
+
+    def test_fallback_backend_is_labelled(self):
+        backend = HybridBackend()
+        backend._float_backend = _LyingFloatBackend()
+        # Unique optimum (x0, x1) = (0, 2): the lying float stage ranks
+        # x0 first, so its basis fails dual certification and the solve
+        # must route through (and label) the exact-simplex fallback.
+        lp = LinearProgram(2)
+        lp.set_objective([(0, 1)])
+        lp.add_eq([(0, 1), (1, 1)], 2)
+        solution = backend.solve(lp)
+        assert "fallback" in solution.backend
+        assert solution.objective == 0
+        assert solution.values == [0, 2]
+
+
+class _LyingFloatBackend:
+    """Float stage that reports optimal with nonsense values."""
+
+    def solve_raw(self, program):
+        class Result:
+            status = 0
+            x = np.full(program.num_vars, 0.123)
+            slack = np.full(len(program.le_constraints), 0.456)
+            ineqlin = None
+            eqlin = None
+
+        return Result()
+
+
+class TestWarmStart:
+    def test_warm_start_from_optimal_basis_matches_cold(self):
+        """Feeding the certified basis back into the simplex is a no-op
+        pivot-wise and must reproduce an optimal solution."""
+        lp = LinearProgram(3)
+        lp.set_objective([(0, -3), (1, -2), (2, -1)])
+        lp.add_le([(0, 1), (1, 1), (2, 1)], 1)
+        lp.add_le([(0, 1), (1, 1)], 1)
+        lp.add_le([(0, 1)], 1)
+        cold = ExactSimplexBackend().solve(lp)
+        # Optimal vertex x = (1, 0, 0): basic columns are x0 plus the
+        # slacks of the two constraints that stay slack-free... pivot
+        # structure aside, any optimal basis must reproduce objective -3.
+        warm = ExactSimplexBackend().solve(
+            lp, initial_basis=[0, 4, 5]
+        )
+        assert warm.objective == cold.objective == -3
+
+    def test_unusable_warm_basis_is_ignored(self):
+        lp = LinearProgram(2)
+        lp.set_objective([(0, 1), (1, 1)])
+        lp.add_eq([(0, 1), (1, 1)], 2)
+        lp.add_eq([(0, 1), (1, -1)], 0)
+        solution = ExactSimplexBackend().solve(lp, initial_basis=[0, 0])
+        assert solution.values == [1, 1]
+
+
+class TestSparseExactSolve:
+    def test_chain_system(self):
+        # x0 = 2 x1, x1 = 2 x2, x0 + x1 + x2 = 7 -> (4, 2, 1).
+        rows = [
+            {0: Fraction(1), 1: Fraction(-2)},
+            {1: Fraction(1), 2: Fraction(-2)},
+            {0: Fraction(1), 1: Fraction(1), 2: Fraction(1)},
+        ]
+        rhs = [Fraction(0), Fraction(0), Fraction(7)]
+        solution = _sparse_exact_solve(rows, rhs)
+        assert solution == {0: Fraction(4), 1: Fraction(2), 2: Fraction(1)}
+
+    def test_singular_system_raises(self):
+        from repro.exceptions import ValidationError
+
+        rows = [
+            {0: Fraction(1), 1: Fraction(1)},
+            {0: Fraction(2), 1: Fraction(2)},
+        ]
+        with pytest.raises(ValidationError):
+            _sparse_exact_solve(rows, [Fraction(1), Fraction(3)])
