@@ -1,13 +1,21 @@
-"""Shared reporting helper for the benchmark suite.
+"""Shared reporting helpers for the benchmark suite.
 
 Each benchmark regenerates one of the paper's artifacts and calls
 :func:`emit` with the rows/series the paper reports; the text is printed
 (visible with ``pytest -s``) and archived under ``benchmarks/out/`` so
 EXPERIMENTS.md can reference stable files.
+
+Perf benchmarks additionally call :func:`emit_bench` with their
+machine-readable results: the dict is printed as the grep-able
+``BENCH {json}`` line dashboards already consume *and* written to
+``benchmarks/out/BENCH_<name>.json``, which CI uploads as an artifact —
+so the speedup trajectory is preserved per run instead of living only
+in scrollback.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
@@ -19,3 +27,13 @@ def emit(name: str, text: str) -> None:
     banner = f"\n===== {name} =====\n"
     print(banner + text)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_bench(name: str, results: dict) -> None:
+    """Print the ``BENCH`` line and archive BENCH_<name>.json."""
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = json.dumps(results)
+    print("BENCH " + payload)
+    (OUT_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )

@@ -22,14 +22,13 @@ archives a human-readable report under ``benchmarks/out/``.
 """
 
 import argparse
-import json
 import sys
 import time
 from fractions import Fraction
 
 import numpy as np
 
-from _report import emit
+from _report import emit, emit_bench
 
 from repro.core.geometric import (
     GeometricMechanism,
@@ -225,7 +224,7 @@ def main(argv=None):
         ),
     ]
     emit("fastpath", "\n".join(lines))
-    print("BENCH " + json.dumps(results))
+    emit_bench("fastpath", results)
 
     if args.check and not args.quick:
         failures = []

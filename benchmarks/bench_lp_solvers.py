@@ -25,12 +25,11 @@ report under ``benchmarks/out/``.
 """
 
 import argparse
-import json
 import sys
 import time
 from fractions import Fraction
 
-from _report import emit
+from _report import emit, emit_bench
 
 from repro.core.optimal import build_optimal_lp
 from repro.losses import AbsoluteLoss
@@ -365,7 +364,7 @@ def main(argv=None):
         )
     lines.append("  all backends exact-identical: True (asserted)")
     emit("lp_solvers", "\n".join(lines))
-    print("BENCH " + json.dumps(results))
+    emit_bench("lp_solvers", results)
 
     if args.check and not args.quick:
         failures = []

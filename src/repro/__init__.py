@@ -36,6 +36,7 @@ from .core import (
     analyze_structure,
     assert_differentially_private,
     check_derivability,
+    compose_with_geometric,
     derivation_factor,
     derive_mechanism,
     cached_geometric_mechanism,
@@ -89,8 +90,35 @@ from .release import (
     Publisher,
     empirical_alpha,
 )
+from .solvers import SolveCache, set_default_cache
 
 __version__ = "1.0.0"
+
+
+def clear_caches() -> None:
+    """Reset every in-memory memoization layer the library maintains.
+
+    Long-lived serving processes call this for memory hygiene: it clears
+    the memoized loss tables, the shared LP constraint blocks, the
+    geometric-mechanism and ``G'``-inverse caches, and the in-memory
+    tier of the default persistent solve cache. On-disk solve-cache
+    entries are untouched (they are content-addressed and never stale).
+    """
+    from .core.geometric import (
+        _cached_geometric_mechanism,
+        _gprime_inverse_cached,
+    )
+    from .core.optimal import _shared_constraint_blocks
+    from .losses import clear_loss_table_cache
+    from .solvers.cache import default_cache
+
+    _cached_geometric_mechanism.cache_clear()
+    _gprime_inverse_cached.cache_clear()
+    _shared_constraint_blocks.cache_clear()
+    clear_loss_table_cache()
+    default = default_cache()
+    if default is not None:
+        default.clear_memory()
 
 __all__ = [
     "__version__",
@@ -115,6 +143,7 @@ __all__ = [
     "check_derivability",
     "derivation_factor",
     "derive_mechanism",
+    "compose_with_geometric",
     "privacy_chain_kernel",
     "analyze_structure",
     # LPs
@@ -134,6 +163,10 @@ __all__ = [
     "MinimaxAgent",
     "BayesianAgent",
     "SideInformation",
+    # caching
+    "SolveCache",
+    "set_default_cache",
+    "clear_caches",
     # losses
     "LossFunction",
     "cached_loss_matrix",

@@ -27,6 +27,7 @@ from ..core.mechanism import Mechanism
 from ..exceptions import ValidationError
 from ..losses.base import LossFunction, check_monotone, loss_matrix
 from ..solvers.base import LinearProgram, choose_backend
+from ..solvers.cache import resolve_cache
 from ..validation import as_fraction, check_alpha, check_result_range, is_exact_array
 
 __all__ = [
@@ -164,7 +165,9 @@ class BayesianAgent:
             loss=self.expected_loss(induced),
         )
 
-    def bespoke_mechanism(self, alpha, *, backend=None, exact=None):
+    def bespoke_mechanism(
+        self, alpha, *, backend=None, exact=None, solve_cache=None
+    ):
         """The agent's optimal alpha-DP mechanism (GRS09's LP)."""
         return bayesian_optimal_mechanism(
             self.n,
@@ -173,6 +176,7 @@ class BayesianAgent:
             self.prior,
             backend=backend,
             exact=exact,
+            solve_cache=solve_cache,
         )
 
     def __repr__(self) -> str:
@@ -188,12 +192,15 @@ def bayesian_optimal_mechanism(
     *,
     backend=None,
     exact: bool | None = None,
+    solve_cache=None,
 ) -> tuple[Mechanism, object]:
     """Solve GRS09's LP: minimize prior-expected loss under alpha-DP.
 
     Returns ``(mechanism, optimal_loss)``. The objective is linear in the
     mechanism entries — ``sum_{i,r} p_i l(i,r) x[i,r]`` — subject to the
     same privacy and stochasticity constraints as the minimax LP.
+    ``solve_cache`` consults/fills a persistent content-addressed solve
+    cache (see :mod:`repro.solvers.cache`) before/after solving.
     """
     n = check_result_range(n)
     check_alpha(alpha)
@@ -238,9 +245,15 @@ def bayesian_optimal_mechanism(
             program.add_le([(lower, -1), (upper, alpha)], 0)
     for i in range(size):
         program.add_eq([(i * size + r, 1) for r in range(size)], 1)
-    if backend is None:
-        backend = choose_backend(exact=exact, size_hint=program.num_vars)
-    solution = backend.solve(program)
+    cache = resolve_cache(solve_cache)
+    key = cache.key(program) if cache is not None else None
+    solution = cache.get_key(key) if cache is not None else None
+    if solution is None:
+        if backend is None:
+            backend = choose_backend(exact=exact, size_hint=program.num_vars)
+        solution = backend.solve(program)
+        if cache is not None:
+            cache.put_key(key, solution)
     matrix = np.empty((size, size), dtype=object if exact else float)
     for i in range(size):
         for r in range(size):

@@ -12,6 +12,14 @@ chunked across a process pool, each worker returns its chunk of
 ``(bespoke, interaction)`` losses, and the chunks merge back into the
 shared cell cache — so the records (and the cache a caller passes in)
 are bit-identical to a serial run, just produced on all cores.
+
+Two layers of caching compose here. The in-memory ``cache=`` dict
+dedupes repeated cells *within and across calls in one process*; the
+persistent ``solve_cache=``/``cache_dir=`` layer
+(:mod:`repro.solvers.cache`) memoizes the underlying LP solves *across
+runs and processes* — worker pools share the same cache directory, so a
+re-run of a sweep (or an incrementally grown grid) performs zero LP
+solves for every cell already on disk.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from ..core.interaction import optimal_interaction
 from ..core.optimal import optimal_mechanism
 from ..exceptions import ValidationError
 from ..losses.base import LossFunction
+from ..solvers.cache import SolveCache, resolve_cache
 
 __all__ = [
     "UniversalityRecord",
@@ -70,15 +79,19 @@ class UniversalityRecord:
     holds: bool
 
 
-def _cell_key(n, alpha, loss, members, exact):
+def _cell_key(n, alpha, loss, members, exact, space="x"):
     """Hashable identity of one sweep cell (the tuple itself, so dict
     lookups keep full equality semantics rather than bare hashes).
 
     Loss functions hash by identity, which is the right notion here:
     grids are built by repeating the same loss objects across cells.
-    Unhashable alphas disable caching for the cell (return ``None``).
+    The LP parameterization participates too: exact-regime results are
+    bit-identical across spaces, but float factor solves are not, so a
+    shared ``cache=`` dict must not serve one space's cells to the
+    other. Unhashable alphas disable caching for the cell (return
+    ``None``).
     """
-    key = (n, alpha, loss, members, exact)
+    key = (n, alpha, loss, members, exact, space)
     try:
         hash(key)
     except TypeError:
@@ -86,29 +99,60 @@ def _cell_key(n, alpha, loss, members, exact):
     return key
 
 
-def _solve_universality_cell(cell):
+def _cache_token(solve_cache):
+    """Picklable stand-in for a solve cache, shipped to worker processes.
+
+    Directory caches are shared through the filesystem, so workers only
+    need the path; ``False`` propagates an explicit opt-out (otherwise a
+    worker would fall back to its own ``REPRO_CACHE_DIR`` default).
+    """
+    if solve_cache is False:
+        return False
+    resolved = resolve_cache(solve_cache)
+    return None if resolved is None else str(resolved.path)
+
+
+def _solve_universality_cell(cell, solve_cache=None, space="x"):
     """Solve one distinct sweep cell (runs in worker processes too)."""
     n, alpha, loss, members, exact = cell
-    bespoke = optimal_mechanism(n, alpha, loss, members, exact=exact)
+    bespoke = optimal_mechanism(
+        n,
+        alpha,
+        loss,
+        members,
+        exact=exact,
+        space=space,
+        solve_cache=solve_cache,
+    )
     deployed = cached_geometric_mechanism(
         n, alpha if exact else float(alpha)
     )
-    interaction = optimal_interaction(deployed, loss, members, exact=exact)
+    interaction = optimal_interaction(
+        deployed, loss, members, exact=exact, solve_cache=solve_cache
+    )
     return bespoke.loss, interaction.loss
 
 
 def _solve_universality_chunk(args):
-    cells, exact = args
+    cells, exact, cache_token, space = args
+    solve_cache = resolve_cache(cache_token)
     return [
-        _solve_universality_cell(cell + (exact,)) for cell in cells
+        _solve_universality_cell(
+            cell + (exact,),
+            solve_cache=False if solve_cache is None else solve_cache,
+            space=space,
+        )
+        for cell in cells
     ]
 
 
-def _solve_bayesian_cell(cell):
+def _solve_bayesian_cell(cell, solve_cache=None):
     """Solve one distinct Bayesian sweep cell (worker-safe)."""
     n, alpha, loss, prior, exact = cell
     agent = BayesianAgent(loss, prior, n=n)
-    _, bespoke_loss = agent.bespoke_mechanism(alpha, exact=exact)
+    _, bespoke_loss = agent.bespoke_mechanism(
+        alpha, exact=exact, solve_cache=solve_cache
+    )
     deployed = cached_geometric_mechanism(
         n, alpha if exact else float(alpha)
     )
@@ -116,29 +160,41 @@ def _solve_bayesian_cell(cell):
 
 
 def _solve_bayesian_chunk(args):
-    cells, exact = args
-    return [_solve_bayesian_cell(cell + (exact,)) for cell in cells]
+    cells, exact, cache_token = args
+    solve_cache = resolve_cache(cache_token)
+    return [
+        _solve_bayesian_cell(
+            cell + (exact,),
+            solve_cache=False if solve_cache is None else solve_cache,
+        )
+        for cell in cells
+    ]
 
 
-def _parallel_fill(solved, pending, chunk_solver, exact, workers):
+def _parallel_fill(solved, pending, chunk_solver, chunk_extra, workers):
     """Solve ``pending`` (key -> cell) on a process pool, merge results.
 
     Cells are chunked round-robin so workers stay balanced on grids
     whose cost grows along one axis (e.g. increasing ``n``); each chunk
     comes back as a list aligned with its cells, and the merged
     ``solved`` cache is indistinguishable from a serial run's.
+    ``chunk_extra`` is the per-chunk argument tail (regime flag, solve-
+    cache token, ...), identical for every chunk.
     """
     keys = list(pending)
     workers = max(1, min(int(workers), len(keys)))
     if workers == 1 or len(keys) < 2:
         for key in keys:
-            solved[key] = chunk_solver(([pending[key]], exact))[0]
+            solved[key] = chunk_solver(([pending[key]],) + chunk_extra)[0]
         return
     chunks = [keys[start::workers] for start in range(workers)]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         chunk_results = pool.map(
             chunk_solver,
-            [([pending[key] for key in chunk], exact) for chunk in chunks],
+            [
+                ([pending[key] for key in chunk],) + chunk_extra
+                for chunk in chunks
+            ],
         )
         for chunk, results in zip(chunks, chunk_results):
             for key, result in zip(chunk, results):
@@ -152,6 +208,9 @@ def universality_sweep(
     tolerance: float = 1e-6,
     cache: dict | None = None,
     workers: int | None = None,
+    solve_cache=None,
+    cache_dir=None,
+    space: str = "x",
 ) -> list[UniversalityRecord]:
     """Run the Theorem 1 check over ``(n, alpha, loss, side_info)`` cases.
 
@@ -179,9 +238,26 @@ def universality_sweep(
         of this size and merged back into ``cache``; records are
         bit-identical to a serial run. Cells whose key is unhashable
         (and hence uncacheable) are solved serially.
+    solve_cache:
+        Persistent cross-run LP solve cache
+        (:class:`repro.solvers.cache.SolveCache`, a directory path,
+        ``None`` for the ``REPRO_CACHE_DIR`` default, or ``False`` to
+        disable). Worker pools share directory-backed caches, so warm
+        re-runs perform zero LP solves.
+    cache_dir:
+        Convenience spelling of ``solve_cache=<directory>`` (ignored
+        when ``solve_cache`` is given).
+    space:
+        LP parameterization for the bespoke solves (``"x"`` or the
+        Theorem 2 ``"factor"`` reparameterization); see
+        :func:`repro.core.optimal.optimal_mechanism`.
     """
     records: list[UniversalityRecord] = []
     solved = {} if cache is None else cache
+    if solve_cache is None and cache_dir is not None:
+        solve_cache = SolveCache(cache_dir)
+    lp_cache = resolve_cache(solve_cache)
+    cell_cache = False if lp_cache is None else lp_cache
     cases = [
         (n, alpha, loss, side) for n, alpha, loss, side in cases
     ]
@@ -194,23 +270,29 @@ def universality_sweep(
             members = tuple(
                 range(n + 1) if side is None else sorted(int(i) for i in side)
             )
-            key = _cell_key(n, alpha, loss, members, exact)
+            key = _cell_key(n, alpha, loss, members, exact, space)
             if key is not None and key not in solved and key not in pending:
                 pending[key] = (n, alpha, loss, members)
         if pending:
             _parallel_fill(
-                solved, pending, _solve_universality_chunk, exact, workers
+                solved,
+                pending,
+                _solve_universality_chunk,
+                (exact, _cache_token(solve_cache), space),
+                workers,
             )
     for n, alpha, loss, side in cases:
         members = tuple(
             range(n + 1) if side is None else sorted(int(i) for i in side)
         )
-        key = _cell_key(n, alpha, loss, members, exact)
+        key = _cell_key(n, alpha, loss, members, exact, space)
         if key is not None and key in solved:
             bespoke_loss, interaction_loss = solved[key]
         else:
             bespoke_loss, interaction_loss = _solve_universality_cell(
-                (n, alpha, loss, members, exact)
+                (n, alpha, loss, members, exact),
+                solve_cache=cell_cache,
+                space=space,
             )
             if key is not None:
                 solved[key] = (bespoke_loss, interaction_loss)
@@ -238,6 +320,8 @@ def bayesian_universality_sweep(
     tolerance: float = 1e-6,
     cache: dict | None = None,
     workers: int | None = None,
+    solve_cache=None,
+    cache_dir=None,
 ) -> list[UniversalityRecord]:
     """GRS09 baseline: the same sweep for Bayesian consumers.
 
@@ -246,11 +330,16 @@ def bayesian_universality_sweep(
     remap of the geometric mechanism is compared against the GRS09
     bespoke LP optimum. Repeated cells are deduped as in
     :func:`universality_sweep` (the prior participates in the cell key),
-    and ``workers=`` fans distinct cells out to a process pool the same
-    way.
+    ``workers=`` fans distinct cells out to a process pool the same way,
+    and ``solve_cache=``/``cache_dir=`` consult the same persistent LP
+    solve cache.
     """
     records: list[UniversalityRecord] = []
     solved = {} if cache is None else cache
+    if solve_cache is None and cache_dir is not None:
+        solve_cache = SolveCache(cache_dir)
+    lp_cache = resolve_cache(solve_cache)
+    cell_cache = False if lp_cache is None else lp_cache
     cases = [(n, alpha, loss, prior) for n, alpha, loss, prior in cases]
     if workers is not None and workers > 1:
         pending: dict = {}
@@ -261,7 +350,11 @@ def bayesian_universality_sweep(
                 pending[key] = (n, alpha, loss, prior)
         if pending:
             _parallel_fill(
-                solved, pending, _solve_bayesian_chunk, exact, workers
+                solved,
+                pending,
+                _solve_bayesian_chunk,
+                (exact, _cache_token(solve_cache)),
+                workers,
             )
     for n, alpha, loss, prior in cases:
         prior_key = tuple(np.asarray(prior).tolist())
@@ -270,7 +363,7 @@ def bayesian_universality_sweep(
             bespoke_loss, interaction_loss = solved[key]
         else:
             bespoke_loss, interaction_loss = _solve_bayesian_cell(
-                (n, alpha, loss, prior, exact)
+                (n, alpha, loss, prior, exact), solve_cache=cell_cache
             )
             if key is not None:
                 solved[key] = (bespoke_loss, interaction_loss)

@@ -7,10 +7,18 @@ Subcommands::
     repro reproduce table2 [-n N] [--alpha A]
     repro reproduce appendix-b         # the non-derivable mechanism
     repro optimal -n N --alpha A [--loss absolute|squared|zero-one]
+                  [--space x|factor]
     repro release -n N --alphas A1 A2 ... --true-result R [--seed S]
     repro audit -n N --alpha A [--samples S]
+    repro sweep universality|bayesian -n N1 N2 ... --alphas A1 A2 ...
+                  [--losses L ...] [--float] [--workers W]
+                  [--cache-dir DIR | --no-cache] [--space x|factor]
 
 Fractions are accepted anywhere a privacy level is (e.g. ``--alpha 1/4``).
+The sweep command exposes the process-pool (``--workers``) and
+persistent solve-cache (``--cache-dir``; disable with ``--no-cache``)
+machinery, so heavy theorem-check grids are reachable — and warm re-runs
+near-free — without writing Python.
 """
 
 from __future__ import annotations
@@ -81,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--side", type=int, nargs="*", default=None,
         help="admissible results (default: all)",
     )
+    optimal.add_argument(
+        "--space", choices=("x", "factor"), default="x",
+        help="LP parameterization: the paper's x-space program, or the "
+        "Theorem 2 factor-space reparameterization (certified against "
+        "the full program)",
+    )
 
     release = sub.add_parser(
         "release", help="run Algorithm 1 at multiple privacy levels"
@@ -112,6 +126,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tradeoff.add_argument("--side", type=int, nargs="*", default=None)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a Theorem 1 universality sweep over a parameter grid",
+    )
+    sweep.add_argument(
+        "kind",
+        choices=("universality", "bayesian"),
+        help="minimax consumers (Theorem 1) or the GRS09 Bayesian "
+        "baseline (uniform prior)",
+    )
+    sweep.add_argument(
+        "-n", type=int, nargs="+", required=True, dest="sizes",
+        help="query-result ranges to sweep",
+    )
+    sweep.add_argument(
+        "--alphas", type=_parse_alpha, nargs="+", required=True
+    )
+    sweep.add_argument(
+        "--losses", choices=sorted(_LOSSES), nargs="+",
+        default=["absolute"],
+    )
+    sweep.add_argument(
+        "--float", dest="exact", action="store_false",
+        help="float regime (default: exact Fractions)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="solve distinct cells on a process pool of this size",
+    )
+    cache_group = sweep.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache-dir", default=None,
+        help="persistent cross-run LP solve cache directory "
+        "(warm re-runs perform zero LP solves)",
+    )
+    cache_group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent solve cache (including the "
+        "REPRO_CACHE_DIR default)",
+    )
+    sweep.add_argument(
+        "--space", choices=("x", "factor"), default="x",
+        help="LP parameterization for the bespoke solves "
+        "(universality sweeps only)",
+    )
+
     return parser
 
 
@@ -140,7 +200,7 @@ def _cmd_reproduce(args) -> str:
 def _cmd_optimal(args) -> str:
     loss = _LOSSES[args.loss]()
     result = optimal_mechanism(
-        args.n, args.alpha, loss, args.side, exact=True
+        args.n, args.alpha, loss, args.side, exact=True, space=args.space
     )
     return "\n".join(
         [
@@ -203,6 +263,76 @@ def _cmd_tradeoff(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_sweep(args) -> str:
+    from .analysis.sweeps import bayesian_universality_sweep, universality_sweep
+    from .solvers.cache import SolveCache
+
+    losses = [_LOSSES[name]() for name in args.losses]
+    solve_cache = None
+    if args.no_cache:
+        solve_cache = False
+    elif args.cache_dir is not None:
+        solve_cache = SolveCache(args.cache_dir)
+    if args.kind == "universality":
+        cases = [
+            (n, alpha, loss, None)
+            for n in args.sizes
+            for alpha in args.alphas
+            for loss in losses
+        ]
+        records = universality_sweep(
+            cases,
+            exact=args.exact,
+            workers=args.workers,
+            solve_cache=solve_cache,
+            space=args.space,
+        )
+    else:
+        cases = [
+            (n, alpha, loss, [Fraction(1, n + 1)] * (n + 1))
+            for n in args.sizes
+            for alpha in args.alphas
+            for loss in losses
+        ]
+        records = bayesian_universality_sweep(
+            cases,
+            exact=args.exact,
+            workers=args.workers,
+            solve_cache=solve_cache,
+        )
+    lines = [
+        f"{args.kind} sweep over {len(records)} cells "
+        f"({'exact' if args.exact else 'float'} regime):",
+        f"  {'n':>3} {'alpha':>8} {'loss':<24} {'bespoke':>12} "
+        f"{'interaction':>12} holds",
+    ]
+    for record in records:
+        lines.append(
+            f"  {record.n:>3} {str(record.alpha):>8} "
+            f"{record.loss_name:<24} "
+            f"{format_value(record.bespoke_loss):>12} "
+            f"{format_value(record.interaction_loss):>12} "
+            f"{'yes' if record.holds else 'NO'}"
+        )
+    holds = all(record.holds for record in records)
+    lines.append(
+        f"universality holds on all cells: {'yes' if holds else 'NO'}"
+    )
+    if isinstance(solve_cache, SolveCache):
+        # With --workers the solving (and its hits/misses) happens in
+        # worker processes sharing the directory, so the per-process
+        # counters only describe this process; the on-disk entry count
+        # is the cross-process truth.
+        stats = solve_cache.stats
+        entries = sum(1 for _ in solve_cache.path.rglob("*.json"))
+        lines.append(
+            f"solve cache {solve_cache.path}: {entries} entries on disk; "
+            f"this process: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['stores']} stores"
+        )
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -213,6 +343,7 @@ def main(argv=None) -> int:
         "release": _cmd_release,
         "audit": _cmd_audit,
         "tradeoff": _cmd_tradeoff,
+        "sweep": _cmd_sweep,
     }
     try:
         output = handlers[args.command](args)

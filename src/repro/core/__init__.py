@@ -38,6 +38,7 @@ from .counterexample import (
 from .derivability import (
     DerivabilityReport,
     check_derivability,
+    compose_with_geometric,
     derivation_factor,
     derive_mechanism,
     is_derivable_from_geometric,
@@ -73,7 +74,9 @@ from .oblivious import (
 from .optimal import (
     OptimalMechanismResult,
     build_optimal_lp,
+    factor_space_candidate,
     optimal_mechanism,
+    solve_factor_certified,
 )
 from .polytope import dp_polytope_lp, random_private_mechanism
 from .privacy import (
@@ -104,6 +107,7 @@ __all__ = [
     "group_privacy_alpha",
     "DerivabilityReport",
     "check_derivability",
+    "compose_with_geometric",
     "derivation_factor",
     "derive_mechanism",
     "is_derivable_from_geometric",
@@ -119,6 +123,8 @@ __all__ = [
     "OptimalMechanismResult",
     "optimal_mechanism",
     "build_optimal_lp",
+    "factor_space_candidate",
+    "solve_factor_certified",
     "dp_polytope_lp",
     "random_private_mechanism",
     "RowPairStructure",

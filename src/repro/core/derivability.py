@@ -34,7 +34,7 @@ from ..exceptions import NotDerivableError, ValidationError
 from ..linalg.rational import RationalMatrix
 from ..validation import as_fraction, check_alpha, is_exact_array
 from .characterization import three_entry_value
-from .geometric import GeometricMechanism, column_scaling
+from .geometric import GeometricMechanism, column_scaling, geometric_matrix
 from .mechanism import Mechanism
 
 __all__ = [
@@ -43,6 +43,7 @@ __all__ = [
     "check_derivability",
     "is_derivable_from_geometric",
     "derive_mechanism",
+    "compose_with_geometric",
     "privacy_chain_kernel",
 ]
 
@@ -201,6 +202,47 @@ def derive_mechanism(mechanism, alpha, *, atol: float = 1e-9) -> np.ndarray:
         factor = np.clip(factor.astype(float), 0.0, None)
         factor = factor / factor.sum(axis=1, keepdims=True)
     return factor
+
+
+def compose_with_geometric(n: int, alpha, factor) -> np.ndarray:
+    """The derived mechanism ``G_{n,alpha} @ T`` — the inverse direction
+    of :func:`derive_mechanism`.
+
+    ``factor`` is a row-stochastic post-processing matrix ``T``; the
+    result is the mechanism a consumer induces by applying ``T`` to the
+    geometric mechanism's output. ``derive_mechanism(compose_with_geometric
+    (n, alpha, T), alpha) == T`` exactly (Lemma 1: ``G`` is
+    non-singular), which the test-suite asserts. This is the map the
+    factor-space (Theorem 2 reparameterized) LP pipeline uses to carry a
+    solved factor back to mechanism space.
+
+    Exact (``Fraction``) output when both inputs are exact; float64
+    otherwise. The exact product walks only the non-zero entries of
+    ``T`` — optimal factors are sparse (Table 1(c) style), so this stays
+    near ``O(n^2)`` instead of the dense ``O(n^3)``.
+    """
+    matrix = _as_matrix(factor)
+    size = matrix.shape[0]
+    if size != n + 1:
+        raise ValidationError(
+            f"factor must be {(n + 1, n + 1)} for n={n}, got {matrix.shape}"
+        )
+    exact = (
+        is_exact_array(matrix)
+        and isinstance(alpha, (Fraction, int))
+        and not isinstance(alpha, bool)
+    )
+    if not exact:
+        return geometric_matrix(n, float(alpha)) @ matrix.astype(float)
+    geometric = geometric_matrix(n, as_fraction(alpha, name="alpha"))
+    out = np.full((size, size), Fraction(0), dtype=object)
+    for k in range(size):
+        row = matrix[k]
+        for r in range(size):
+            weight = row[r]
+            if weight != 0:
+                out[:, r] = out[:, r] + geometric[:, k] * weight
+    return out
 
 
 def privacy_chain_kernel(n: int, alpha, beta) -> np.ndarray:

@@ -24,6 +24,7 @@ import numpy as np
 from ..exceptions import SideInformationError, ValidationError
 from ..losses.base import loss_matrix
 from ..solvers.base import LinearProgram, choose_backend
+from ..solvers.cache import resolve_cache
 from ..validation import is_exact_array
 from .mechanism import Mechanism
 
@@ -83,6 +84,7 @@ def optimal_interaction(
     *,
     backend=None,
     exact: bool | None = None,
+    solve_cache=None,
 ) -> InteractionResult:
     """Solve the Section 2.4.3 LP for the optimal interaction.
 
@@ -100,6 +102,12 @@ def optimal_interaction(
     exact:
         Force exact (Fraction) or float arithmetic; inferred from the
         deployed mechanism by default.
+    solve_cache:
+        Persistent solve cache (see
+        :func:`repro.core.optimal.optimal_mechanism`): a
+        :class:`~repro.solvers.cache.SolveCache`, a directory, ``None``
+        for the process default, or ``False`` to disable. Keyed by the
+        canonical content of this interaction LP.
 
     Returns
     -------
@@ -150,9 +158,15 @@ def optimal_interaction(
         program.add_eq(
             [(r * size + r_prime, 1) for r_prime in range(size)], 1
         )
-    if backend is None:
-        backend = choose_backend(exact=exact, size_hint=num_vars)
-    solution = backend.solve(program)
+    cache = resolve_cache(solve_cache)
+    key = cache.key(program) if cache is not None else None
+    solution = cache.get_key(key) if cache is not None else None
+    if solution is None:
+        if backend is None:
+            backend = choose_backend(exact=exact, size_hint=num_vars)
+        solution = backend.solve(program)
+        if cache is not None:
+            cache.put_key(key, solution)
 
     flat = solution.values[: size * size]
     if exact:

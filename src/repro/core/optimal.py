@@ -28,13 +28,24 @@ import numpy as np
 
 from ..exceptions import ValidationError
 from ..losses.base import loss_matrix
-from ..solvers.base import LinearProgram, choose_backend
+from ..solvers.base import LinearProgram, LPSolution, choose_backend
+from ..solvers.cache import canonical_terms, resolve_cache
+from ..solvers.hybrid import certify_solution, reconstruct_vertex
 from ..solvers.lexicographic import solve_lexicographic
+from ..solvers.scipy_backend import ScipyBackend, solve_with_optimal_basis
 from ..validation import as_fraction, check_alpha, check_result_range, is_exact_array
+from .derivability import compose_with_geometric
+from .geometric import geometric_matrix
 from .interaction import normalize_side_information
 from .mechanism import Mechanism
 
-__all__ = ["OptimalMechanismResult", "optimal_mechanism", "build_optimal_lp"]
+__all__ = [
+    "OptimalMechanismResult",
+    "optimal_mechanism",
+    "build_optimal_lp",
+    "factor_space_candidate",
+    "solve_factor_certified",
+]
 
 
 @dataclass(frozen=True)
@@ -95,21 +106,63 @@ def _shared_constraint_blocks(n: int, alpha, regime: str):
 
 
 def build_optimal_lp(
-    n: int, alpha, table: np.ndarray, members: list[int]
+    n: int, alpha, table: np.ndarray, members: list[int], *, space: str = "x"
 ) -> tuple[LinearProgram, int]:
     """Build the Section 2.5 LP; returns ``(program, d_index)``.
 
-    Variable layout: ``x[i, r]`` at index ``i * (n+1) + r``; the epigraph
-    variable ``d`` last. Exposed separately so benchmarks can measure LP
-    sizes and tests can inspect the constraint system. Only the
+    ``space="x"`` (the default) is the paper's program over the
+    mechanism entries: variable ``x[i, r]`` at index ``i * (n+1) + r``,
+    the epigraph variable ``d`` last, ``|S|`` loss rows, ``2n(n+1)``
+    privacy rows, and ``n+1`` stochasticity rows. Only the
     consumer-specific loss rows are built per call; the privacy and
     stochasticity blocks come from a shared per-``(n, alpha)`` cache.
+
+    ``space="factor"`` is the Theorem 2 *derivability
+    reparameterization*: every minimax-optimal mechanism factors as
+    ``x = G_{n,alpha} @ T`` with ``T`` row-stochastic, so substituting
+    that product turns the program into one over ``(T, d)`` — variable
+    ``T[k, r]`` at the same ``k * (n+1) + r`` layout — where the entire
+    privacy block collapses into plain non-negativity of ``T``. What
+    remains is ``|S|`` loss rows (with coefficients
+    ``G[i, k] * l(i, r)``) and ``n+1`` row-sum equalities:
+    ``Theta(n)`` rows instead of ``Theta(n^2)``. The reformulation is
+    never trusted on its own — callers map ``T`` back through
+    ``G @ T`` and certify against the ``space="x"`` program (see
+    :func:`solve_factor_certified`).
     """
     size = n + 1
     num_vars = size * size + 1
     d_index = size * size
     program = LinearProgram(num_vars)
     program.set_objective([(d_index, 1)])
+    if space == "factor":
+        geometric = geometric_matrix(n, alpha)
+        # Loss epigraph after substituting x = G T:
+        # sum_{k,r} G[i,k] l(i,r) T[k,r] - d <= 0 for i in S.
+        for i in members:
+            weights = geometric[i]
+            losses = table[i]
+            terms = [
+                (k * size + r, weights[k] * losses[r])
+                for k in range(size)
+                for r in range(size)
+                if losses[r] != 0
+            ]
+            terms.append((d_index, -1))
+            program.add_le(terms, 0)
+        # T row-stochasticity (G is stochastic and non-singular, so unit
+        # x row sums are equivalent to unit T row sums).
+        program.extend_eq(
+            tuple(
+                (tuple((k * size + r, 1) for r in range(size)), 1)
+                for k in range(size)
+            )
+        )
+        return program, d_index
+    if space != "x":
+        raise ValidationError(
+            f"space must be 'x' or 'factor', got {space!r}"
+        )
     # Worst-case-loss epigraph: sum_r l(i,r) x[i,r] - d <= 0 for i in S.
     for i in members:
         terms = [
@@ -129,6 +182,90 @@ def build_optimal_lp(
     program.extend_le(privacy)
     program.extend_eq(stochastic)
     return program, d_index
+
+
+def factor_space_candidate(
+    n: int, alpha, table: np.ndarray, members: list[int]
+) -> LPSolution | None:
+    """Solve the factor-space LP exactly and map back to mechanism space.
+
+    Pipeline: build the ``space="factor"`` program, float-solve it with
+    a direct HiGHS call that reports its optimal basis, reconstruct the
+    basis's vertex ``(T, d)`` exactly over ``Fraction``, and return the
+    candidate in ``space="x"`` layout — ``values`` are the entries of
+    ``G @ T`` (via :func:`repro.core.derivability.compose_with_geometric`)
+    followed by ``d``. Returns ``None`` when any stage fails (HiGHS
+    bindings unavailable, degenerate basis, negative vertex); the result
+    is only a *candidate* — nothing downstream may trust it before
+    :func:`repro.solvers.hybrid.certify_solution` passes it against the
+    full x-space program.
+    """
+    size = n + 1
+    program, d_index = build_optimal_lp(
+        n, alpha, table, members, space="factor"
+    )
+    basis = solve_with_optimal_basis(program)
+    if basis is None:
+        return None
+    vertex = reconstruct_vertex(program, basis)
+    if vertex is None:
+        return None
+    factor = np.empty((size, size), dtype=object)
+    factor.ravel()[:] = vertex.values[: size * size]
+    derived = compose_with_geometric(n, alpha, factor)
+    values = list(derived.ravel())
+    values.append(vertex.values[d_index])
+    return LPSolution(
+        values=values, objective=vertex.values[d_index], backend="factor-space"
+    )
+
+
+def solve_factor_certified(
+    program: LinearProgram,
+    n: int,
+    alpha,
+    table: np.ndarray,
+    members: list[int],
+) -> LPSolution | None:
+    """Factor-space solve + exact x-space certificate, or ``None``.
+
+    ``program`` must be the ``space="x"`` LP for the same consumer. The
+    returned solution carries the certified candidate (so its values are
+    a genuine optimal mechanism of the full program, proven by the exact
+    primal/dual certificate); ``None`` means the caller should fall back
+    to the PR 2 hybrid solve — correctness never rests on the Theorem 2
+    reformulation.
+    """
+    candidate = factor_space_candidate(n, alpha, table, members)
+    if candidate is None:
+        return None
+    return certify_solution(
+        program, candidate.values, name="factor-certified"
+    )
+
+
+def _solve_factor_float(
+    n: int, alpha: float, table: np.ndarray, members: list[int]
+) -> LPSolution | None:
+    """Float-regime factor-space solve (no certificate: floats carry a
+    tolerance everywhere, so the Theorem 2 reformulation is checked by
+    the float sweeps rather than per solve)."""
+    size = n + 1
+    program, d_index = build_optimal_lp(
+        n, alpha, table, members, space="factor"
+    )
+    solution = ScipyBackend().solve(program)
+    kernel = np.asarray(
+        solution.values[: size * size], dtype=float
+    ).reshape(size, size)
+    derived = compose_with_geometric(n, alpha, kernel)
+    values = list(derived.ravel())
+    values.append(solution.values[d_index])
+    return LPSolution(
+        values=values,
+        objective=solution.values[d_index],
+        backend="factor-float",
+    )
 
 
 def _secondary_terms(n: int) -> list[tuple[int, int]]:
@@ -151,6 +288,8 @@ def optimal_mechanism(
     backend=None,
     exact: bool | None = None,
     refine: bool = False,
+    space: str = "x",
+    solve_cache=None,
 ) -> OptimalMechanismResult:
     """Solve for the consumer's bespoke optimal alpha-DP mechanism.
 
@@ -171,6 +310,23 @@ def optimal_mechanism(
         loss by default.
     refine:
         Apply the Lemma 5 lexicographic ``(L, L')`` refinement.
+    space:
+        ``"x"`` solves the paper's program directly. ``"factor"`` solves
+        the Theorem 2 derivability reparameterization (``Theta(n)`` rows
+        instead of ``Theta(n^2)``), maps the solved factor back through
+        ``G @ T``, and proves the result optimal for the full x-space
+        program with the exact primal/dual certificate — falling back to
+        the hybrid x-space solve whenever certification fails, so the
+        optimum never rests on the reformulation. The achieved loss is
+        bit-identical either way; the mechanism itself may be a
+        different vertex of the (typically non-unique) optimal face.
+    solve_cache:
+        Persistent cross-run solve cache: a
+        :class:`~repro.solvers.cache.SolveCache`, a cache directory,
+        ``None`` to use the process default (``REPRO_CACHE_DIR``), or
+        ``False`` to disable. Keyed by the canonical content of the
+        x-space program, so ``"x"`` and ``"factor"`` solves share
+        entries and stale hits are impossible.
 
     Examples
     --------
@@ -182,6 +338,8 @@ def optimal_mechanism(
     """
     n = check_result_range(n)
     check_alpha(alpha)
+    if space not in ("x", "factor"):
+        raise ValidationError(f"space must be 'x' or 'factor', got {space!r}")
     members = normalize_side_information(side_information, n)
     table = loss_matrix(loss, n)
     if exact is None:
@@ -197,15 +355,51 @@ def optimal_mechanism(
         table = table.astype(float)
     program, d_index = build_optimal_lp(n, alpha, table, members)
     size = n + 1
-    if backend is None:
-        backend = choose_backend(exact=exact, size_hint=program.num_vars)
+    cache = resolve_cache(solve_cache)
+    variant_parts = []
     if refine:
-        slack = 0 if exact else 1e-9
-        _, solution = solve_lexicographic(
-            program, _secondary_terms(n), backend, slack=slack
-        )
-    else:
-        solution = backend.solve(program)
+        variant_parts.append("refine:" + canonical_terms(_secondary_terms(n)))
+    if space == "factor" and not exact:
+        # Exact factor solves are certified against the x-space program,
+        # so they legitimately share its cache key. Float factor solves
+        # are not certified — keep them in their own entry so a
+        # ``space="x"`` caller never gets one served back.
+        variant_parts.append("factor-float")
+    variant = ";".join(variant_parts)
+    key = cache.key(program, variant=variant) if cache is not None else None
+    solution = cache.get_key(key) if cache is not None else None
+    if solution is None:
+        if backend is None:
+            backend = choose_backend(exact=exact, size_hint=program.num_vars)
+        if refine:
+            primary = None
+            if space == "factor" and exact:
+                # The cheap reparameterized solve pins the primary
+                # optimum; only the refined stage pays the full LP.
+                primary = solve_factor_certified(
+                    program, n, alpha, table, members
+                )
+            slack = 0 if exact else 1e-9
+            _, solution = solve_lexicographic(
+                program,
+                _secondary_terms(n),
+                backend,
+                slack=slack,
+                primary=primary,
+            )
+        elif space == "factor":
+            if exact:
+                solution = solve_factor_certified(
+                    program, n, alpha, table, members
+                )
+            else:
+                solution = _solve_factor_float(n, alpha, table, members)
+            if solution is None:
+                solution = backend.solve(program)
+        else:
+            solution = backend.solve(program)
+        if cache is not None:
+            cache.put_key(key, solution)
 
     flat = solution.values[: size * size]
     if exact:

@@ -21,6 +21,7 @@ from .base import (
     LossFunction,
     cached_loss_matrix,
     check_monotone,
+    clear_loss_table_cache,
     loss_matrix,
 )
 from .composite import (
@@ -44,6 +45,7 @@ __all__ = [
     "LossFunction",
     "cached_loss_matrix",
     "check_monotone",
+    "clear_loss_table_cache",
     "loss_matrix",
     "AbsoluteLoss",
     "SquaredLoss",

@@ -24,6 +24,7 @@ __all__ = [
     "check_monotone",
     "loss_matrix",
     "cached_loss_matrix",
+    "clear_loss_table_cache",
 ]
 
 
@@ -100,6 +101,16 @@ def loss_matrix(loss: LossFunction | np.ndarray, n: int) -> np.ndarray:
 #: ``(n, regime)`` to a read-only array.
 _TABLE_CACHE: "WeakKeyDictionary[LossFunction, dict]" = WeakKeyDictionary()
 
+#: Tables kept per loss instance. A long-lived loss object swept across
+#: many ``n`` would otherwise accumulate O(n^2)-sized tables without
+#: bound; eviction is insertion-ordered (oldest ``(n, regime)`` first).
+_TABLE_CACHE_PER_LOSS = 32
+
+
+def clear_loss_table_cache() -> None:
+    """Drop every memoized loss table (see :func:`repro.clear_caches`)."""
+    _TABLE_CACHE.clear()
+
 
 def cached_loss_matrix(
     loss: LossFunction | np.ndarray, n: int, *, as_float: bool = False
@@ -141,6 +152,8 @@ def cached_loss_matrix(
         else:
             table = loss.matrix(n)
         table.setflags(write=False)
+        if len(per_loss) >= _TABLE_CACHE_PER_LOSS:
+            per_loss.pop(next(iter(per_loss)))
         per_loss[key] = table
     return table
 

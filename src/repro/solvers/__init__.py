@@ -14,7 +14,12 @@ are linear programs. This subpackage provides:
   optimum, falling back to the simplex only when certification fails;
   and
 * a lexicographic two-stage solve used for the paper's ``(L, L')``
-  refinement (Lemma 5).
+  refinement (Lemma 5);
+* an exact primal/dual *candidate certificate*
+  (:func:`certify_solution`) proving externally-produced solutions
+  optimal (the factor-space pipeline's safety net); and
+* a persistent, content-addressed cross-run solve cache
+  (:class:`SolveCache`).
 """
 
 from .base import (
@@ -23,9 +28,16 @@ from .base import (
     LPSolution,
     choose_backend,
 )
-from .hybrid import HybridBackend
+from .cache import (
+    SolveCache,
+    canonical_key,
+    default_cache,
+    resolve_cache,
+    set_default_cache,
+)
+from .hybrid import HybridBackend, certify_solution, reconstruct_vertex
 from .lexicographic import solve_lexicographic
-from .scipy_backend import ScipyBackend
+from .scipy_backend import ScipyBackend, has_direct_highs
 from .simplex import ExactSimplexBackend
 
 __all__ = [
@@ -37,4 +49,12 @@ __all__ = [
     "ExactSimplexBackend",
     "HybridBackend",
     "solve_lexicographic",
+    "certify_solution",
+    "reconstruct_vertex",
+    "has_direct_highs",
+    "SolveCache",
+    "canonical_key",
+    "default_cache",
+    "resolve_cache",
+    "set_default_cache",
 ]

@@ -1,0 +1,289 @@
+"""Persistent, content-addressed LP solve cache.
+
+Every exact theorem check bottoms out in a handful of canonical linear
+programs, and sweeps re-solve the same programs across runs, processes,
+and machines. :class:`SolveCache` stores solved programs keyed by a
+SHA-256 hash of the *canonical program text* — objective, constraint
+rows, and right-hand sides, with every coefficient serialized losslessly
+(``Fraction`` as ``p/q``, floats as C99 hex) — so a cache entry can never
+go stale: any change to the program changes its key.
+
+The store is a directory of JSON files (two-level fan-out on the key
+prefix), written atomically via ``os.replace``, so concurrent readers
+and writers — in particular the ``workers=`` process pools of
+:mod:`repro.analysis.sweeps` — share one cache directory safely: racing
+writers of the same key write identical bytes, and readers never observe
+a partial file. A small bounded in-memory layer sits above the directory
+for repeated hits inside one process.
+
+A process-wide default cache can be enabled by setting the
+``REPRO_CACHE_DIR`` environment variable (or
+:func:`set_default_cache`); callers opt out per call by passing
+``solve_cache=False``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import operator
+import os
+import tempfile
+from fractions import Fraction
+from pathlib import Path
+
+from ..exceptions import ValidationError
+from .base import LinearProgram, LPSolution
+
+__all__ = [
+    "SolveCache",
+    "canonical_key",
+    "canonical_terms",
+    "default_cache",
+    "set_default_cache",
+    "resolve_cache",
+]
+
+#: Bump when the on-disk payload or canonical text changes shape.
+_FORMAT_VERSION = 1
+
+#: Environment variable enabling the process-wide default cache.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Entries kept in the per-instance in-memory layer.
+_MEMORY_ENTRIES = 1024
+
+
+def _encode_number(value) -> str:
+    """Lossless, regime-tagged text form of an LP coefficient.
+
+    Exact and float values that compare equal (``Fraction(1, 2)`` vs
+    ``0.5``) must encode differently — they describe different programs.
+    """
+    if isinstance(value, Fraction):
+        return f"F{value.numerator}/{value.denominator}"
+    if isinstance(value, bool):
+        return f"i{int(value)}"
+    if isinstance(value, int):
+        return f"i{value}"
+    if isinstance(value, float):
+        return f"f{value.hex()}"
+    try:  # numpy integer scalars and other index-able integrals
+        return f"i{operator.index(value)}"
+    except TypeError:
+        pass
+    raise ValidationError(
+        f"cannot canonically serialize LP coefficient {value!r} "
+        f"of type {type(value).__name__}"
+    )
+
+
+def _decode_number(text: str):
+    kind, payload = text[0], text[1:]
+    if kind == "F":
+        numerator, denominator = payload.split("/")
+        return Fraction(int(numerator), int(denominator))
+    if kind == "i":
+        return int(payload)
+    if kind == "f":
+        return float.fromhex(payload)
+    raise ValidationError(f"unknown cached coefficient encoding {text!r}")
+
+
+def canonical_terms(terms) -> str:
+    """Canonical text of a sparse ``(variable, coeff)`` term list."""
+    return ",".join(f"{var}:{_encode_number(coeff)}" for var, coeff in terms)
+
+
+def canonical_key(program: LinearProgram, *, variant: str = "") -> str:
+    """Content hash of a program (plus an optional caller variant tag).
+
+    The hash covers the variable count, objective, and every constraint
+    row with its exact coefficients and right-hand side, so two programs
+    share a key iff they are the same program — stale cache entries are
+    impossible by construction. ``variant`` lets callers separate
+    different *solves* of the same program (e.g. the Lemma 5 refined
+    solve) into distinct entries.
+    """
+    parts = [f"v{_FORMAT_VERSION}", f"n{program.num_vars}"]
+    parts.append("min " + canonical_terms(program.objective_terms))
+    for terms, rhs in program.le_constraints:
+        parts.append(canonical_terms(terms) + "<=" + _encode_number(rhs))
+    for terms, rhs in program.eq_constraints:
+        parts.append(canonical_terms(terms) + "==" + _encode_number(rhs))
+    if variant:
+        parts.append("variant " + variant)
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class SolveCache:
+    """Directory-backed, content-addressed store of exact LP solutions.
+
+    Parameters
+    ----------
+    path:
+        Cache directory (created lazily on first store).
+
+    Attributes
+    ----------
+    stats:
+        ``{"hits", "misses", "stores"}`` counters for this instance —
+        the warm-sweep benchmark asserts ``misses == 0`` on a second
+        run, i.e. zero LP solves.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path).expanduser()
+        self._memory: dict[str, LPSolution] = {}
+        self.stats = {"hits": 0, "misses": 0, "stores": 0}
+
+    # -- keying --------------------------------------------------------
+    def key(self, program: LinearProgram, *, variant: str = "") -> str:
+        """Content key for ``program`` (see :func:`canonical_key`)."""
+        return canonical_key(program, variant=variant)
+
+    def _entry_path(self, key: str) -> Path:
+        return self.path / key[:2] / f"{key}.json"
+
+    # -- lookup --------------------------------------------------------
+    def get_key(self, key: str) -> LPSolution | None:
+        """Return the cached solution for ``key``, or ``None``."""
+        cached = self._memory.get(key)
+        if cached is None:
+            cached = self._load(key)
+            if cached is not None:
+                self._remember(key, cached)
+        if cached is None:
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        return LPSolution(
+            values=list(cached.values),
+            objective=cached.objective,
+            backend=cached.backend,
+        )
+
+    def get(
+        self, program: LinearProgram, *, variant: str = ""
+    ) -> LPSolution | None:
+        """Return the cached solution for ``program``, or ``None``."""
+        return self.get_key(self.key(program, variant=variant))
+
+    # -- store ---------------------------------------------------------
+    def put_key(self, key: str, solution: LPSolution) -> None:
+        """Persist ``solution`` under ``key`` (atomic replace on disk)."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "objective": _encode_number(solution.objective),
+            "values": [_encode_number(value) for value in solution.values],
+            "backend": solution.backend,
+        }
+        entry = self._entry_path(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            dir=entry.parent,
+            prefix=f".{key[:8]}-",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, entry)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self._remember(key, solution)
+        self.stats["stores"] += 1
+
+    def put(
+        self,
+        program: LinearProgram,
+        solution: LPSolution,
+        *,
+        variant: str = "",
+    ) -> None:
+        """Persist the solution of ``program``."""
+        self.put_key(self.key(program, variant=variant), solution)
+
+    # -- internals -----------------------------------------------------
+    def _load(self, key: str) -> LPSolution | None:
+        entry = self._entry_path(key)
+        try:
+            payload = json.loads(entry.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            return None
+        try:
+            return LPSolution(
+                values=[_decode_number(value) for value in payload["values"]],
+                objective=_decode_number(payload["objective"]),
+                backend=str(payload["backend"]),
+            )
+        except (KeyError, TypeError, IndexError, ValidationError, ValueError):
+            return None
+
+    def _remember(self, key: str, solution: LPSolution) -> None:
+        if len(self._memory) >= _MEMORY_ENTRIES:
+            self._memory.pop(next(iter(self._memory)))
+        self._memory[key] = solution
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (the directory is untouched)."""
+        self._memory.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<SolveCache {str(self.path)!r} hits={self.stats['hits']} "
+            f"misses={self.stats['misses']} stores={self.stats['stores']}>"
+        )
+
+
+#: Module default: unresolved sentinel until first use.
+_UNSET = object()
+_default_cache = _UNSET
+
+
+def default_cache() -> SolveCache | None:
+    """The process-wide default cache (``REPRO_CACHE_DIR``), or ``None``."""
+    global _default_cache
+    if _default_cache is _UNSET:
+        directory = os.environ.get(CACHE_DIR_ENV)
+        _default_cache = SolveCache(directory) if directory else None
+    return _default_cache
+
+
+def set_default_cache(cache) -> None:
+    """Install a process-wide default cache.
+
+    Accepts a :class:`SolveCache`, a directory path, or ``None`` to
+    disable (and stop consulting ``REPRO_CACHE_DIR``).
+    """
+    global _default_cache
+    if cache is None or isinstance(cache, SolveCache):
+        _default_cache = cache
+    else:
+        _default_cache = SolveCache(cache)
+
+
+def resolve_cache(solve_cache) -> SolveCache | None:
+    """Normalize a ``solve_cache=`` argument.
+
+    ``None`` means "use the process default" (which is itself ``None``
+    unless configured), ``False`` disables caching for the call, a
+    path-like builds a directory cache, and a :class:`SolveCache` is
+    used as-is.
+    """
+    if solve_cache is None:
+        return default_cache()
+    if solve_cache is False:
+        return None
+    if isinstance(solve_cache, SolveCache):
+        return solve_cache
+    return SolveCache(solve_cache)

@@ -40,10 +40,10 @@ import numpy as np
 
 from ..exceptions import ValidationError
 from .base import LinearProgram, LPSolution, coerce_exact
-from .scipy_backend import ScipyBackend
+from .scipy_backend import ScipyBackend, solve_with_optimal_basis
 from .simplex import ExactSimplexBackend
 
-__all__ = ["HybridBackend"]
+__all__ = ["HybridBackend", "certify_solution", "reconstruct_vertex"]
 
 _ZERO = Fraction(0)
 
@@ -65,65 +65,20 @@ def _sparse_exact_solve(
     certify step produces (tight privacy constraints couple only two
     mechanism entries each), so the exact solve stays close to linear
     in the number of nonzeros instead of cubic in the core size.
+
+    Strict wrapper over :func:`_sparse_exact_solve_flexible` (one shared
+    elimination core): any dropped row or unpivoted unknown is an error
+    here rather than a zero-filled degree of freedom.
     """
     size = len(row_maps)
-    rows = [dict(row) for row in row_maps]
-    values = list(rhs)
-    col_rows: dict[int, set[int]] = {}
-    for index, row in enumerate(rows):
-        for col in row:
-            col_rows.setdefault(col, set()).add(index)
-    if len(col_rows) != size:
+    columns: set[int] = set()
+    for row in row_maps:
+        columns.update(row)
+    if len(columns) != size:
         raise ValidationError("sparse system is not square")
-    active = set(range(size))
-    order: list[tuple[int, int]] = []
-    for _ in range(size):
-        best = None
-        for row_index in active:
-            row = rows[row_index]
-            if not row:
-                raise ValidationError("sparse system is singular")
-            row_cost = len(row) - 1
-            for col in row:
-                score = row_cost * (len(col_rows[col]) - 1)
-                if best is None or score < best[0]:
-                    best = (score, row_index, col)
-            if best[0] == 0:
-                break
-        _, pivot_row, pivot_col = best
-        order.append((pivot_row, pivot_col))
-        active.remove(pivot_row)
-        base = rows[pivot_row]
-        pivot = base[pivot_col]
-        for other_index in list(col_rows[pivot_col]):
-            if other_index == pivot_row or other_index not in active:
-                continue
-            other = rows[other_index]
-            factor = other.pop(pivot_col) / pivot
-            col_rows[pivot_col].discard(other_index)
-            for col, coeff in base.items():
-                if col == pivot_col:
-                    continue
-                updated = other.get(col, _ZERO) - factor * coeff
-                if updated == 0:
-                    if col in other:
-                        del other[col]
-                        col_rows[col].discard(other_index)
-                else:
-                    if col not in other:
-                        col_rows.setdefault(col, set()).add(other_index)
-                    other[col] = updated
-            values[other_index] -= factor * values[pivot_row]
-        for col in base:
-            col_rows[col].discard(pivot_row)
-    solution: dict[int, Fraction] = {}
-    for pivot_row, pivot_col in reversed(order):
-        row = rows[pivot_row]
-        residual = values[pivot_row]
-        for col, coeff in row.items():
-            if col != pivot_col:
-                residual -= coeff * solution[col]
-        solution[pivot_col] = residual / row[pivot_col]
+    solution = _sparse_exact_solve_flexible(row_maps, rhs, strict=True)
+    if solution is None or len(solution) != size:
+        raise ValidationError("sparse system is singular")
     return solution
 
 
@@ -484,3 +439,259 @@ class HybridBackend:
             objective=solution.objective,
             backend=f"{self.name}(exact-simplex-fallback)",
         )
+
+
+# ---------------------------------------------------------------------------
+# Candidate certification: prove an externally-produced exact solution
+# optimal for a program, without re-solving the program exactly. Used by
+# the factor-space (derivability-reparameterized) pipeline, whose
+# candidates come from a much smaller LP and must be certified against
+# the full program before anything trusts the reformulation.
+# ---------------------------------------------------------------------------
+
+#: Tier-1 gate: skip the zero-fill dual heuristic when the dual system
+#: has this many more unknowns (tight rows) than equations (support
+#: columns) — heavily degenerate candidates almost never zero-fill to a
+#: feasible dual, and tier 2 handles them directly.
+_TIER1_SLACK_MARGIN = 3
+
+
+def _sparse_exact_solve_flexible(
+    row_maps: list[dict[int, Fraction]], rhs: list[Fraction], *, strict: bool = False
+) -> dict[int, Fraction] | None:
+    """Markowitz-ordered exact elimination; the shared solver core.
+
+    With ``strict=False`` the system need not be square — the shapes the
+    dual system of a degenerate vertex produces are tolerated: redundant
+    equations are dropped when consistent (``None`` when not), and
+    unknowns that never acquire a pivot are left out of the returned map
+    — callers read them as zero, which is exactly the "pad the basis
+    with this row's slack" choice. The result is then a *candidate*
+    only; callers must validate it.
+
+    With ``strict=True`` (the :func:`_sparse_exact_solve` wrapper) a row
+    running empty means the square system is singular: ``None`` is
+    returned immediately.
+    """
+    rows = [dict(row) for row in row_maps]
+    values = list(rhs)
+    col_rows: dict[int, set[int]] = {}
+    for index, row in enumerate(rows):
+        for col in row:
+            col_rows.setdefault(col, set()).add(index)
+    active = set(range(len(rows)))
+    order: list[tuple[int, int]] = []
+    while active:
+        best = None
+        empties = [index for index in active if not rows[index]]
+        for index in empties:
+            if strict or values[index] != 0:
+                return None  # singular (strict) / inconsistent equation
+            active.discard(index)
+        if not active:
+            break
+        for row_index in active:
+            row = rows[row_index]
+            row_cost = len(row) - 1
+            for col in row:
+                score = row_cost * (len(col_rows[col]) - 1)
+                if best is None or score < best[0]:
+                    best = (score, row_index, col)
+            if best[0] == 0:
+                break
+        _, pivot_row, pivot_col = best
+        order.append((pivot_row, pivot_col))
+        active.remove(pivot_row)
+        base = rows[pivot_row]
+        pivot = base[pivot_col]
+        for other_index in list(col_rows[pivot_col]):
+            if other_index == pivot_row or other_index not in active:
+                continue
+            other = rows[other_index]
+            factor = other.pop(pivot_col) / pivot
+            col_rows[pivot_col].discard(other_index)
+            for col, coeff in base.items():
+                if col == pivot_col:
+                    continue
+                updated = other.get(col, _ZERO) - factor * coeff
+                if updated == 0:
+                    if col in other:
+                        del other[col]
+                        col_rows[col].discard(other_index)
+                else:
+                    if col not in other:
+                        col_rows.setdefault(col, set()).add(other_index)
+                    other[col] = updated
+            values[other_index] -= factor * values[pivot_row]
+        for col in base:
+            col_rows[col].discard(pivot_row)
+    solution: dict[int, Fraction] = {}
+    for pivot_row, pivot_col in reversed(order):
+        row = rows[pivot_row]
+        residual = values[pivot_row]
+        for col, coeff in row.items():
+            if col != pivot_col:
+                residual -= coeff * solution.get(col, _ZERO)
+        solution[pivot_col] = residual / row[pivot_col]
+    return solution
+
+
+def reconstruct_vertex(
+    program: LinearProgram, basis: list[int], *, standard=None
+) -> LPSolution | None:
+    """Exact basic solution of ``basis`` — primal values only.
+
+    ``basis`` lists columns of the equality form ``[A_ub I; A_eq 0]``
+    (e.g. from
+    :func:`repro.solvers.scipy_backend.solve_with_optimal_basis`).
+    Returns ``None`` when the basis is singular or its basic solution is
+    not non-negative. No optimality claim is made: the caller certifies
+    whatever it derives from the vertex.
+    """
+    if standard is None:
+        standard = _StandardForm(program)
+    peeled, reduced_rows, reduced_cols = standard._peel(basis)
+    if peeled is None:
+        return None
+    try:
+        basic_values = standard._primal(peeled, reduced_rows, reduced_cols)
+    except ValidationError:
+        return None
+    if basic_values is None:
+        return None
+    values = [_ZERO] * standard.num_structural
+    for col, value in basic_values.items():
+        if col < standard.num_structural:
+            values[col] = value
+    objective = sum(
+        (
+            coerce_exact(coeff) * values[var]
+            for var, coeff in program.objective_terms
+        ),
+        _ZERO,
+    )
+    return LPSolution(values=values, objective=objective, backend="exact-basis")
+
+
+def certify_solution(
+    program: LinearProgram, values, *, name: str = "certified-candidate"
+) -> LPSolution | None:
+    """Prove an exact candidate solution optimal, or return ``None``.
+
+    The certificate is the textbook strong-duality triple, checked
+    entirely over ``Fraction``:
+
+    1. *primal feasibility* — every constraint of ``program`` holds at
+       ``values`` exactly (and ``values >= 0``);
+    2. *dual feasibility* — a multiplier vector ``y`` (``u <= 0`` on
+       inequality rows, free on equalities) with non-negative reduced
+       cost ``c_j - y^T A_j`` on every column;
+    3. *strong duality* — ``b^T y`` equals the candidate objective.
+
+    The dual vector is searched in two tiers, both heuristic and both
+    fully validated (a bad guess degrades to ``None``, never to a wrong
+    certificate): first a basis-free solve of the complementary-
+    slackness equations over the tight rows (zero-filling free duals),
+    then — for the degenerate candidates where zero-fill fails — the
+    exact duals of the optimal basis a direct HiGHS float solve of
+    ``program`` reports. Candidates that are optimal but sit on no
+    certifiable dual (or when both tiers misfire) return ``None`` and
+    the caller falls back to a full exact solve.
+    """
+    num = program.num_vars
+    if len(values) != num:
+        raise ValidationError(
+            f"candidate has {len(values)} values for {num} variables"
+        )
+    for value in values:
+        if value < 0:
+            return None
+    le = program.le_constraints
+    eq = program.eq_constraints
+    tight: list[int] = []
+    for row_index, (terms, rhs) in enumerate(le):
+        activity = sum(coerce_exact(c) * values[var] for var, c in terms)
+        rhs = coerce_exact(rhs)
+        if activity > rhs:
+            return None
+        if activity == rhs:
+            tight.append(row_index)
+    for terms, rhs in eq:
+        activity = sum(coerce_exact(c) * values[var] for var, c in terms)
+        if activity != coerce_exact(rhs):
+            return None
+
+    costs = [_ZERO] * num
+    for var, coeff in program.objective_terms:
+        costs[var] += coerce_exact(coeff)
+    objective = sum((costs[j] * values[j] for j in range(num)), _ZERO)
+    support = [j for j in range(num) if values[j] > 0]
+
+    # Row ids: inequality rows keep their index, equalities follow.
+    base = len(le)
+    tight_set = set(tight)
+    col_entries: list[list[tuple[int, Fraction]]] = [[] for _ in range(num)]
+    for row_index in tight:
+        terms, _ = le[row_index]
+        for var, coeff in terms:
+            col_entries[var].append((row_index, coerce_exact(coeff)))
+    for offset, (terms, _) in enumerate(eq):
+        for var, coeff in terms:
+            col_entries[var].append((base + offset, coerce_exact(coeff)))
+
+    def validate(duals: dict[int, Fraction]) -> bool:
+        for row_index in tight:
+            if duals.get(row_index, _ZERO) > 0:
+                return False
+        for j in range(num):
+            reduced = costs[j] - sum(
+                coeff * duals.get(row, _ZERO)
+                for row, coeff in col_entries[j]
+            )
+            if reduced < 0:
+                return False
+        dual_objective = _ZERO
+        for row_index in tight:
+            dual = duals.get(row_index, _ZERO)
+            if dual:
+                dual_objective += dual * coerce_exact(le[row_index][1])
+        for offset, (_, rhs) in enumerate(eq):
+            dual = duals.get(base + offset, _ZERO)
+            if dual:
+                dual_objective += dual * coerce_exact(rhs)
+        return dual_objective == objective
+
+    # Tier 1: complementary slackness as a (near-square) linear system.
+    unknowns = len(tight) + len(eq)
+    if unknowns <= len(support) + _TIER1_SLACK_MARGIN:
+        duals = _sparse_exact_solve_flexible(
+            [dict(col_entries[j]) for j in support],
+            [costs[j] for j in support],
+        )
+        if duals is not None and validate(duals):
+            return LPSolution(
+                values=list(values), objective=objective, backend=name
+            )
+
+    # Tier 2: exact duals of the basis a direct HiGHS solve lands on.
+    basis = solve_with_optimal_basis(program)
+    if basis is None:
+        return None
+    standard = _StandardForm(program)
+    peeled, reduced_rows, reduced_cols = standard._peel(basis)
+    if peeled is None:
+        return None
+    try:
+        dual_vector = standard._dual(peeled, reduced_rows, reduced_cols)
+    except ValidationError:
+        return None
+    duals = {
+        row: value for row, value in enumerate(dual_vector) if value != 0
+    }
+    if not all(dual_vector[row] == 0 for row in range(len(le)) if row not in tight_set):
+        return None  # nonzero dual on a slack row: not complementary
+    if validate(duals):
+        return LPSolution(
+            values=list(values), objective=objective, backend=name
+        )
+    return None

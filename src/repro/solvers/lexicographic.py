@@ -30,6 +30,7 @@ def solve_lexicographic(
     backend,
     *,
     slack=0,
+    primary: LPSolution | None = None,
 ) -> tuple[LPSolution, LPSolution]:
     """Solve ``program``, then re-optimize ``secondary_terms`` at optimum.
 
@@ -46,12 +47,18 @@ def solve_lexicographic(
         Extra allowance on the pinned primary objective; keep 0 for the
         exact backend, use ~1e-9 for the float backend to avoid
         numerically-empty optimal faces.
+    primary:
+        An already-solved primary optimum to pin against, skipping the
+        stage-1 solve — e.g. the certified factor-space solution, which
+        is far cheaper than a full solve of ``program``. The caller is
+        responsible for it being a true optimum of ``program``.
 
     Returns
     -------
     (primary_solution, refined_solution)
     """
-    primary = backend.solve(program)
+    if primary is None:
+        primary = backend.solve(program)
     refined_program = program.copy()
     objective_terms = program.objective_terms
     if not objective_terms:

@@ -1,4 +1,15 @@
-"""Float LP backend on :func:`scipy.optimize.linprog` (HiGHS)."""
+"""Float LP backend on :func:`scipy.optimize.linprog` (HiGHS).
+
+Besides the :class:`ScipyBackend` wrapper around ``linprog``, this module
+exposes :func:`solve_with_optimal_basis`: a direct call into SciPy's
+vendored HiGHS bindings that skips ``linprog``'s validation layers and —
+crucially for the certify-first pipelines — returns the *optimal basis*
+HiGHS actually finished on, instead of forcing callers to re-identify a
+basis from the float solution by elimination. The bindings are a private
+SciPy surface, so everything degrades gracefully: when they are absent
+the function returns ``None`` and callers fall back to the
+``linprog``-based paths.
+"""
 
 from __future__ import annotations
 
@@ -13,7 +24,105 @@ from ..exceptions import (
 )
 from .base import LinearProgram, LPSolution
 
-__all__ = ["ScipyBackend"]
+try:  # private SciPy surface; every use is gated on availability
+    from scipy.optimize._highspy import _core as _highs_core
+except ImportError:  # pragma: no cover - depends on the scipy build
+    _highs_core = None
+
+__all__ = ["ScipyBackend", "has_direct_highs", "solve_with_optimal_basis"]
+
+
+def has_direct_highs() -> bool:
+    """Whether the vendored HiGHS bindings are importable."""
+    return _highs_core is not None
+
+
+def solve_with_optimal_basis(program: LinearProgram) -> list[int] | None:
+    """Float-solve ``program`` via HiGHS and return its optimal basis.
+
+    The basis is a list of column ids of the equality form
+    ``[A_ub I; A_eq 0]`` (structural variables first, then one slack per
+    inequality row, matching
+    :class:`repro.solvers.hybrid._StandardForm`): HiGHS's basic
+    structural columns plus the slack column of every basic inequality
+    row. Returns ``None`` whenever the result is unusable — bindings
+    unavailable, model not solved to optimality, a basic *equality* row
+    (which has no slack column), or a basis of the wrong size — so
+    callers can fall back to the robust paths. The basis is a float
+    artifact either way: downstream exact reconstruction/certification
+    decides whether anything derived from it stands.
+    """
+    if _highs_core is None:
+        return None
+    le = program.le_constraints
+    eq = program.eq_constraints
+    num_vars = program.num_vars
+    num_le = len(le)
+    num_rows = num_le + len(eq)
+    if num_rows == 0:
+        return None
+    columns: list[list[tuple[int, float]]] = [[] for _ in range(num_vars)]
+    lower = np.empty(num_rows)
+    upper = np.empty(num_rows)
+    for row, (terms, bound) in enumerate(le):
+        lower[row] = -np.inf
+        upper[row] = float(bound)
+        for var, coeff in terms:
+            columns[var].append((row, float(coeff)))
+    for offset, (terms, bound) in enumerate(eq):
+        row = num_le + offset
+        lower[row] = upper[row] = float(bound)
+        for var, coeff in terms:
+            columns[var].append((row, float(coeff)))
+    indptr = np.empty(num_vars + 1, dtype=np.int32)
+    indptr[0] = 0
+    indices: list[int] = []
+    data: list[float] = []
+    for var, entries in enumerate(columns):
+        for row, value in entries:
+            indices.append(row)
+            data.append(value)
+        indptr[var + 1] = len(indices)
+    cost = np.zeros(num_vars)
+    for var, coeff in program.objective_terms:
+        cost[var] += float(coeff)
+
+    solver = _highs_core._Highs()
+    options = _highs_core.HighsOptions()
+    options.output_flag = False
+    solver.passOptions(options)
+    model = _highs_core.HighsLp()
+    model.num_col_ = num_vars
+    model.num_row_ = num_rows
+    model.col_cost_ = cost
+    model.col_lower_ = np.zeros(num_vars)
+    model.col_upper_ = np.full(num_vars, np.inf)
+    model.row_lower_ = lower
+    model.row_upper_ = upper
+    model.a_matrix_.num_col_ = num_vars
+    model.a_matrix_.num_row_ = num_rows
+    model.a_matrix_.format_ = _highs_core.MatrixFormat.kColwise
+    model.a_matrix_.start_ = indptr
+    model.a_matrix_.index_ = np.asarray(indices, dtype=np.int32)
+    model.a_matrix_.value_ = np.asarray(data)
+    if solver.passModel(model) == _highs_core.HighsStatus.kError:
+        return None
+    solver.run()
+    if solver.getModelStatus() != _highs_core.HighsModelStatus.kOptimal:
+        return None
+    basis = solver.getBasis()
+    basic = _highs_core.HighsBasisStatus.kBasic
+    selected = [
+        var for var, status in enumerate(basis.col_status) if status == basic
+    ]
+    for row, status in enumerate(basis.row_status):
+        if status == basic:
+            if row >= num_le:
+                return None  # basic equality row: no slack column exists
+            selected.append(num_vars + row)
+    if len(selected) != num_rows:
+        return None
+    return selected
 
 
 def _sparse_from_constraints(constraints, num_vars: int):

@@ -92,6 +92,107 @@ class TestParallelSweep:
         assert parallel == serial
 
 
+class TestPersistentSolveCache:
+    CASES = [
+        (n, Fraction(1, den), loss, side)
+        for n in (2, 3)
+        for den in (2, 3)
+        for loss in (AbsoluteLoss(), SquaredLoss())
+        for side in (None, {0, 1})
+    ]
+
+    def test_warm_rerun_performs_zero_lp_solves(self, tmp_path):
+        from repro.solvers.cache import SolveCache
+
+        cold_cache = SolveCache(tmp_path)
+        cold = universality_sweep(
+            self.CASES, exact=True, solve_cache=cold_cache
+        )
+        assert cold_cache.stats["misses"] > 0
+        assert cold_cache.stats["stores"] == cold_cache.stats["misses"]
+        warm_cache = SolveCache(tmp_path)
+        warm = universality_sweep(
+            self.CASES, exact=True, solve_cache=warm_cache
+        )
+        assert warm_cache.stats["misses"] == 0
+        assert warm_cache.stats["hits"] > 0
+        assert warm == cold
+
+    def test_cache_dir_spelling(self, tmp_path):
+        first = universality_sweep(
+            self.CASES[:4], exact=True, cache_dir=tmp_path
+        )
+        assert any(tmp_path.rglob("*.json"))
+        again = universality_sweep(
+            self.CASES[:4], exact=True, cache_dir=tmp_path
+        )
+        assert again == first
+
+    def test_workers_share_cache_directory(self, tmp_path):
+        from repro.solvers.cache import SolveCache
+
+        universality_sweep(
+            self.CASES, exact=True, workers=2, cache_dir=tmp_path
+        )
+        assert any(tmp_path.rglob("*.json"))  # workers wrote entries
+        warm_cache = SolveCache(tmp_path)
+        warm = universality_sweep(
+            self.CASES, exact=True, solve_cache=warm_cache
+        )
+        assert warm_cache.stats["misses"] == 0
+        assert warm == universality_sweep(self.CASES, exact=True)
+
+    def test_records_identical_with_and_without_cache(self, tmp_path):
+        cached = universality_sweep(
+            self.CASES, exact=True, cache_dir=tmp_path
+        )
+        plain = universality_sweep(self.CASES, exact=True, solve_cache=False)
+        assert cached == plain
+
+    def test_bayesian_sweep_uses_cache(self, tmp_path):
+        from repro.solvers.cache import SolveCache
+
+        uniform3 = [Fraction(1, 3)] * 3
+        cases = [
+            (2, Fraction(1, 2), AbsoluteLoss(), uniform3),
+            (2, Fraction(1, 3), SquaredLoss(), uniform3),
+        ]
+        cold_cache = SolveCache(tmp_path)
+        cold = bayesian_universality_sweep(
+            cases, exact=True, solve_cache=cold_cache
+        )
+        assert cold_cache.stats["stores"] > 0
+        warm_cache = SolveCache(tmp_path)
+        warm = bayesian_universality_sweep(
+            cases, exact=True, solve_cache=warm_cache
+        )
+        assert warm_cache.stats["misses"] == 0
+        assert warm == cold
+
+
+class TestFactorSpaceSweep:
+    def test_factor_space_records_match_x_space(self):
+        cases = [
+            (2, Fraction(1, 2), AbsoluteLoss(), None),
+            (3, Fraction(1, 4), SquaredLoss(), {0, 2, 3}),
+            (3, Fraction(1, 3), ZeroOneLoss(), None),
+        ]
+        factor = universality_sweep(cases, exact=True, space="factor")
+        plain = universality_sweep(cases, exact=True)
+        assert factor == plain
+        assert all(record.holds for record in factor)
+
+    def test_cell_cache_is_space_scoped(self):
+        """A shared cache= dict must not serve x-space cells to a
+        factor-space sweep (float factor solves are uncertified)."""
+        cases = [(3, Fraction(1, 4), AbsoluteLoss(), None)]
+        shared: dict = {}
+        universality_sweep(cases, exact=True, cache=shared, space="x")
+        assert len(shared) == 1
+        universality_sweep(cases, exact=True, cache=shared, space="factor")
+        assert len(shared) == 2  # distinct key, recomputed
+
+
 class TestBayesianSweep:
     def test_exact_sweep_all_hold(self):
         uniform3 = [Fraction(1, 3)] * 3

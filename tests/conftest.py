@@ -10,6 +10,22 @@ import pytest
 from repro.core.geometric import GeometricMechanism
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_solve_cache(monkeypatch):
+    """Keep a developer's ``REPRO_CACHE_DIR`` out of the test-suite.
+
+    Tests exercise the persistent solve cache only through explicit
+    ``solve_cache=``/``cache_dir=`` arguments; an ambient default would
+    make solve counts and backend provenance nondeterministic.
+    """
+    import repro.solvers.cache as solve_cache_module
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.setattr(
+        solve_cache_module, "_default_cache", solve_cache_module._UNSET
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests."""

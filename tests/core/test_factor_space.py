@@ -1,0 +1,291 @@
+"""Tests for the Theorem 2 derivability-reparameterized (factor-space) LP."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.derivability import compose_with_geometric, derive_mechanism
+from repro.core.optimal import (
+    build_optimal_lp,
+    factor_space_candidate,
+    optimal_mechanism,
+    solve_factor_certified,
+)
+from repro.core.privacy import is_differentially_private
+from repro.exceptions import ValidationError
+from repro.losses import AbsoluteLoss, SquaredLoss, ZeroOneLoss
+from repro.losses.base import loss_matrix
+from repro.solvers.hybrid import HybridBackend, certify_solution
+from repro.solvers.scipy_backend import has_direct_highs
+from repro.solvers.simplex import ExactSimplexBackend
+
+needs_direct_highs = pytest.mark.skipif(
+    not has_direct_highs(),
+    reason="scipy build lacks the direct HiGHS bindings",
+)
+
+
+class TestFactorProgramShape:
+    def test_privacy_block_vanishes(self):
+        """Factor space has |S| + (n+1) rows; x space Theta(n^2)."""
+        n = 5
+        table = loss_matrix(AbsoluteLoss(), n)
+        members = list(range(n + 1))
+        x_program, _ = build_optimal_lp(n, Fraction(1, 3), table, members)
+        factor, _ = build_optimal_lp(
+            n, Fraction(1, 3), table, members, space="factor"
+        )
+        assert x_program.num_constraints() == len(members) + 2 * n * (
+            n + 1
+        ) + (n + 1)
+        assert factor.num_constraints() == len(members) + (n + 1)
+        assert len(factor.le_constraints) == len(members)
+        assert len(factor.eq_constraints) == n + 1
+
+    def test_side_information_prunes_loss_rows(self):
+        n = 4
+        table = loss_matrix(AbsoluteLoss(), n)
+        factor, _ = build_optimal_lp(
+            n, Fraction(1, 2), table, [0, 4], space="factor"
+        )
+        assert len(factor.le_constraints) == 2
+
+    def test_factor_coefficients_are_g_times_loss(self):
+        from repro.core.geometric import geometric_matrix
+
+        n, alpha = 3, Fraction(1, 4)
+        table = loss_matrix(AbsoluteLoss(), n)
+        factor, d_index = build_optimal_lp(
+            n, alpha, table, [1], space="factor"
+        )
+        geometric = geometric_matrix(n, alpha)
+        [(terms, rhs)] = factor.le_constraints
+        assert rhs == 0
+        coeffs = dict(terms)
+        assert coeffs.pop(d_index) == -1
+        for (index, coeff) in coeffs.items():
+            k, r = divmod(index, n + 1)
+            assert coeff == geometric[1, k] * table[1, r]
+
+    def test_rejects_unknown_space(self):
+        table = loss_matrix(AbsoluteLoss(), 2)
+        with pytest.raises(ValidationError):
+            build_optimal_lp(2, Fraction(1, 2), table, [0, 1, 2], space="t")
+        with pytest.raises(ValidationError):
+            optimal_mechanism(2, Fraction(1, 2), AbsoluteLoss(), space="t")
+
+    def test_unhashable_alpha_falls_back_to_uncached_blocks(self):
+        """The x-space builder survives alphas the block cache can't key."""
+
+        class UnhashableFraction(Fraction):
+            __hash__ = None
+
+        alpha = UnhashableFraction(1, 4)
+        table = loss_matrix(AbsoluteLoss(), 3)
+        program, d_index = build_optimal_lp(3, alpha, table, [0, 1, 2, 3])
+        reference, _ = build_optimal_lp(
+            3, Fraction(1, 4), table, [0, 1, 2, 3]
+        )
+        assert program.num_constraints() == reference.num_constraints()
+        assert [
+            (terms, rhs) for terms, rhs in program.le_constraints
+        ] == [(terms, rhs) for terms, rhs in reference.le_constraints]
+        solution = ExactSimplexBackend().solve(program)
+        assert solution.objective == Fraction(168, 415)
+
+
+class TestComposeWithGeometric:
+    def test_roundtrip_with_derive_mechanism(self):
+        n, alpha = 3, Fraction(1, 3)
+        kernel = np.full((4, 4), Fraction(0), dtype=object)
+        for row, target in enumerate((0, 1, 1, 3)):
+            kernel[row, target] = Fraction(1)
+        derived = compose_with_geometric(n, alpha, kernel)
+        assert (derive_mechanism(derived, alpha) == kernel).all()
+
+    def test_derived_mechanism_is_private_and_stochastic(self):
+        n, alpha = 4, Fraction(1, 2)
+        kernel = np.full((5, 5), Fraction(1, 5), dtype=object)
+        derived = compose_with_geometric(n, alpha, kernel)
+        assert all(sum(row) == 1 for row in derived)
+        assert is_differentially_private(derived, alpha)
+
+    def test_float_regime(self):
+        derived = compose_with_geometric(2, 0.5, np.eye(3))
+        from repro.core.geometric import geometric_matrix
+
+        assert np.allclose(derived, geometric_matrix(2, 0.5))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValidationError):
+            compose_with_geometric(3, Fraction(1, 2), np.eye(3))
+
+
+@needs_direct_highs
+class TestFactorSpaceSolves:
+    GRID = [
+        (n, alpha, loss, side)
+        for n in (2, 3, 5)
+        for alpha in (Fraction(1, 4), Fraction(1, 2))
+        for loss in (AbsoluteLoss(), SquaredLoss(), ZeroOneLoss())
+        for side in (None, (0, n))
+    ]
+
+    def test_losses_bit_identical_across_spaces_and_backends(self):
+        for n, alpha, loss, side in self.GRID:
+            factor = optimal_mechanism(
+                n, alpha, loss, side, exact=True, space="factor"
+            )
+            hybrid = optimal_mechanism(n, alpha, loss, side, exact=True)
+            simplex = optimal_mechanism(
+                n,
+                alpha,
+                loss,
+                side,
+                exact=True,
+                backend=ExactSimplexBackend(),
+            )
+            assert factor.loss == hybrid.loss == simplex.loss, (
+                n,
+                alpha,
+                loss.describe(),
+                side,
+            )
+            assert isinstance(factor.loss, Fraction)
+
+    def test_factor_mechanism_is_feasible_and_private(self):
+        for n, alpha, loss, side in self.GRID[:6]:
+            result = optimal_mechanism(
+                n, alpha, loss, side, exact=True, space="factor"
+            )
+            matrix = result.mechanism.matrix
+            assert all(sum(row) == 1 for row in matrix)
+            assert is_differentially_private(matrix, alpha)
+
+    def test_candidate_passes_x_space_certificate(self):
+        for n, alpha, loss, side in self.GRID:
+            members = (
+                list(range(n + 1)) if side is None else sorted(side)
+            )
+            table = loss_matrix(loss, n)
+            candidate = factor_space_candidate(n, alpha, table, members)
+            assert candidate is not None
+            program, _ = build_optimal_lp(n, alpha, table, members)
+            certified = certify_solution(program, candidate.values)
+            assert certified is not None, (n, alpha, loss.describe(), side)
+            assert certified.objective == candidate.objective
+
+    def test_table1_cell(self):
+        result = optimal_mechanism(
+            3, Fraction(1, 4), AbsoluteLoss(), exact=True, space="factor"
+        )
+        assert result.loss == Fraction(168, 415)
+        assert result.backend == "factor-certified"
+
+    def test_factor_solution_is_derivable(self):
+        """The factor path returns a mechanism with x = G @ T, T >= 0."""
+        result = optimal_mechanism(
+            5, Fraction(1, 3), AbsoluteLoss(), exact=True, space="factor"
+        )
+        factor = derive_mechanism(result.mechanism, Fraction(1, 3))
+        assert (factor >= 0).all()
+        assert all(sum(row) == 1 for row in factor)
+
+    def test_refined_factor_matches_refined_x(self):
+        refined_factor = optimal_mechanism(
+            3,
+            Fraction(1, 4),
+            AbsoluteLoss(),
+            exact=True,
+            refine=True,
+            space="factor",
+        )
+        refined_x = optimal_mechanism(
+            3, Fraction(1, 4), AbsoluteLoss(), exact=True, refine=True
+        )
+        assert refined_factor.loss == refined_x.loss
+        assert (
+            refined_factor.mechanism.matrix == refined_x.mechanism.matrix
+        ).all()
+
+    def test_float_factor_space_matches_x(self):
+        factor = optimal_mechanism(4, 0.3, AbsoluteLoss(), space="factor")
+        direct = optimal_mechanism(4, 0.3, AbsoluteLoss())
+        assert factor.loss == pytest.approx(float(direct.loss), abs=1e-7)
+
+    def test_float_factor_cache_entry_not_served_to_x_space(self, tmp_path):
+        """Uncertified float factor solves get their own cache variant."""
+        from repro.solvers.cache import SolveCache
+
+        cache = SolveCache(tmp_path)
+        optimal_mechanism(
+            4, 0.3, AbsoluteLoss(), space="factor", solve_cache=cache
+        )
+        result = optimal_mechanism(4, 0.3, AbsoluteLoss(), solve_cache=cache)
+        assert cache.stats["misses"] == 2  # no cross-variant hit
+        assert "factor" not in result.backend
+        # Exact factor solves ARE certified x-space optima, so they do
+        # legitimately share the x-space key.
+        exact_cache = SolveCache(tmp_path / "exact")
+        optimal_mechanism(
+            4,
+            Fraction(1, 3),
+            AbsoluteLoss(),
+            exact=True,
+            space="factor",
+            solve_cache=exact_cache,
+        )
+        shared = optimal_mechanism(
+            4, Fraction(1, 3), AbsoluteLoss(), exact=True,
+            solve_cache=exact_cache,
+        )
+        assert exact_cache.stats["hits"] == 1
+        assert shared.backend == "factor-certified"
+
+    def test_solve_factor_certified_full_pipeline(self):
+        n, alpha = 4, Fraction(2, 5)
+        table = loss_matrix(SquaredLoss(), n)
+        members = list(range(n + 1))
+        program, _ = build_optimal_lp(n, alpha, table, members)
+        certified = solve_factor_certified(program, n, alpha, table, members)
+        assert certified is not None
+        assert certified.backend == "factor-certified"
+        assert certified.objective == HybridBackend().solve(program).objective
+
+
+class TestCertifySolution:
+    def test_rejects_infeasible_candidate(self):
+        program = build_optimal_lp(
+            2, Fraction(1, 2), loss_matrix(AbsoluteLoss(), 2), [0, 1, 2]
+        )[0]
+        bogus = [Fraction(1)] * program.num_vars
+        assert certify_solution(program, bogus) is None
+
+    def test_rejects_suboptimal_candidate(self):
+        n, alpha = 2, Fraction(1, 2)
+        table = loss_matrix(AbsoluteLoss(), n)
+        program, d_index = build_optimal_lp(n, alpha, table, [0, 1, 2])
+        optimal = HybridBackend().solve(program)
+        # The geometric mechanism itself is feasible (with a padded d)
+        # but strictly worse than the bespoke optimum here? Not always -
+        # instead, inflate d on the true optimum: feasible, suboptimal.
+        values = list(optimal.values)
+        values[d_index] = values[d_index] + 1
+        assert certify_solution(program, values) is None
+
+    def test_accepts_true_optimum(self):
+        n, alpha = 3, Fraction(1, 4)
+        table = loss_matrix(AbsoluteLoss(), n)
+        program, _ = build_optimal_lp(n, alpha, table, [0, 1, 2, 3])
+        optimal = HybridBackend().solve(program)
+        certified = certify_solution(program, optimal.values)
+        assert certified is not None
+        assert certified.objective == optimal.objective
+
+    def test_length_mismatch_raises(self):
+        program = build_optimal_lp(
+            2, Fraction(1, 2), loss_matrix(AbsoluteLoss(), 2), [0]
+        )[0]
+        with pytest.raises(ValidationError):
+            certify_solution(program, [Fraction(0)])

@@ -1,0 +1,83 @@
+"""Property tests: the factor-space reformulation is exactly equivalent.
+
+Theorem 2 justifies solving the bespoke-optimal LP over the derivation
+factor ``T`` (``x = G @ T``) instead of the mechanism itself. Hypothesis
+drives random monotone losses and side-information sets through the
+factor-space pipeline, the certify-first hybrid, and the exact simplex,
+requiring bit-identical optimal losses — and requires every factor-space
+candidate to pass the exact x-space primal/dual certificate.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimal import (
+    build_optimal_lp,
+    factor_space_candidate,
+    optimal_mechanism,
+)
+from repro.losses.base import loss_matrix
+from repro.losses.random import random_monotone_loss
+from repro.solvers.hybrid import certify_solution
+from repro.solvers.scipy_backend import has_direct_highs
+from repro.solvers.simplex import ExactSimplexBackend
+
+pytestmark = pytest.mark.skipif(
+    not has_direct_highs(),
+    reason="scipy build lacks the direct HiGHS bindings",
+)
+
+alphas = st.fractions(
+    min_value=Fraction(1, 8), max_value=Fraction(7, 8), max_denominator=16
+)
+sizes = st.integers(min_value=1, max_value=4)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@st.composite
+def consumers(draw):
+    n = draw(sizes)
+    alpha = draw(alphas)
+    seed = draw(seeds)
+    members = draw(
+        st.sets(st.integers(min_value=0, max_value=n), min_size=1)
+    )
+    return n, alpha, seed, sorted(members)
+
+
+class TestFactorSpaceEquivalence:
+    @given(case=consumers())
+    @settings(max_examples=25, deadline=None)
+    def test_optimal_loss_bit_identical_across_solvers(self, case):
+        n, alpha, seed, members = case
+        loss = random_monotone_loss(
+            n, rng=np.random.default_rng(seed), exact=True
+        )
+        factor = optimal_mechanism(
+            n, alpha, loss, members, exact=True, space="factor"
+        )
+        hybrid = optimal_mechanism(n, alpha, loss, members, exact=True)
+        simplex = optimal_mechanism(
+            n, alpha, loss, members, exact=True, backend=ExactSimplexBackend()
+        )
+        assert factor.loss == hybrid.loss == simplex.loss
+        assert isinstance(factor.loss, Fraction)
+
+    @given(case=consumers())
+    @settings(max_examples=20, deadline=None)
+    def test_factor_candidate_certifies_against_x_space(self, case):
+        n, alpha, seed, members = case
+        loss = random_monotone_loss(
+            n, rng=np.random.default_rng(seed), exact=True
+        )
+        table = loss_matrix(loss, n)
+        candidate = factor_space_candidate(n, alpha, table, members)
+        assert candidate is not None
+        program, _ = build_optimal_lp(n, alpha, table, members)
+        certified = certify_solution(program, candidate.values)
+        assert certified is not None
+        assert certified.objective == candidate.objective

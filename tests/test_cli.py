@@ -25,6 +25,94 @@ class TestParser:
             )
 
 
+class TestSweepParser:
+    def test_parses_grid_and_flags(self):
+        args = build_parser().parse_args(
+            [
+                "sweep", "universality", "-n", "2", "3",
+                "--alphas", "1/2", "1/4", "--losses", "absolute", "squared",
+                "--workers", "2", "--cache-dir", "/tmp/cache",
+                "--space", "factor",
+            ]
+        )
+        assert args.sizes == [2, 3]
+        assert len(args.alphas) == 2
+        assert args.workers == 2
+        assert args.cache_dir == "/tmp/cache"
+        assert args.space == "factor"
+        assert args.exact is True
+        assert args.no_cache is False
+
+    def test_float_flag(self):
+        args = build_parser().parse_args(
+            ["sweep", "universality", "-n", "2", "--alphas", "1/2", "--float"]
+        )
+        assert args.exact is False
+
+    def test_cache_dir_and_no_cache_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "sweep", "universality", "-n", "2", "--alphas", "1/2",
+                    "--cache-dir", "/tmp/x", "--no-cache",
+                ]
+            )
+
+
+class TestSweepCommand:
+    def test_universality_sweep_runs(self, capsys):
+        assert main(
+            ["sweep", "universality", "-n", "2", "--alphas", "1/2",
+             "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "universality holds on all cells: yes" in out
+
+    def test_sweep_with_cache_dir_reports_stats(self, capsys, tmp_path):
+        argv = [
+            "sweep", "universality", "-n", "2", "--alphas", "1/2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "misses" in first
+        assert any(tmp_path.rglob("*.json"))
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 misses" in second
+
+    def test_sweep_workers(self, capsys):
+        assert main(
+            ["sweep", "universality", "-n", "2", "3", "--alphas", "1/2",
+             "--workers", "2", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "universality holds on all cells: yes" in out
+
+    def test_bayesian_sweep_runs(self, capsys):
+        assert main(
+            ["sweep", "bayesian", "-n", "2", "--alphas", "1/2", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bayesian sweep" in out
+        assert "universality holds on all cells: yes" in out
+
+    def test_sweep_factor_space(self, capsys):
+        assert main(
+            ["sweep", "universality", "-n", "3", "--alphas", "1/4",
+             "--space", "factor", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "168/415" in out
+
+    def test_optimal_factor_space(self, capsys):
+        assert main(
+            ["optimal", "-n", "3", "--alpha", "1/4", "--space", "factor"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "168/415" in out
+
+
 class TestCommands:
     def test_reproduce_table1(self, capsys):
         assert main(["reproduce", "table1"]) == 0

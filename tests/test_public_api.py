@@ -23,6 +23,26 @@ class TestPublicApi:
         bespoke = agent.bespoke_mechanism(Fraction(1, 4), exact=True)
         assert interaction.loss == bespoke.loss
 
+    def test_clear_caches_resets_memoization(self):
+        from repro.core.geometric import _cached_geometric_mechanism
+        from repro.core.optimal import _shared_constraint_blocks
+
+        repro.cached_geometric_mechanism(3, Fraction(1, 2))
+        repro.optimal_mechanism(2, Fraction(1, 2), repro.AbsoluteLoss())
+        assert _cached_geometric_mechanism.cache_info().currsize > 0
+        repro.clear_caches()
+        assert _cached_geometric_mechanism.cache_info().currsize == 0
+        assert _shared_constraint_blocks.cache_info().currsize == 0
+        # Library still functions after a clear.
+        result = repro.optimal_mechanism(
+            2, Fraction(1, 2), repro.AbsoluteLoss()
+        )
+        assert result.mechanism.n == 2
+
+    def test_solve_cache_exported(self, tmp_path):
+        cache = repro.SolveCache(tmp_path)
+        assert cache.stats["hits"] == 0
+
     def test_exceptions_form_hierarchy(self):
         assert issubclass(repro.NotPrivateError, repro.ReproError)
         assert issubclass(repro.ValidationError, repro.ReproError)
