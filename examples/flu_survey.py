@@ -17,9 +17,19 @@ Three parties care, with different stakes (Section 2.3):
 One geometric release serves all three optimally (Theorem 1), which is
 exactly what lets the statistic be published to an unknown audience.
 
+The deployment itself runs from a *compiled artifact* (PR 6): the first
+run compiles the exact geometric kernel, its per-row alias sampling
+tables, and the verification evidence into a content-addressed store
+(``examples/.artifacts`` unless ``REPRO_ARTIFACT_DIR`` is set); every
+later run loads, verifies, and publishes without ever constructing a
+mechanism — the ``repro compile`` → ``repro cache verify`` → publish
+lifecycle in miniature.
+
 Run:  python examples/flu_survey.py
 """
 
+import os
+import pathlib
 from fractions import Fraction
 
 import numpy as np
@@ -38,7 +48,32 @@ from repro.db.generators import (
     flu_population,
     flu_query,
 )
+from repro.release.artifacts import (
+    ArtifactSpec,
+    ArtifactStore,
+    verify_artifact,
+)
 from repro.release.publisher import Publisher
+
+
+def deployment_artifact(n: int, alpha):
+    """Load the compiled geometric deployment, compiling it if missing."""
+    directory = os.environ.get(
+        "REPRO_ARTIFACT_DIR",
+        pathlib.Path(__file__).resolve().parent / ".artifacts",
+    )
+    store = ArtifactStore(directory)
+    spec = ArtifactSpec("geometric", n, alpha)
+    precompiled = store.get(spec) is not None
+    artifact = store.get_or_compile(spec)
+    report = verify_artifact(artifact)
+    assert report.ok, f"artifact failed verification: {report.failures}"
+    print(
+        f"deployment artifact {spec.key()[:12]} "
+        f"({'precompiled' if precompiled else 'compiled now'}, "
+        f"verified: {', '.join(report.checks)})"
+    )
+    return artifact
 
 
 def main() -> None:
@@ -56,9 +91,11 @@ def main() -> None:
     print(query.describe())
     print(f"population={n}, true count={true_count}")
 
-    # --- Publish once at alpha = 1/2 -----------------------------------
+    # --- Publish once at alpha = 1/2, from the compiled artifact -------
     alpha = Fraction(1, 2)
-    publisher = Publisher(database, alpha)
+    publisher = Publisher.from_artifact(
+        database, deployment_artifact(n, alpha)
+    )
     statistic = publisher.publish(query, rng)
     print(f"published value: {statistic.value}  (alpha={alpha})")
 

@@ -86,9 +86,15 @@ from .losses import (
     ZeroOneLoss,
 )
 from .release import (
+    ArtifactSpec,
+    ArtifactStore,
+    MechanismArtifact,
     MultiLevelPublisher,
     Publisher,
+    compile_artifact,
     empirical_alpha,
+    set_default_artifact_store,
+    verify_artifact,
 )
 from .solvers import SolveCache, set_default_cache
 
@@ -100,9 +106,11 @@ def clear_caches() -> None:
 
     Long-lived serving processes call this for memory hygiene: it clears
     the memoized loss tables, the shared LP constraint blocks, the
-    geometric-mechanism and ``G'``-inverse caches, and the in-memory
-    tier of the default persistent solve cache. On-disk solve-cache
-    entries are untouched (they are content-addressed and never stale).
+    geometric-mechanism and ``G'``-inverse caches, the memoized alias
+    sampling tables, the in-memory tier of every live artifact store,
+    and the in-memory tier of the default persistent solve cache.
+    On-disk solve-cache and artifact entries are untouched (they are
+    content-addressed and never stale).
     """
     from .core.geometric import (
         _cached_geometric_mechanism,
@@ -110,12 +118,16 @@ def clear_caches() -> None:
     )
     from .core.optimal import _shared_constraint_blocks
     from .losses import clear_loss_table_cache
+    from .release.artifacts import clear_artifact_memory
+    from .sampling.alias import clear_alias_cache
     from .solvers.cache import default_cache
 
     _cached_geometric_mechanism.cache_clear()
     _gprime_inverse_cached.cache_clear()
     _shared_constraint_blocks.cache_clear()
     clear_loss_table_cache()
+    clear_alias_cache()
+    clear_artifact_memory()
     default = default_cache()
     if default is not None:
         default.clear_memory()
@@ -163,10 +175,16 @@ __all__ = [
     "MinimaxAgent",
     "BayesianAgent",
     "SideInformation",
-    # caching
+    # caching / compiled artifacts
     "SolveCache",
     "set_default_cache",
     "clear_caches",
+    "ArtifactSpec",
+    "ArtifactStore",
+    "MechanismArtifact",
+    "compile_artifact",
+    "verify_artifact",
+    "set_default_artifact_store",
     # losses
     "LossFunction",
     "cached_loss_matrix",

@@ -13,12 +13,25 @@ Subcommands::
     repro sweep universality|bayesian -n N1 N2 ... --alphas A1 A2 ...
                   [--losses L ...] [--float] [--workers W]
                   [--cache-dir DIR | --no-cache] [--space x|factor]
+    repro compile -n N1 N2 ... --alphas A1 A2 ... [--losses L ...]
+                  [--store DIR] [--cache-dir DIR]
+    repro cache verify [--store DIR]
+    repro cache gc [--store DIR] [--max-entries K] [--max-age-days D]
+                  [--solve-cache DIR]
 
 Fractions are accepted anywhere a privacy level is (e.g. ``--alpha 1/4``).
 The sweep command exposes the process-pool (``--workers``) and
 persistent solve-cache (``--cache-dir``; disable with ``--no-cache``)
 machinery, so heavy theorem-check grids are reachable — and warm re-runs
 near-free — without writing Python.
+
+The artifact lifecycle lives under ``compile`` / ``cache``: ``compile``
+pre-builds deployable :class:`~repro.release.artifacts.MechanismArtifact`
+entries (exact kernel, alias sampling tables, optimality certificate)
+over an ``(n, alpha, loss)`` grid; ``cache verify`` replays every stored
+certificate and re-derives every sampling table's pmf with **zero** LP
+solves; ``cache gc`` evicts by entry count or age. The store directory
+defaults to the ``REPRO_ARTIFACT_DIR`` environment variable.
 """
 
 from __future__ import annotations
@@ -170,6 +183,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--space", choices=("x", "factor"), default="x",
         help="LP parameterization for the bespoke solves "
         "(universality sweeps only)",
+    )
+
+    compile_parser = sub.add_parser(
+        "compile",
+        help="pre-build deployable mechanism artifacts over a grid",
+    )
+    compile_parser.add_argument(
+        "-n", type=int, nargs="+", required=True, dest="sizes"
+    )
+    compile_parser.add_argument(
+        "--alphas", type=_parse_alpha, nargs="+", required=True
+    )
+    compile_parser.add_argument(
+        "--losses", choices=sorted(_LOSSES), nargs="*",
+        default=["absolute"],
+        help="bespoke optimal artifacts compiled per (n, alpha) cell in "
+        "addition to the geometric artifact; pass no names for "
+        "geometric-only",
+    )
+    compile_parser.add_argument(
+        "--store", default=None,
+        help="artifact store directory (default: REPRO_ARTIFACT_DIR)",
+    )
+    compile_parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent LP solve cache reused for the optimal solves",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="compiled-artifact store lifecycle"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="replay certificates + pmf/table agreement on every "
+        "artifact (zero LP solves)",
+    )
+    cache_verify.add_argument("--store", default=None)
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict artifacts by count and/or age"
+    )
+    cache_gc.add_argument("--store", default=None)
+    cache_gc.add_argument("--max-entries", type=int, default=None)
+    cache_gc.add_argument("--max-age-days", type=float, default=None)
+    cache_gc.add_argument(
+        "--solve-cache", default=None,
+        help="also GC this LP solve-cache directory with the same limits",
     )
 
     return parser
@@ -333,6 +393,113 @@ def _cmd_sweep(args) -> str:
     return "\n".join(lines)
 
 
+def _resolve_cli_store(path):
+    from .release.artifacts import ArtifactStore, default_artifact_store
+
+    if path is not None:
+        return ArtifactStore(path)
+    store = default_artifact_store()
+    if store is None:
+        raise ReproError(
+            "no artifact store: pass --store DIR or set REPRO_ARTIFACT_DIR"
+        )
+    return store
+
+
+def _cmd_compile(args) -> str:
+    from .release.artifacts import ArtifactSpec
+    from .solvers.cache import SolveCache
+
+    store = _resolve_cli_store(args.store)
+    solve_cache = (
+        SolveCache(args.cache_dir) if args.cache_dir is not None else None
+    )
+    specs = []
+    for n in args.sizes:
+        for alpha in args.alphas:
+            specs.append(ArtifactSpec("geometric", n, alpha))
+            for loss in args.losses:
+                specs.append(ArtifactSpec("optimal", n, alpha, loss=loss))
+    lines = [f"compiling {len(specs)} artifacts into {store.path}:"]
+    before = store.stats["compiles"]
+    for spec in specs:
+        artifact = store.get_or_compile(spec, solve_cache=solve_cache)
+        fresh = store.stats["compiles"] > before
+        before = store.stats["compiles"]
+        label = spec.loss if spec.kind == "optimal" else "-"
+        loss_value = (
+            format_value(artifact.loss_value)
+            if artifact.loss_value is not None
+            else "-"
+        )
+        lines.append(
+            f"  {'compiled' if fresh else 'cached  '} {spec.kind:<9} "
+            f"n={spec.n} alpha={spec.alpha} loss={label} "
+            f"key={spec.key()[:12]} loss_value={loss_value}"
+        )
+    stats = store.stats
+    lines.append(
+        f"store: {stats['compiles']} compiled this run, "
+        f"{stats['hits'] + stats['misses']} lookups "
+        f"({stats['hits']} hits)"
+    )
+    if solve_cache is not None:
+        lines.append(
+            f"solve cache {solve_cache.path}: "
+            f"{solve_cache.stats['hits']} hits, "
+            f"{solve_cache.stats['misses']} misses"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_cache(args) -> str:
+    store = _resolve_cli_store(args.store)
+    if args.cache_command == "verify":
+        reports = store.verify_all()
+        lines = [
+            f"verifying {len(reports)} artifacts in {store.path} "
+            "(certificate replay + exact pmf/table agreement; 0 LP solves):"
+        ]
+        failed = 0
+        for report in reports:
+            if report.ok:
+                lines.append(
+                    f"  OK   {report.kind:<9} {report.key[:12]} "
+                    f"checks={','.join(report.checks)}"
+                )
+            else:
+                failed += 1
+                lines.append(
+                    f"  FAIL {report.kind:<9} {report.key[:12]} "
+                    f"failures={','.join(report.failures)}: {report.detail}"
+                )
+        if failed:
+            raise ReproError(
+                f"{failed} of {len(reports)} artifacts failed "
+                "verification:\n" + "\n".join(lines)
+            )
+        lines.append(f"all {len(reports)} artifacts verified")
+        return "\n".join(lines)
+    removed = store.gc(
+        max_entries=args.max_entries, max_age_days=args.max_age_days
+    )
+    lines = [
+        f"artifact store {store.path}: evicted {removed} entries, "
+        f"{len(store.keys())} remain"
+    ]
+    if args.solve_cache is not None:
+        from .solvers.cache import SolveCache
+
+        solve_cache = SolveCache(args.solve_cache)
+        dropped = solve_cache.gc(
+            max_entries=args.max_entries, max_age_days=args.max_age_days
+        )
+        lines.append(
+            f"solve cache {solve_cache.path}: evicted {dropped} entries"
+        )
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -344,6 +511,8 @@ def main(argv=None) -> int:
         "audit": _cmd_audit,
         "tradeoff": _cmd_tradeoff,
         "sweep": _cmd_sweep,
+        "compile": _cmd_compile,
+        "cache": _cmd_cache,
     }
     try:
         output = handlers[args.command](args)

@@ -4,10 +4,24 @@ Where :mod:`repro.core` proves things about mechanism *matrices*, this
 subpackage operates at deployment granularity: publishing results from
 real databases, serving consumers at several trust levels (the paper's
 government-report vs Internet-report scenario), auditing deployed
-mechanisms empirically from samples, and simulating collusion attacks
-against naive multi-release schemes.
+mechanisms empirically from samples, simulating collusion attacks
+against naive multi-release schemes — and compiling mechanisms into
+versioned, content-addressed, certificate-carrying artifacts
+(:mod:`repro.release.artifacts`) so serving processes never touch a
+solver.
 """
 
+from .artifacts import (
+    ArtifactSpec,
+    ArtifactStore,
+    ArtifactVerification,
+    MechanismArtifact,
+    compile_artifact,
+    default_artifact_store,
+    resolve_artifact_store,
+    set_default_artifact_store,
+    verify_artifact,
+)
 from .audit import AuditReport, empirical_alpha, empirical_mechanism_matrix
 from .collusion import (
     AveragingAttackResult,
@@ -32,4 +46,13 @@ __all__ = [
     "PrivacyLedger",
     "LedgerEntry",
     "BudgetExceededError",
+    "ArtifactSpec",
+    "ArtifactStore",
+    "ArtifactVerification",
+    "MechanismArtifact",
+    "compile_artifact",
+    "verify_artifact",
+    "default_artifact_store",
+    "set_default_artifact_store",
+    "resolve_artifact_store",
 ]

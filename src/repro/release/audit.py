@@ -53,8 +53,9 @@ def empirical_mechanism_matrix(
     counts = np.full((size, size), float(smoothing))
     for i in range(size):
         draws = mechanism.sample_many(i, samples_per_input, rng)
-        for value in draws:
-            counts[i, int(value)] += 1.0
+        counts[i] += np.bincount(
+            np.asarray(draws, dtype=np.int64), minlength=size
+        )
     return counts / counts.sum(axis=1, keepdims=True)
 
 

@@ -5,12 +5,23 @@ computed once and *published* — to mass media, a report, the Internet —
 for consumers whose loss functions and side information are unknown at
 release time. By Theorem 1 the right mechanism to deploy is geometric;
 the publisher does exactly that and records everything an auditor needs.
+
+The batch hot path draws from precomputed per-row alias tables
+(:mod:`repro.sampling.alias`): O(1) per sample, one vectorized tick per
+batch, distributed identically to the per-release path because the
+range-restricted geometric rows fold the unbounded noise tails into the
+cap outputs exactly (Definition 4). A publisher can also be constructed
+from a compiled :class:`~repro.release.artifacts.MechanismArtifact`
+(:meth:`Publisher.from_artifact`), in which case the kernel and tables
+come straight from the verified artifact and no mechanism is ever
+rebuilt in the serving process.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 from dataclasses import dataclass
+from fractions import Fraction
 
 import numpy as np
 
@@ -20,7 +31,7 @@ from ..db.database import Database
 from ..db.engine import QueryEngine
 from ..db.queries import CountQuery
 from ..exceptions import ValidationError
-from ..sampling.geometric import sample_two_sided_geometric
+from ..sampling.alias import RowAliasSampler, cached_geometric_sampler
 from ..sampling.rng import ensure_generator
 
 __all__ = ["PublishedStatistic", "Publisher"]
@@ -52,9 +63,9 @@ class Publisher:
     """Publishes geometric-mechanism releases for one database.
 
     Single statistics go through :meth:`publish`; query batches should
-    use :meth:`publish_batch`, which draws all noise in one vectorized
-    shot while keeping each release distributed identically to
-    :meth:`publish`.
+    use :meth:`publish_batch`, which draws all noise via one vectorized
+    alias-table gather while keeping each release distributed
+    identically to :meth:`publish`.
 
     Parameters
     ----------
@@ -62,16 +73,47 @@ class Publisher:
         The sensitive database.
     alpha:
         Default privacy level for releases.
+    artifact:
+        Optional compiled :class:`~repro.release.artifacts.MechanismArtifact`
+        to deploy instead of constructing the mechanism here; its ``n``
+        must match the database and its ``alpha`` overrides the
+        ``alpha`` argument. See :meth:`from_artifact`.
     """
 
-    def __init__(self, database: Database, alpha) -> None:
+    def __init__(self, database: Database, alpha, *, artifact=None) -> None:
         if not isinstance(database, Database):
             raise ValidationError(
                 f"expected a Database, got {type(database).__name__}"
             )
         self._engine = QueryEngine(database)
-        self.alpha = alpha
-        self._mechanism = GeometricMechanism(database.size, alpha)
+        if artifact is not None:
+            if artifact.n != database.size:
+                raise ValidationError(
+                    f"artifact is compiled for n={artifact.n}, database "
+                    f"has size {database.size}"
+                )
+            if alpha is not None and Fraction(alpha) != artifact.alpha:
+                raise ValidationError(
+                    f"artifact privacy level {artifact.alpha} does not "
+                    f"match requested alpha {alpha}"
+                )
+            self.alpha = artifact.alpha
+            self._mechanism = artifact.mechanism()
+            self._sampler = artifact.sampler
+        else:
+            self.alpha = alpha
+            self._mechanism = GeometricMechanism(database.size, alpha)
+            self._sampler = cached_geometric_sampler(database.size, alpha)
+
+    @classmethod
+    def from_artifact(cls, database: Database, artifact) -> "Publisher":
+        """Deploy a precompiled artifact: the zero-solve publish path.
+
+        The serving process never touches an LP solver or even the
+        mechanism constructor — kernel and alias tables come from the
+        (verifiable) artifact as compiled by ``repro compile``.
+        """
+        return cls(database, None, artifact=artifact)
 
     @property
     def n(self) -> int:
@@ -82,6 +124,11 @@ class Publisher:
     def mechanism(self) -> Mechanism:
         """The deployed geometric mechanism."""
         return self._mechanism
+
+    @property
+    def sampler(self) -> RowAliasSampler:
+        """The deployed per-row alias sampler (the batch hot path)."""
+        return self._sampler
 
     def publish(self, query: CountQuery, rng=None) -> PublishedStatistic:
         """Evaluate ``query`` and release one geometric perturbation."""
@@ -117,13 +164,14 @@ class Publisher:
         """Release one geometric perturbation per query, vectorized.
 
         The fast path for heavy traffic: evaluates every query exactly,
-        then draws *all* two-sided geometric noise in one
-        ``rng.geometric`` pair (Definition 1's noise is the difference of
-        two one-sided geometrics) and clamps to the range ``{0..n}`` with
-        ``np.clip`` — exactly the tail-collapsing projection of
-        Definition 4, so each release is distributed identically to
-        :meth:`publish`. With a seeded ``rng`` the batch is reproducible:
-        the same seed and query batch yield identical releases.
+        then draws every release in one alias-table gather — O(1) work
+        per sample (one uniform, two lookups, one compare; see
+        :class:`repro.sampling.alias.RowAliasSampler`). Each row's table
+        encodes the range-restricted geometric distribution exactly, cap
+        outputs carrying the folded tail mass of Definition 4, so each
+        release is distributed identically to :meth:`publish`. With a
+        seeded ``rng`` the batch is reproducible: the same seed and
+        query batch yield identical releases.
 
         Like :meth:`publish_many`, releasing many statistics composes
         privacy loss; the per-release guarantee is alpha-DP.
@@ -141,10 +189,7 @@ class Publisher:
             [self._engine.answer_exact(query) for query in queries],
             dtype=np.int64,
         )
-        noise = sample_two_sided_geometric(
-            float(self.alpha), rng, size=len(queries)
-        )
-        published = np.clip(true_values + noise, 0, self.n)
+        published = self._sampler.sample(true_values, rng)
         return [
             PublishedStatistic(
                 query_description=query.describe(),

@@ -3,8 +3,20 @@
 Samplers for the noise distributions used by the library's mechanisms,
 plus seeding helpers. All samplers take an explicit
 :class:`numpy.random.Generator` so experiments are reproducible.
+
+Two sampling regimes coexist: the reference two-sided geometric sampler
+(:mod:`repro.sampling.geometric`, difference of two one-sided
+geometrics) and the O(1) precomputed alias tables of
+:mod:`repro.sampling.alias` that the batch publication hot path uses.
 """
 
+from .alias import (
+    AliasTable,
+    HeterogeneousAliasSampler,
+    RowAliasSampler,
+    cached_geometric_sampler,
+    clear_alias_cache,
+)
 from .geometric import (
     sample_geometric_failures,
     sample_two_sided_geometric,
@@ -13,6 +25,11 @@ from .geometric import (
 from .rng import ensure_generator
 
 __all__ = [
+    "AliasTable",
+    "RowAliasSampler",
+    "HeterogeneousAliasSampler",
+    "cached_geometric_sampler",
+    "clear_alias_cache",
     "ensure_generator",
     "sample_geometric_failures",
     "sample_two_sided_geometric",

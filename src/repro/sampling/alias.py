@@ -1,0 +1,354 @@
+"""O(1) alias-table sampling over precomputed mechanism rows.
+
+Walker/Vose alias tables turn sampling from an arbitrary finite
+distribution into two array lookups and one comparison per draw — no
+rejection, no per-draw CDF walk — which is what lets
+:meth:`repro.release.publisher.Publisher.publish_batch` run at line rate
+(see ``benchmarks/bench_sampling.py``).
+
+The construction here is *exact*: given a row of Fraction probabilities
+(e.g. a row of the range-restricted geometric mechanism
+``G_{n,alpha}``, whose boundary columns already fold the unbounded
+two-sided-geometric tail mass into the cap outputs ``{0, n}``), the
+Vose small/large pairing is run entirely over ``Fraction``, so the cell
+thresholds are exact rationals and the table provably encodes the input
+pmf: :meth:`AliasTable.cell_probabilities` reconstructs it bit-for-bit.
+Only the final sampling arrays are float64. Float-regime rows build
+float tables directly (no exact thresholds to verify against).
+
+Three sampling granularities:
+
+* :class:`AliasTable` — one distribution;
+* :class:`RowAliasSampler` — all rows of one mechanism, stacked, with a
+  single vectorized gather per batch of heterogeneous true results;
+* :class:`HeterogeneousAliasSampler` — several mechanisms (different
+  ``n`` and/or ``alpha``) flattened into one arena, so one ``publish``
+  tick can draw for queries spread across deployments in one shot.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "AliasTable",
+    "RowAliasSampler",
+    "HeterogeneousAliasSampler",
+    "cached_geometric_sampler",
+    "clear_alias_cache",
+]
+
+
+def _vose(probabilities):
+    """Run the Vose small/large pairing; returns ``(thresholds, alias)``.
+
+    Works for exact (Fraction/int) and float inputs alike; with exact
+    inputs every operation is rational and the leftover queue entries
+    land on exactly 1. ``probabilities`` must be non-negative and sum
+    to 1 (checked by the caller in the appropriate regime).
+    """
+    size = len(probabilities)
+    scaled = [p * size for p in probabilities]
+    thresholds = [None] * size
+    alias = list(range(size))
+    one = Fraction(1) if isinstance(scaled[0], Fraction) else 1.0
+    small = [j for j in range(size) if scaled[j] < one]
+    large = [j for j in range(size) if scaled[j] >= one]
+    while small and large:
+        lo = small.pop()
+        hi = large.pop()
+        thresholds[lo] = scaled[lo]
+        alias[lo] = hi
+        scaled[hi] = scaled[hi] - (one - scaled[lo])
+        if scaled[hi] < one:
+            small.append(hi)
+        else:
+            large.append(hi)
+    # Leftovers hold exactly mass 1 (exact regime) or 1 up to rounding
+    # (float regime); either way they alias to themselves.
+    for j in large:
+        thresholds[j] = one
+    for j in small:
+        thresholds[j] = one
+    return thresholds, alias
+
+
+class AliasTable:
+    """Alias table for one distribution over ``{0..K-1}``.
+
+    Attributes
+    ----------
+    size:
+        Number of outcomes ``K``.
+    prob:
+        Float64 acceptance thresholds per cell (read-only).
+    alias:
+        Int64 alias outcome per cell (read-only).
+    exact_thresholds:
+        Tuple of exact Fraction thresholds when built from exact
+        probabilities, else ``None``. These are the verifiable content:
+        :meth:`cell_probabilities` reconstructs the input pmf from them
+        bit-for-bit.
+    """
+
+    __slots__ = ("size", "prob", "alias", "exact_thresholds")
+
+    def __init__(self, probabilities) -> None:
+        probabilities = list(probabilities)
+        if not probabilities:
+            raise ValidationError("alias table needs at least one outcome")
+        exact = all(
+            isinstance(p, (Fraction, int)) and not isinstance(p, bool)
+            for p in probabilities
+        )
+        if exact:
+            probabilities = [Fraction(p) for p in probabilities]
+            if any(p < 0 for p in probabilities):
+                raise ValidationError("probabilities must be non-negative")
+            if sum(probabilities) != 1:
+                raise ValidationError(
+                    "exact probabilities must sum to exactly 1, got "
+                    f"{sum(probabilities)}"
+                )
+        else:
+            probabilities = [float(p) for p in probabilities]
+            if any(p < 0 for p in probabilities):
+                raise ValidationError("probabilities must be non-negative")
+            total = sum(probabilities)
+            if not np.isclose(total, 1.0, atol=1e-9):
+                raise ValidationError(
+                    f"probabilities must sum to 1, got {total}"
+                )
+            probabilities = [p / total for p in probabilities]
+        thresholds, alias = _vose(probabilities)
+        self.size = len(probabilities)
+        self.exact_thresholds = tuple(thresholds) if exact else None
+        self.prob = np.array([float(t) for t in thresholds])
+        self.alias = np.array(alias, dtype=np.int64)
+        self.prob.setflags(write=False)
+        self.alias.setflags(write=False)
+
+    @classmethod
+    def from_parts(cls, thresholds, alias) -> "AliasTable":
+        """Rebuild a table from stored ``(thresholds, alias)`` content.
+
+        Used when loading a :class:`~repro.release.artifacts.MechanismArtifact`:
+        the sampler must derive from the *verified* stored thresholds,
+        not from a fresh construction that could silently diverge.
+        """
+        thresholds = list(thresholds)
+        alias = list(alias)
+        if not thresholds or len(thresholds) != len(alias):
+            raise ValidationError(
+                "thresholds and alias must be equal-length and non-empty"
+            )
+        size = len(thresholds)
+        exact = all(isinstance(t, (Fraction, int)) for t in thresholds)
+        for t in thresholds:
+            if not 0 <= t <= 1:
+                raise ValidationError(f"threshold {t} outside [0, 1]")
+        for a in alias:
+            if not 0 <= int(a) < size:
+                raise ValidationError(f"alias {a} outside [0, {size})")
+        table = cls.__new__(cls)
+        table.size = size
+        table.exact_thresholds = (
+            tuple(Fraction(t) for t in thresholds) if exact else None
+        )
+        table.prob = np.array([float(t) for t in thresholds])
+        table.alias = np.array([int(a) for a in alias], dtype=np.int64)
+        table.prob.setflags(write=False)
+        table.alias.setflags(write=False)
+        return table
+
+    def cell_probabilities(self) -> list:
+        """Exact pmf encoded by the table (requires exact thresholds).
+
+        ``p[j] = (q_j + sum_{k: alias[k]=j} (1 - q_k)) / K`` — every term
+        a Fraction, so the result equals the construction input
+        bit-for-bit. This is the integrity check ``repro cache verify``
+        replays against :func:`repro.sampling.geometric.two_sided_geometric_pmf`.
+        """
+        if self.exact_thresholds is None:
+            raise ValidationError(
+                "cell probabilities are exact-regime only; this table was "
+                "built from float probabilities"
+            )
+        size = self.size
+        pmf = [Fraction(0)] * size
+        for cell in range(size):
+            threshold = self.exact_thresholds[cell]
+            pmf[cell] += threshold
+            pmf[int(self.alias[cell])] += 1 - threshold
+        return [p / size for p in pmf]
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw outcomes: one uniform per draw, two lookups, one compare."""
+        count = 1 if size is None else int(size)
+        if count < 0:
+            raise ValidationError(f"size must be >= 0, got {size}")
+        scaled = rng.random(count) * self.size
+        # u < 1 guarantees u * K < K exactly, but the float product can
+        # round up to K; clamp so the cell index stays in range.
+        cells = np.minimum(scaled.astype(np.int64), self.size - 1)
+        accept = (scaled - cells) < self.prob[cells]
+        out = np.where(accept, cells, self.alias[cells])
+        if size is None:
+            return int(out[0])
+        return out
+
+
+class RowAliasSampler:
+    """Stacked alias tables for every row of a row-stochastic matrix.
+
+    One vectorized :meth:`sample` call draws outputs for a whole batch
+    of heterogeneous true results (rows): per draw it is a fused
+    multiply, two flat gathers, and a ``where`` — O(1) per sample with
+    no Python-level loop.
+    """
+
+    __slots__ = ("n", "size", "tables", "_flat_prob", "_flat_alias")
+
+    def __init__(self, tables) -> None:
+        tables = list(tables)
+        if not tables:
+            raise ValidationError("need at least one row table")
+        size = tables[0].size
+        if any(t.size != size for t in tables):
+            raise ValidationError("all row tables must share one size")
+        if len(tables) != size:
+            raise ValidationError(
+                f"expected a square mechanism: {len(tables)} rows of "
+                f"size {size}"
+            )
+        self.tables = tuple(tables)
+        self.size = size
+        self.n = size - 1
+        self._flat_prob = np.concatenate([t.prob for t in tables])
+        self._flat_alias = np.concatenate([t.alias for t in tables])
+        self._flat_prob.setflags(write=False)
+        self._flat_alias.setflags(write=False)
+
+    @classmethod
+    def from_matrix(cls, matrix) -> "RowAliasSampler":
+        """Build per-row tables from a row-stochastic matrix.
+
+        Exact (object/Fraction) matrices produce exact thresholds; float
+        matrices produce float-only tables.
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValidationError(
+                f"expected a square matrix, got shape {matrix.shape}"
+            )
+        return cls(AliasTable(row) for row in matrix)
+
+    def sample(self, rows, rng: np.random.Generator) -> np.ndarray:
+        """Draw one output per entry of ``rows`` (true results)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1:
+            raise ValidationError("rows must be a 1-D array of true results")
+        if rows.size and (rows.min() < 0 or rows.max() > self.n):
+            raise ValidationError(
+                f"true results must lie in [0, {self.n}]"
+            )
+        scaled = rng.random(rows.size) * self.size
+        cells = np.minimum(scaled.astype(np.int64), self.size - 1)
+        flat = rows * self.size + cells
+        accept = (scaled - cells) < self._flat_prob[flat]
+        return np.where(accept, cells, self._flat_alias[flat])
+
+    def is_exact(self) -> bool:
+        """Whether every row table carries exact thresholds."""
+        return all(t.exact_thresholds is not None for t in self.tables)
+
+
+class HeterogeneousAliasSampler:
+    """Several :class:`RowAliasSampler` arenas fused into one flat store.
+
+    Supports mixed deployments — different ``n`` and/or ``alpha`` per
+    query — in a single vectorized tick: each query carries a
+    ``(table, row)`` pair; per-query cell counts come from a gathered
+    size vector, so tables of different widths coexist without padding.
+    """
+
+    __slots__ = ("samplers", "_offsets", "_sizes", "_flat_prob", "_flat_alias")
+
+    def __init__(self, samplers) -> None:
+        samplers = list(samplers)
+        if not samplers:
+            raise ValidationError("need at least one sampler")
+        self.samplers = tuple(samplers)
+        self._sizes = np.array([s.size for s in samplers], dtype=np.int64)
+        lengths = np.array(
+            [s._flat_prob.size for s in samplers], dtype=np.int64
+        )
+        self._offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        self._flat_prob = np.concatenate([s._flat_prob for s in samplers])
+        self._flat_alias = np.concatenate([s._flat_alias for s in samplers])
+        self._flat_prob.setflags(write=False)
+        self._flat_alias.setflags(write=False)
+
+    def sample(self, table_indices, rows, rng: np.random.Generator):
+        """One output per ``(table_indices[q], rows[q])`` query."""
+        table_indices = np.asarray(table_indices, dtype=np.int64)
+        rows = np.asarray(rows, dtype=np.int64)
+        if table_indices.shape != rows.shape or table_indices.ndim != 1:
+            raise ValidationError(
+                "table_indices and rows must be equal-length 1-D arrays"
+            )
+        if table_indices.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if table_indices.min() < 0 or table_indices.max() >= len(
+            self.samplers
+        ):
+            raise ValidationError("table index out of range")
+        sizes = self._sizes[table_indices]
+        if rows.min() < 0 or (rows >= sizes).any():
+            raise ValidationError("true result out of range for its table")
+        scaled = rng.random(rows.size) * sizes
+        cells = np.minimum(scaled.astype(np.int64), sizes - 1)
+        flat = self._offsets[table_indices] + rows * sizes + cells
+        accept = (scaled - cells) < self._flat_prob[flat]
+        return np.where(accept, cells, self._flat_alias[flat])
+
+
+#: Bounded memo of geometric-row samplers, keyed ``(n, alpha, regime)``;
+#: eviction is insertion-ordered, matching
+#: :func:`repro.losses.base.cached_loss_matrix`'s policy.
+_SAMPLER_CACHE: dict = {}
+_SAMPLER_CACHE_ENTRIES = 64
+
+
+def clear_alias_cache() -> None:
+    """Drop memoized samplers (see :func:`repro.clear_caches`)."""
+    _SAMPLER_CACHE.clear()
+
+
+def cached_geometric_sampler(n: int, alpha) -> RowAliasSampler:
+    """Memoized alias sampler for the rows of ``G_{n,alpha}``.
+
+    Exact ``alpha`` (Fraction/int) builds exact thresholds straight from
+    the exact :func:`repro.core.geometric.geometric_matrix` rows — the
+    tables a :class:`~repro.release.artifacts.MechanismArtifact` carries
+    and ``repro cache verify`` replays. Float ``alpha`` builds float
+    tables. Unhashable alphas fall back to a fresh uncached build.
+    """
+    from ..core.geometric import geometric_matrix  # deferred: avoids cycle
+
+    exact = isinstance(alpha, (Fraction, int)) and not isinstance(alpha, bool)
+    key = (int(n), alpha, exact)
+    try:
+        sampler = _SAMPLER_CACHE.get(key)
+    except TypeError:
+        return RowAliasSampler.from_matrix(geometric_matrix(n, alpha))
+    if sampler is None:
+        sampler = RowAliasSampler.from_matrix(geometric_matrix(n, alpha))
+        if len(_SAMPLER_CACHE) >= _SAMPLER_CACHE_ENTRIES:
+            _SAMPLER_CACHE.pop(next(iter(_SAMPLER_CACHE)))
+        _SAMPLER_CACHE[key] = sampler
+    return sampler

@@ -27,8 +27,21 @@ __all__ = [
 ]
 
 
-def two_sided_geometric_pmf(alpha, z: int):
-    """Exact (for Fraction ``alpha``) or float pmf of Definition 1."""
+def two_sided_geometric_pmf(alpha, z):
+    """Exact (for Fraction ``alpha``) or float pmf of Definition 1.
+
+    ``z`` may be a scalar or an array-like of integers. Scalars keep the
+    original behavior — exact Fraction arithmetic when ``alpha`` is a
+    Fraction, float otherwise. Array inputs take the vectorized float
+    fast path (``alpha`` coerced to float): one broadcast power per
+    distinct ``|z|``, used by audit-replay slices and artifact
+    verification where a whole pmf window is evaluated at once.
+    """
+    if isinstance(z, (np.ndarray, list, tuple, range)):
+        zs = np.abs(np.asarray(z, dtype=np.int64))
+        a = float(alpha)
+        check_alpha(a)
+        return (1.0 - a) / (1.0 + a) * a**zs
     if isinstance(alpha, Fraction):
         check_alpha(alpha)
         return (1 - alpha) / (1 + alpha) * alpha ** abs(int(z))

@@ -42,6 +42,9 @@ __all__ = [
     "default_cache",
     "set_default_cache",
     "resolve_cache",
+    "encode_number",
+    "decode_number",
+    "gc_directory",
 ]
 
 #: Bump when the on-disk payload or canonical text changes shape.
@@ -88,6 +91,72 @@ def _decode_number(text: str):
     if kind == "f":
         return float.fromhex(payload)
     raise ValidationError(f"unknown cached coefficient encoding {text!r}")
+
+
+#: Public names for the lossless coefficient codec. The compiled
+#: mechanism artifacts of :mod:`repro.release.artifacts` serialize their
+#: exact kernels, sampling thresholds, and certificate duals with the
+#: same regime-tagged encoding, so one codec governs every store.
+encode_number = _encode_number
+decode_number = _decode_number
+
+
+def gc_directory(
+    path, *, max_entries: int | None = None, max_age_days: float | None = None
+) -> int:
+    """Evict entries from a directory-of-JSON store; returns count removed.
+
+    Shared by :meth:`SolveCache.gc` and
+    :meth:`repro.release.artifacts.ArtifactStore.gc`. Entries older than
+    ``max_age_days`` (by mtime) are removed first; then, when
+    ``max_entries`` is set, the oldest survivors are removed until at
+    most that many remain. Content-addressed entries are never *stale*,
+    so GC is purely a disk-budget tool. Concurrent removals are
+    tolerated (missing files are skipped).
+    """
+    if max_entries is not None and max_entries < 0:
+        raise ValidationError(
+            f"max_entries must be >= 0, got {max_entries}"
+        )
+    if max_age_days is not None and max_age_days < 0:
+        raise ValidationError(
+            f"max_age_days must be >= 0, got {max_age_days}"
+        )
+    root = Path(path).expanduser()
+    if not root.is_dir():
+        return 0
+    entries = []
+    for entry in root.rglob("*.json"):
+        try:
+            entries.append((entry.stat().st_mtime, entry))
+        except OSError:
+            continue
+    entries.sort(key=lambda pair: pair[0])
+    removed = 0
+    survivors = []
+    if max_age_days is not None:
+        import time
+
+        cutoff = time.time() - max_age_days * 86400.0
+        for mtime, entry in entries:
+            if mtime < cutoff:
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            else:
+                survivors.append((mtime, entry))
+    else:
+        survivors = entries
+    if max_entries is not None and len(survivors) > max_entries:
+        for _, entry in survivors[: len(survivors) - max_entries]:
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
 
 
 def canonical_terms(terms) -> str:
@@ -237,6 +306,23 @@ class SolveCache:
     def clear_memory(self) -> None:
         """Drop the in-memory layer (the directory is untouched)."""
         self._memory.clear()
+
+    def gc(
+        self,
+        *,
+        max_entries: int | None = None,
+        max_age_days: float | None = None,
+    ) -> int:
+        """Evict on-disk entries (see :func:`gc_directory`).
+
+        The in-memory layer is dropped too, so evicted entries cannot be
+        served from memory afterwards.
+        """
+        removed = gc_directory(
+            self.path, max_entries=max_entries, max_age_days=max_age_days
+        )
+        self._memory.clear()
+        return removed
 
     def __repr__(self) -> str:
         return (

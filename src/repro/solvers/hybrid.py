@@ -43,7 +43,13 @@ from .base import LinearProgram, LPSolution, coerce_exact
 from .scipy_backend import ScipyBackend, solve_with_optimal_basis
 from .simplex import ExactSimplexBackend
 
-__all__ = ["HybridBackend", "certify_solution", "reconstruct_vertex"]
+__all__ = [
+    "HybridBackend",
+    "certify_solution",
+    "find_certificate",
+    "replay_certificate",
+    "reconstruct_vertex",
+]
 
 _ZERO = Fraction(0)
 
@@ -578,6 +584,24 @@ def certify_solution(
 ) -> LPSolution | None:
     """Prove an exact candidate solution optimal, or return ``None``.
 
+    Thin wrapper over :func:`find_certificate` that discards the dual
+    vector; callers that need to *persist* the certificate (e.g.
+    :mod:`repro.release.artifacts`, whose ``repro cache verify`` replays
+    it later with zero solver calls) use :func:`find_certificate`
+    directly and store the duals alongside the candidate.
+    """
+    found = find_certificate(program, values)
+    if found is None:
+        return None
+    objective, _ = found
+    return LPSolution(values=list(values), objective=objective, backend=name)
+
+
+def find_certificate(
+    program: LinearProgram, values
+) -> tuple[Fraction, dict[int, Fraction]] | None:
+    """Find a strong-duality certificate; returns ``(objective, duals)``.
+
     The certificate is the textbook strong-duality triple, checked
     entirely over ``Fraction``:
 
@@ -587,6 +611,11 @@ def certify_solution(
        inequality rows, free on equalities) with non-negative reduced
        cost ``c_j - y^T A_j`` on every column;
     3. *strong duality* — ``b^T y`` equals the candidate objective.
+
+    ``duals`` maps row ids (inequality rows keep their index,
+    equalities follow at ``len(le) + k``) to nonzero multipliers; the
+    pair revalidates later via :func:`replay_certificate` without any
+    solver involvement.
 
     The dual vector is searched in two tiers, both heuristic and both
     fully validated (a bad guess degrades to ``None``, never to a wrong
@@ -669,9 +698,9 @@ def certify_solution(
             [costs[j] for j in support],
         )
         if duals is not None and validate(duals):
-            return LPSolution(
-                values=list(values), objective=objective, backend=name
-            )
+            return objective, {
+                row: value for row, value in duals.items() if value != 0
+            }
 
     # Tier 2: exact duals of the basis a direct HiGHS solve lands on.
     basis = solve_with_optimal_basis(program)
@@ -691,7 +720,73 @@ def certify_solution(
     if not all(dual_vector[row] == 0 for row in range(len(le)) if row not in tight_set):
         return None  # nonzero dual on a slack row: not complementary
     if validate(duals):
-        return LPSolution(
-            values=list(values), objective=objective, backend=name
-        )
+        return objective, duals
     return None
+
+
+def replay_certificate(
+    program: LinearProgram, values, duals
+) -> Fraction | None:
+    """Revalidate a stored strong-duality certificate — zero solves.
+
+    ``values`` is the candidate primal point and ``duals`` a mapping of
+    row ids (inequality rows by index, equality rows following at
+    ``len(le) + k``) to exact multipliers, as produced by
+    :func:`find_certificate`. Every check runs over ``Fraction``:
+    primal feasibility, complementary slackness (nonzero duals only on
+    tight inequality rows), dual sign and reduced-cost feasibility, and
+    strong duality. Returns the certified objective, or ``None`` when
+    any check fails — a corrupted or mismatched certificate degrades to
+    rejection, never to a wrong acceptance.
+    """
+    num = program.num_vars
+    if len(values) != num:
+        return None
+    for value in values:
+        if value < 0:
+            return None
+    le = program.le_constraints
+    eq = program.eq_constraints
+    base = len(le)
+    tight: set[int] = set()
+    for row_index, (terms, rhs) in enumerate(le):
+        activity = sum(coerce_exact(c) * values[var] for var, c in terms)
+        if activity > coerce_exact(rhs):
+            return None
+        if activity == coerce_exact(rhs):
+            tight.add(row_index)
+    for terms, rhs in eq:
+        activity = sum(coerce_exact(c) * values[var] for var, c in terms)
+        if activity != coerce_exact(rhs):
+            return None
+    clean: dict[int, Fraction] = {}
+    for row, value in duals.items():
+        row = int(row)
+        value = coerce_exact(value)
+        if value == 0:
+            continue
+        if not 0 <= row < base + len(eq):
+            return None
+        if row < base:
+            if row not in tight:
+                return None  # nonzero dual on a slack row
+            if value > 0:
+                return None  # wrong sign for a <= row
+        clean[row] = value
+    costs = [_ZERO] * num
+    for var, coeff in program.objective_terms:
+        costs[var] += coerce_exact(coeff)
+    objective = sum((costs[j] * values[j] for j in range(num)), _ZERO)
+    adjust = [_ZERO] * num
+    dual_objective = _ZERO
+    for row, value in clean.items():
+        terms, rhs = le[row] if row < base else eq[row - base]
+        for var, coeff in terms:
+            adjust[var] += coerce_exact(coeff) * value
+        dual_objective += value * coerce_exact(rhs)
+    for j in range(num):
+        if costs[j] - adjust[j] < 0:
+            return None
+    if dual_objective != objective:
+        return None
+    return objective

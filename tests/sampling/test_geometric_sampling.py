@@ -38,6 +38,33 @@ class TestPmf:
         with pytest.raises(ValidationError):
             two_sided_geometric_pmf(1.0, 0)
 
+    def test_vectorized_matches_scalar(self):
+        """Array z takes the float fast path; values match the scalar law."""
+        alpha = Fraction(1, 3)
+        zs = np.arange(-6, 7)
+        vectorized = two_sided_geometric_pmf(alpha, zs)
+        assert isinstance(vectorized, np.ndarray)
+        assert vectorized.shape == zs.shape
+        for z, value in zip(zs, vectorized):
+            assert value == pytest.approx(
+                float(two_sided_geometric_pmf(alpha, int(z))), rel=1e-14
+            )
+
+    def test_vectorized_accepts_list_tuple_range(self):
+        alpha = 0.5
+        expected = two_sided_geometric_pmf(alpha, np.array([0, 1, 2]))
+        for z in ([0, 1, 2], (0, 1, 2), range(3)):
+            assert np.allclose(two_sided_geometric_pmf(alpha, z), expected)
+
+    def test_vectorized_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            two_sided_geometric_pmf(1.0, np.array([0, 1]))
+
+    def test_scalar_exact_path_still_fraction(self):
+        value = two_sided_geometric_pmf(Fraction(1, 2), 1)
+        assert isinstance(value, Fraction)
+        assert value == Fraction(1, 6)
+
 
 class TestFailureSampler:
     def test_support_nonnegative(self, rng):

@@ -222,3 +222,139 @@ class TestCommands:
         )
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestCompileAndCacheCommands:
+    def test_compile_then_warm_recompile(self, capsys, tmp_path):
+        argv = [
+            "compile",
+            "-n",
+            "3",
+            "--alphas",
+            "1/3",
+            "--losses",
+            "absolute",
+            "--store",
+            str(tmp_path / "store"),
+            "--cache-dir",
+            str(tmp_path / "solves"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "compiled geometric" in out
+        assert "compiled optimal" in out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out
+        assert "0 compiled this run" in out
+
+    def test_compile_geometric_only(self, capsys, tmp_path):
+        code = main(
+            [
+                "compile",
+                "-n",
+                "4",
+                "--alphas",
+                "1/2",
+                "--losses",
+                "--store",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "geometric" in out
+        assert "optimal" not in out
+
+    def test_cache_verify_reports_ok(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "compile",
+                    "-n",
+                    "3",
+                    "--alphas",
+                    "1/3",
+                    "--store",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["cache", "verify", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 LP solves" in out
+        assert "all 2 artifacts verified" in out
+
+    def test_cache_verify_flags_corruption(self, capsys, tmp_path):
+        import json
+        import pathlib
+
+        assert (
+            main(
+                [
+                    "compile",
+                    "-n",
+                    "3",
+                    "--alphas",
+                    "1/2",
+                    "--losses",
+                    "--store",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        entry = next(pathlib.Path(tmp_path).rglob("*.json"))
+        payload = json.loads(entry.read_text())
+        payload["kernel"][0][0] = payload["kernel"][1][1]
+        entry.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["cache", "verify", "--store", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "failed" in err
+
+    def test_cache_gc(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "compile",
+                    "-n",
+                    "2",
+                    "3",
+                    "4",
+                    "--alphas",
+                    "1/2",
+                    "--losses",
+                    "--store",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "cache",
+                "gc",
+                "--store",
+                str(tmp_path),
+                "--max-entries",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "evicted 2 entries" in out
+        assert "1 remain" in out
+
+    def test_missing_store_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+        from repro.release import artifacts as artifacts_module
+
+        monkeypatch.setattr(
+            artifacts_module, "_default_store", artifacts_module._UNSET
+        )
+        assert main(["cache", "verify"]) == 1
+        assert "artifact store" in capsys.readouterr().err
