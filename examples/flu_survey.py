@@ -25,9 +25,16 @@ later run loads, verifies, and publishes without ever constructing a
 mechanism — the ``repro compile`` → ``repro cache verify`` → publish
 lifecycle in miniature.
 
+The final act (PR 7) completes that lifecycle with ``repro serve``: the
+same artifact is served from a live asyncio statistic service — the
+survey count is published over real HTTP/1.1 (what ``curl`` would see),
+concurrent requests fuse into micro-batches, and the per-user privacy
+ledger turns an exhausted budget into a 429.
+
 Run:  python examples/flu_survey.py
 """
 
+import asyncio
 import os
 import pathlib
 from fractions import Fraction
@@ -54,6 +61,7 @@ from repro.release.artifacts import (
     verify_artifact,
 )
 from repro.release.publisher import Publisher
+from repro.serving import HTTPServingClient, InProcessClient, MechanismServer
 
 
 def deployment_artifact(n: int, alpha):
@@ -73,7 +81,7 @@ def deployment_artifact(n: int, alpha):
         f"({'precompiled' if precompiled else 'compiled now'}, "
         f"verified: {', '.join(report.checks)})"
     )
-    return artifact
+    return store, artifact
 
 
 def main() -> None:
@@ -93,9 +101,8 @@ def main() -> None:
 
     # --- Publish once at alpha = 1/2, from the compiled artifact -------
     alpha = Fraction(1, 2)
-    publisher = Publisher.from_artifact(
-        database, deployment_artifact(n, alpha)
-    )
+    store, artifact = deployment_artifact(n, alpha)
+    publisher = Publisher.from_artifact(database, artifact)
     statistic = publisher.publish(query, rng)
     print(f"published value: {statistic.value}  (alpha={alpha})")
 
@@ -141,6 +148,80 @@ def main() -> None:
         f"as {estimate} (never below its sales bound {sales_bound})"
     )
     assert estimate >= sales_bound
+
+    # --- Serve the same deployment live (`repro serve` in miniature) ---
+    asyncio.run(serve_live(store, n, alpha, true_count))
+
+
+async def serve_live(store, n, alpha, true_count) -> None:
+    """Boot the statistic service on the example's own artifact store."""
+    print("\n--- live serving (`repro serve`) ---")
+    server = MechanismServer(
+        store,
+        floor=alpha**3,  # each user may consume three alpha=1/2 releases
+        batch_window=0.001,
+        audit_rate=1.0,
+        seed=20101001,
+    )
+    loaded = server.load_store()
+    await server.start(port=0)  # ephemeral port; `repro serve` pins one
+    print(
+        f"serving {loaded} verified deployments on "
+        f"http://127.0.0.1:{server.port}"
+    )
+
+    # What `curl -d '{"user":"gov","n":6,"alpha":"1/2","true_result":3}'
+    # http://127.0.0.1:PORT/publish` would see — a real socket round-trip.
+    http = HTTPServingClient("127.0.0.1", server.port)
+    status, body = await http.publish(
+        user="government", n=n, alpha=str(alpha), true_result=true_count
+    )
+    print(
+        f"HTTP publish -> {status}: value={body['value']} "
+        f"(budget left: alpha down to {body['cumulative_alpha']})"
+    )
+
+    # Concurrent consumers fuse into one micro-batched gather.
+    client = InProcessClient(server)
+    results = await asyncio.gather(*[
+        client.publish(
+            user=f"clinic-{i}", n=n, alpha=str(alpha), true_result=true_count
+        )
+        for i in range(32)
+    ])
+    stats = server.batcher.stats
+    print(
+        f"32 concurrent clinic queries -> "
+        f"{sum(1 for s, _ in results if s == 200)} served in "
+        f"{stats['batches'] - 1} fused batch(es) "
+        f"(largest {stats['max_batch']})"
+    )
+
+    # The ledger is the enforcement point: the government already spent
+    # one of its three releases over HTTP; two more succeed, the fourth
+    # is refused.
+    for _ in range(2):
+        status, _ = await client.publish(
+            user="government", n=n, alpha=str(alpha), true_result=true_count
+        )
+        assert status == 200
+    status, body = await http.publish(
+        user="government", n=n, alpha=str(alpha), true_result=true_count
+    )
+    print(
+        f"4th government release -> {status} (floor ({alpha})^3 reached; "
+        f"remaining allowance {body['remaining_alpha']})"
+    )
+    assert status == 429
+
+    # The online auditor saw every response; nothing diverges from the
+    # re-derived geometric law.
+    flagged = [f for f in server.audit() if f.flagged]
+    print(f"online audit: {len(flagged)} deployments flagged")
+    assert not flagged
+
+    await http.close()
+    await server.stop()
 
 
 if __name__ == "__main__":

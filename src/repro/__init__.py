@@ -96,6 +96,7 @@ from .release import (
     set_default_artifact_store,
     verify_artifact,
 )
+from .serving import InProcessClient, MechanismServer, MicroBatcher, OnlineAuditor
 from .solvers import SolveCache, set_default_cache
 
 __version__ = "1.0.0"
@@ -185,6 +186,11 @@ __all__ = [
     "compile_artifact",
     "verify_artifact",
     "set_default_artifact_store",
+    # serving
+    "MechanismServer",
+    "InProcessClient",
+    "MicroBatcher",
+    "OnlineAuditor",
     # losses
     "LossFunction",
     "cached_loss_matrix",

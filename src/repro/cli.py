@@ -14,10 +14,13 @@ Subcommands::
                   [--losses L ...] [--float] [--workers W]
                   [--cache-dir DIR | --no-cache] [--space x|factor]
     repro compile -n N1 N2 ... --alphas A1 A2 ... [--losses L ...]
-                  [--store DIR] [--cache-dir DIR]
+                  [--side-grid lower upper] [--store DIR] [--cache-dir DIR]
     repro cache verify [--store DIR]
     repro cache gc [--store DIR] [--max-entries K] [--max-age-days D]
                   [--solve-cache DIR]
+    repro serve [--host H] [--port P] [--store DIR] [--floor F]
+                  [--batch-window S] [--batch-max K] [--audit-rate R]
+                  [--audit-every B] [--seed S]
 
 Fractions are accepted anywhere a privacy level is (e.g. ``--alpha 1/4``).
 The sweep command exposes the process-pool (``--workers``) and
@@ -32,6 +35,14 @@ over an ``(n, alpha, loss)`` grid; ``cache verify`` replays every stored
 certificate and re-derives every sampling table's pmf with **zero** LP
 solves; ``cache gc`` evicts by entry count or age. The store directory
 defaults to the ``REPRO_ARTIFACT_DIR`` environment variable.
+
+``serve`` completes the lifecycle: it loads **every** compiled artifact
+in the store (verifying each at load), then runs the asyncio
+micro-batched statistic service of :mod:`repro.serving` — per-user
+privacy accounting (budget floor → HTTP 429), fused heterogeneous
+sampling, and the online audit hook — until interrupted. Pre-warm
+bespoke side-information deployments with ``compile --side-grid`` so
+the server never compiles on the request path.
 """
 
 from __future__ import annotations
@@ -203,6 +214,14 @@ def build_parser() -> argparse.ArgumentParser:
         "geometric-only",
     )
     compile_parser.add_argument(
+        "--side-grid", choices=("lower", "upper"), nargs="+", default=None,
+        help="also pre-warm bespoke side-information artifacts per "
+        "(n, alpha, loss) cell: 'lower' compiles every lower-bound set "
+        "{b..n} (Example 1's sales-receipts consumer), 'upper' every "
+        "upper-bound set {0..b} — so a server never compiles on the "
+        "request path",
+    )
+    compile_parser.add_argument(
         "--store", default=None,
         help="artifact store directory (default: REPRO_ARTIFACT_DIR)",
     )
@@ -230,6 +249,44 @@ def build_parser() -> argparse.ArgumentParser:
     cache_gc.add_argument(
         "--solve-cache", default=None,
         help="also GC this LP solve-cache directory with the same limits",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve every compiled artifact as an async micro-batched "
+        "statistic service (HTTP/1.1, per-user budgets, online audit)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8790)
+    serve.add_argument(
+        "--store", default=None,
+        help="artifact store directory (default: REPRO_ARTIFACT_DIR)",
+    )
+    serve.add_argument(
+        "--floor", type=_parse_alpha, default=Fraction(0),
+        help="per-user privacy floor (joint alpha guarantee the server "
+        "refuses to cross; 0 disables enforcement)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.002,
+        help="micro-batch deadline in seconds (0 disables batching)",
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=4096,
+        help="micro-batch size bound (flush immediately at this size)",
+    )
+    serve.add_argument(
+        "--audit-rate", type=float, default=0.05,
+        help="fraction of responses replayed by the online auditor "
+        "(0 disables the hook)",
+    )
+    serve.add_argument(
+        "--audit-every", type=int, default=64,
+        help="run an audit sweep every this-many executed batches",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="seed the sampling RNG (reproducible serving for tests)",
     )
 
     return parser
@@ -414,12 +471,24 @@ def _cmd_compile(args) -> str:
     solve_cache = (
         SolveCache(args.cache_dir) if args.cache_dir is not None else None
     )
+    side_grid = getattr(args, "side_grid", None) or ()
     specs = []
     for n in args.sizes:
+        sides = []
+        if "lower" in side_grid:
+            # "result >= b" side information, one set per threshold.
+            sides.extend(tuple(range(b, n + 1)) for b in range(1, n + 1))
+        if "upper" in side_grid:
+            # "result <= b" side information.
+            sides.extend(tuple(range(0, b + 1)) for b in range(n))
         for alpha in args.alphas:
             specs.append(ArtifactSpec("geometric", n, alpha))
             for loss in args.losses:
                 specs.append(ArtifactSpec("optimal", n, alpha, loss=loss))
+                for side in sides:
+                    specs.append(
+                        ArtifactSpec("optimal", n, alpha, loss=loss, side=side)
+                    )
     lines = [f"compiling {len(specs)} artifacts into {store.path}:"]
     before = store.stats["compiles"]
     for spec in specs:
@@ -432,9 +501,14 @@ def _cmd_compile(args) -> str:
             if artifact.loss_value is not None
             else "-"
         )
+        side = (
+            "all"
+            if spec.side is None
+            else "{%d..%d}" % (min(spec.side), max(spec.side))
+        )
         lines.append(
             f"  {'compiled' if fresh else 'cached  '} {spec.kind:<9} "
-            f"n={spec.n} alpha={spec.alpha} loss={label} "
+            f"n={spec.n} alpha={spec.alpha} loss={label} side={side} "
             f"key={spec.key()[:12]} loss_value={loss_value}"
         )
     stats = store.stats
@@ -500,6 +574,63 @@ def _cmd_cache(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args) -> str:
+    import asyncio
+
+    from .serving.server import MechanismServer
+
+    store = _resolve_cli_store(args.store)
+    server = MechanismServer(
+        store,
+        floor=args.floor,
+        batch_window=args.batch_window,
+        batch_max=args.batch_max,
+        audit_rate=args.audit_rate,
+        audit_every=args.audit_every,
+        seed=args.seed,
+    )
+    loaded = server.load_store()
+    if not loaded:
+        raise ReproError(
+            f"artifact store {store.path} is empty: run `repro compile` "
+            "first (the server never solves on the request path)"
+        )
+    lines = [f"loaded {loaded} verified deployments from {store.path}:"]
+    for deployment in server.deployments:
+        spec = deployment.spec
+        lines.append(
+            f"  {spec.kind:<9} n={spec.n} alpha={spec.alpha} "
+            f"key={spec.key()[:12]}"
+        )
+    print("\n".join(lines), flush=True)
+
+    async def _run() -> None:
+        await server.start(host=args.host, port=args.port)
+        print(
+            f"serving on http://{args.host}:{server.port} "
+            f"(floor={args.floor}, window={args.batch_window}s, "
+            f"batch_max={args.batch_max}, audit_rate={args.audit_rate})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    stats = server.batcher.stats
+    return (
+        f"served {server.metrics['published']} statistics in "
+        f"{stats['batches']} batches "
+        f"(max batch {stats['max_batch']}, "
+        f"{server.metrics['rejected_budget']} budget rejections, "
+        f"{server.metrics['audit_flagged']} audit flags)"
+    )
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -513,6 +644,7 @@ def main(argv=None) -> int:
         "sweep": _cmd_sweep,
         "compile": _cmd_compile,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
     }
     try:
         output = handlers[args.command](args)

@@ -28,7 +28,12 @@ from .collusion import (
     averaging_attack,
     compare_release_strategies,
 )
-from .ledger import BudgetExceededError, LedgerEntry, PrivacyLedger
+from .ledger import (
+    BudgetExceededError,
+    ConcurrentPrivacyLedger,
+    LedgerEntry,
+    PrivacyLedger,
+)
 from .multilevel import MultiLevelPublisher, TieredRelease
 from .publisher import PublishedStatistic, Publisher
 
@@ -44,6 +49,7 @@ __all__ = [
     "AveragingAttackResult",
     "compare_release_strategies",
     "PrivacyLedger",
+    "ConcurrentPrivacyLedger",
     "LedgerEntry",
     "BudgetExceededError",
     "ArtifactSpec",

@@ -41,6 +41,7 @@ Lifecycle (see ``repro compile`` / ``repro cache verify`` /
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -49,6 +50,11 @@ import weakref
 from dataclasses import dataclass
 from fractions import Fraction
 from pathlib import Path
+
+try:  # POSIX advisory locking; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 import numpy as np
 
@@ -605,6 +611,27 @@ def verify_artifact(artifact: MechanismArtifact) -> ArtifactVerification:
     )
 
 
+@contextlib.contextmanager
+def _advisory_lock(path: Path):
+    """Hold an exclusive advisory ``flock`` on ``path``.
+
+    Cross-process (each holder opens its own descriptor) and blocking;
+    degrades to a no-op where ``fcntl`` does not exist, keeping the
+    store usable — just without cross-process write serialization — on
+    non-POSIX platforms.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a+") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
 #: Every live store, so :func:`repro.clear_caches` can drop all
 #: in-memory artifact layers without holding stores alive.
 _LIVE_STORES: "weakref.WeakSet[ArtifactStore]" = weakref.WeakSet()
@@ -624,6 +651,15 @@ class ArtifactStore:
     ``stats`` counters. Loading validates version and content digest;
     damaged entries behave as misses on :meth:`get` and are reported by
     :meth:`verify_all`.
+
+    Writes and GC take a store-wide advisory file lock (:meth:`lock`),
+    and :meth:`get_or_compile` holds a per-spec lock across its
+    miss-compile-store window, re-checking the directory once inside —
+    so N server workers racing to warm the same spec perform **one**
+    compile between them instead of N, and eviction never interleaves
+    with a write. Reads stay lock-free: entries are content-addressed
+    and replaced atomically, so a reader sees either the old complete
+    entry, the new complete entry, or a miss.
     """
 
     def __init__(self, path) -> None:
@@ -655,45 +691,71 @@ class ArtifactStore:
     def get_or_compile(
         self, spec: ArtifactSpec, *, solve_cache=None
     ) -> MechanismArtifact:
-        """Load ``spec``'s artifact, compiling and storing on a miss."""
+        """Load ``spec``'s artifact, compiling and storing on a miss.
+
+        The miss path is compile-once across workers: a per-spec
+        advisory lock is held while compiling, and the directory is
+        re-checked after acquiring it, so a racer that lost the lock
+        race loads the winner's entry instead of re-solving.
+        """
         artifact = self.get(spec)
         if artifact is None:
-            artifact = compile_artifact(
-                spec.kind,
-                spec.n,
-                spec.alpha,
-                loss=spec.loss,
-                side=spec.side,
-                solve_cache=solve_cache,
-            )
-            self.put(artifact)
-            self.stats["compiles"] += 1
+            key = spec.key()
+            with self.lock(key):
+                artifact = self._load(key)
+                if artifact is not None and artifact.spec != spec:
+                    artifact = None
+                if artifact is not None:
+                    self._remember(key, artifact)
+                else:
+                    artifact = compile_artifact(
+                        spec.kind,
+                        spec.n,
+                        spec.alpha,
+                        loss=spec.loss,
+                        side=spec.side,
+                        solve_cache=solve_cache,
+                    )
+                    self.put(artifact)
+                    self.stats["compiles"] += 1
         return artifact
+
+    # -- locking -------------------------------------------------------
+    def lock(self, name: str = "store"):
+        """Exclusive cross-process advisory lock scoped to this store.
+
+        ``name`` picks the lock file: the default is the store-wide
+        write/GC lock; :meth:`get_or_compile` passes the spec key for a
+        per-spec compile lock. Lock files live under ``.locks/`` inside
+        the store directory and are never GC'd (they are empty).
+        """
+        return _advisory_lock(self.path / ".locks" / f"{name}.lock")
 
     # -- store ---------------------------------------------------------
     def put(self, artifact: MechanismArtifact) -> None:
-        """Persist ``artifact`` (atomic replace on disk)."""
+        """Persist ``artifact`` (atomic replace, under the store lock)."""
         key = artifact.key()
         payload = artifact.to_payload()
         entry = self._entry_path(key)
-        entry.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            mode="w",
-            dir=entry.parent,
-            prefix=f".{key[:8]}-",
-            suffix=".tmp",
-            delete=False,
-        )
-        try:
-            with handle:
-                json.dump(payload, handle)
-            os.replace(handle.name, entry)
-        except BaseException:
+        with self.lock():
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                mode="w",
+                dir=entry.parent,
+                prefix=f".{key[:8]}-",
+                suffix=".tmp",
+                delete=False,
+            )
             try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+                with handle:
+                    json.dump(payload, handle)
+                os.replace(handle.name, entry)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
         self._remember(key, artifact)
         self.stats["stores"] += 1
 
@@ -703,6 +765,14 @@ class ArtifactStore:
         if not self.path.is_dir():
             return []
         return sorted(entry.stem for entry in self.path.rglob("*.json"))
+
+    def load_key(self, key: str) -> MechanismArtifact | None:
+        """Load the entry stored under ``key``; ``None`` if missing/damaged.
+
+        Unlike :meth:`get` this needs no spec — the serving layer's
+        load-everything startup path iterates :meth:`keys` with it.
+        """
+        return self._load(key)
 
     def verify_all(self) -> list[ArtifactVerification]:
         """Replay proofs for every on-disk entry (zero LP solves).
@@ -748,10 +818,15 @@ class ArtifactStore:
         max_entries: int | None = None,
         max_age_days: float | None = None,
     ) -> int:
-        """Evict on-disk artifacts (see :func:`repro.solvers.cache.gc_directory`)."""
-        removed = gc_directory(
-            self.path, max_entries=max_entries, max_age_days=max_age_days
-        )
+        """Evict on-disk artifacts (see :func:`repro.solvers.cache.gc_directory`).
+
+        Holds the store-wide advisory lock so eviction never interleaves
+        with a concurrent worker's :meth:`put`.
+        """
+        with self.lock():
+            removed = gc_directory(
+                self.path, max_entries=max_entries, max_age_days=max_age_days
+            )
         self._memory.clear()
         return removed
 

@@ -15,6 +15,7 @@ database below a configured privacy floor.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from fractions import Fraction
 
@@ -22,7 +23,12 @@ from ..core.privacy import alpha_to_epsilon
 from ..exceptions import ReproError, ValidationError
 from ..validation import check_alpha
 
-__all__ = ["BudgetExceededError", "LedgerEntry", "PrivacyLedger"]
+__all__ = [
+    "BudgetExceededError",
+    "LedgerEntry",
+    "PrivacyLedger",
+    "ConcurrentPrivacyLedger",
+]
 
 
 class BudgetExceededError(ReproError):
@@ -138,6 +144,19 @@ class PrivacyLedger:
             )
         )
 
+    def try_charge(self, alpha, *, label: str = "release") -> bool:
+        """Charge-or-reject: record the release iff it fits the floor.
+
+        The refusal-as-value twin of :meth:`charge` for serving paths
+        that treat a rejection as flow control (an HTTP 429) rather than
+        an exception. Returns ``True`` when the release was recorded.
+        """
+        try:
+            self.charge(alpha, label=label)
+        except BudgetExceededError:
+            return False
+        return True
+
     def report(self) -> str:
         """A plain-text statement of the ledger."""
         lines = [
@@ -161,5 +180,43 @@ class PrivacyLedger:
     def __repr__(self) -> str:
         return (
             f"<PrivacyLedger entries={len(self._entries)} "
+            f"cumulative={self.cumulative_alpha} floor={self.floor}>"
+        )
+
+
+class ConcurrentPrivacyLedger(PrivacyLedger):
+    """A :class:`PrivacyLedger` safe under concurrent charging.
+
+    The base class's :meth:`~PrivacyLedger.charge` is already atomic
+    *within* one thread, but a serving process charges from many places
+    at once: worker threads, executor pools, and asyncio handlers that
+    must never interleave a ``can_afford`` check with someone else's
+    ``charge`` between their check and their append. This subclass
+    serializes the read-modify-write under one lock, so the invariant
+
+        ``cumulative_alpha >= floor``  (after every successful charge)
+
+    holds no matter how many racers call :meth:`charge` /
+    :meth:`try_charge` simultaneously — over-admission (two racers both
+    passing ``can_afford`` for the last budget slot) is impossible.
+
+    asyncio-safety note: a single event loop never preempts between the
+    check and the append, so the lock is uncontended there; it exists for
+    threads, and it is deliberately *not* an ``asyncio.Lock`` so the same
+    ledger object can be shared by loops and threads alike. The lock is
+    never held across anything blocking — charging is pure arithmetic.
+    """
+
+    def __init__(self, floor=0) -> None:
+        super().__init__(floor)
+        self._lock = threading.Lock()
+
+    def charge(self, alpha, *, label: str = "release") -> None:
+        with self._lock:
+            super().charge(alpha, label=label)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ConcurrentPrivacyLedger entries={len(self._entries)} "
             f"cumulative={self.cumulative_alpha} floor={self.floor}>"
         )

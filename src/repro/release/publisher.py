@@ -131,14 +131,25 @@ class Publisher:
         return self._sampler
 
     def publish(self, query: CountQuery, rng=None) -> PublishedStatistic:
-        """Evaluate ``query`` and release one geometric perturbation."""
+        """Evaluate ``query`` and release one geometric perturbation.
+
+        Draws through the same precomputed alias tables as
+        :meth:`publish_batch` (:meth:`RowAliasSampler.sample_one`): one
+        uniform, two lookups, one compare — no per-release noise
+        sampling or clipping, and no distributional drift between the
+        scalar and batch paths, since both walk identical tables whose
+        rows carry the folded tail mass of Definition 4 exactly.
+        """
+        if not isinstance(query, CountQuery):
+            raise ValidationError(
+                f"expected CountQuery, got {type(query).__name__}"
+            )
         rng = ensure_generator(rng)
-        result = self._engine.answer_private(
-            query, mechanism=self._mechanism, rng=rng
-        )
+        true_value = self._engine.answer_exact(query)
+        value = self._sampler.sample_one(true_value, rng)
         return PublishedStatistic(
             query_description=query.describe(),
-            value=result.value,
+            value=value,
             alpha=self.alpha,
             n=self.n,
         )

@@ -262,6 +262,24 @@ class RowAliasSampler:
         accept = (scaled - cells) < self._flat_prob[flat]
         return np.where(accept, cells, self._flat_alias[flat])
 
+    def sample_one(self, row: int, rng: np.random.Generator) -> int:
+        """Draw one output for one true result, without array round-trips.
+
+        The scalar hot path (:meth:`repro.release.publisher.Publisher.publish`):
+        one uniform, two flat lookups, one compare — the same table walk
+        as :meth:`sample`, so scalar and batched draws share one
+        distribution law.
+        """
+        row = int(row)
+        if not 0 <= row <= self.n:
+            raise ValidationError(f"true results must lie in [0, {self.n}]")
+        scaled = rng.random() * self.size
+        cell = min(int(scaled), self.size - 1)
+        flat = row * self.size + cell
+        if (scaled - cell) < self._flat_prob[flat]:
+            return cell
+        return int(self._flat_alias[flat])
+
     def is_exact(self) -> bool:
         """Whether every row table carries exact thresholds."""
         return all(t.exact_thresholds is not None for t in self.tables)

@@ -1,0 +1,150 @@
+"""Micro-batching for the mechanism-serving pipeline.
+
+The sampling layer is fastest when it is fed *batches*: one
+:meth:`repro.sampling.alias.HeterogeneousAliasSampler.sample` call draws
+for thousands of queries — across deployments of different ``n`` and
+``alpha`` — in a single fused numpy gather. Individual serving requests,
+however, arrive one at a time on an asyncio loop. The
+:class:`MicroBatcher` bridges the two: concurrent requests park on
+futures while their ``(table, row)`` pairs accumulate, and the batch is
+executed as one gather when either
+
+* the **size bound** is hit (``max_size`` pending queries), or
+* the **deadline** fires (``window`` seconds after the first query of
+  the batch arrived — a latency bound, not a throughput tax: an idle
+  batcher schedules nothing).
+
+``window <= 0`` or ``max_size == 1`` degenerates to unbatched execution
+(every query is its own gather), which is exactly the baseline
+``benchmarks/bench_serving.py`` measures micro-batching against.
+
+The executor callback is synchronous and must never block the loop for
+long — the intended executor is a pure alias-table gather plus counter
+updates (see :meth:`repro.serving.server.MechanismServer`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Coalesce concurrent queries into fused sampler executions.
+
+    Parameters
+    ----------
+    execute:
+        ``execute(tables, rows) -> values``: one vectorized tick over
+        equal-length int64 arrays, returning one output per query.
+        Raising makes every query of the batch fail with that exception.
+    window:
+        Deadline in seconds from the first query of a batch to its
+        flush. ``0`` disables the timer (every query flushes itself —
+        the unbatched mode).
+    max_size:
+        Flush immediately once this many queries are pending.
+
+    Stats (``stats`` dict): ``queries``, ``batches``, ``size_flushes``,
+    ``deadline_flushes``, ``max_batch``.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        *,
+        window: float = 0.002,
+        max_size: int = 4096,
+    ) -> None:
+        if window < 0:
+            raise ValidationError(f"window must be >= 0, got {window}")
+        if max_size < 1:
+            raise ValidationError(f"max_size must be >= 1, got {max_size}")
+        self._execute = execute
+        self.window = float(window)
+        self.max_size = int(max_size)
+        self._pending: list[tuple[int, int, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self.stats = {
+            "queries": 0,
+            "batches": 0,
+            "size_flushes": 0,
+            "deadline_flushes": 0,
+            "max_batch": 0,
+        }
+
+    @property
+    def pending(self) -> int:
+        """Queries currently parked awaiting a flush."""
+        return len(self._pending)
+
+    async def submit(self, table: int, row: int) -> int:
+        """Enqueue one query and await its sampled output."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((int(table), int(row), future))
+        self.stats["queries"] += 1
+        if len(self._pending) >= self.max_size:
+            self.stats["size_flushes"] += 1
+            self.flush()
+        elif self.window <= 0:
+            self.flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.window, self._deadline_flush)
+        return await future
+
+    def _deadline_flush(self) -> None:
+        self.stats["deadline_flushes"] += 1
+        self.flush()
+
+    def flush(self) -> None:
+        """Execute everything pending as one fused tick (no-op if empty).
+
+        Safe to call at any time — shutdown paths use it to drain the
+        queue without waiting out the deadline.
+        """
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        self.stats["batches"] += 1
+        self.stats["max_batch"] = max(self.stats["max_batch"], len(pending))
+        tables = np.fromiter(
+            (item[0] for item in pending), dtype=np.int64, count=len(pending)
+        )
+        rows = np.fromiter(
+            (item[1] for item in pending), dtype=np.int64, count=len(pending)
+        )
+        try:
+            values = self._execute(tables, rows)
+        except Exception as err:
+            for _, _, future in pending:
+                if not future.done():
+                    future.set_exception(err)
+            return
+        for (_, _, future), value in zip(pending, values):
+            # A caller may have timed out / been cancelled mid-batch;
+            # its slot was still sampled (the gather is all-or-nothing)
+            # but nobody is waiting for the result.
+            if not future.done():
+                future.set_result(int(value))
+
+    def close(self) -> None:
+        """Cancel the deadline timer and fail anything still pending."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        pending, self._pending = self._pending, []
+        for _, _, future in pending:
+            if not future.done():
+                future.set_exception(
+                    RuntimeError("micro-batcher closed with queries pending")
+                )

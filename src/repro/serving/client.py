@@ -1,0 +1,146 @@
+"""Clients for the mechanism server.
+
+Two transports, one call shape:
+
+* :class:`InProcessClient` — calls straight into
+  :meth:`repro.serving.server.MechanismServer.handle_request` with no
+  sockets or serialization. This is the co-located fast path tests and
+  ``benchmarks/bench_serving.py`` drive (the measured throughput is the
+  serving pipeline itself — batcher, ledger, fused gather, audit hook —
+  not TCP);
+* :class:`HTTPServingClient` — a minimal asyncio HTTP/1.1 client with
+  one keep-alive connection, exercising exactly what ``curl`` sees.
+
+Both return ``(status, payload)`` rather than raising on 4xx/5xx: a 429
+budget rejection is flow control a load generator counts, not an
+exception.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..exceptions import ReproError
+
+__all__ = ["InProcessClient", "HTTPServingClient"]
+
+
+def _publish_payload(
+    user, n, alpha, true_result, kind, loss, side
+) -> dict:
+    payload = {
+        "user": user,
+        "n": n,
+        "alpha": alpha,
+        "true_result": true_result,
+    }
+    if kind != "geometric":
+        payload["kind"] = kind
+    if loss is not None:
+        payload["loss"] = loss
+    if side is not None:
+        payload["side"] = list(side)
+    return payload
+
+
+class InProcessClient:
+    """Zero-transport client for a co-located :class:`MechanismServer`."""
+
+    def __init__(self, server) -> None:
+        self.server = server
+
+    async def publish(
+        self,
+        *,
+        user: str,
+        n: int,
+        alpha,
+        true_result: int,
+        kind: str = "geometric",
+        loss: str | None = None,
+        side=None,
+    ) -> tuple[int, dict]:
+        return await self.server.publish(
+            _publish_payload(user, n, alpha, true_result, kind, loss, side)
+        )
+
+    async def get(self, path: str) -> tuple[int, dict]:
+        return await self.server.handle_request("GET", path)
+
+
+class HTTPServingClient:
+    """Keep-alive HTTP/1.1 client against a live server socket."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        """One round-trip on the persistent connection."""
+        await self._connect()
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ReproError("server closed the connection")
+        parts = status_line.decode("latin-1").split(maxsplit=2)
+        status = int(parts[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        data = await self._reader.readexactly(length) if length else b"{}"
+        return status, json.loads(data)
+
+    async def publish(
+        self,
+        *,
+        user: str,
+        n: int,
+        alpha,
+        true_result: int,
+        kind: str = "geometric",
+        loss: str | None = None,
+        side=None,
+    ) -> tuple[int, dict]:
+        return await self.request(
+            "POST",
+            "/publish",
+            _publish_payload(user, n, alpha, true_result, kind, loss, side),
+        )
+
+    async def get(self, path: str) -> tuple[int, dict]:
+        return await self.request("GET", path)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None

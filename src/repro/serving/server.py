@@ -1,0 +1,557 @@
+"""The mechanism-serving subsystem: ``repro serve``.
+
+The paper's deployment story is inherently multi-tenant: ONE published
+geometric release serves every minimax consumer optimally (Theorem 1),
+and heterogeneous deployments (different ``n``, ``alpha``, bespoke
+side-information mechanisms) coexist behind one statistic service. This
+module is that serving layer, built exclusively from pieces the pipeline
+has already *proved*:
+
+* mechanisms come from compiled :class:`~repro.release.artifacts.MechanismArtifact`
+  entries in an :class:`~repro.release.artifacts.ArtifactStore` — never
+  from a solver: a spec that was not pre-compiled (``repro compile``,
+  including ``--side-grid`` pre-warming) is a 404, so the request path
+  is zero-solve by construction;
+* each artifact is **verified on load** (certificate replay, exact
+  pmf-law re-derivation, bit-exact alias-table reconstruction) before it
+  may serve a single response;
+* concurrent requests are micro-batched
+  (:class:`~repro.serving.batching.MicroBatcher`) into fused
+  :class:`~repro.sampling.alias.HeterogeneousAliasSampler` gathers —
+  mixed ``n``/``alpha`` deployments in one numpy tick;
+* every release is charged to the requesting user's
+  :class:`~repro.release.ledger.ConcurrentPrivacyLedger` *before*
+  sampling; exceeding the per-user floor is an HTTP 429, and the
+  charge-or-reject is atomic so racers can never overspend;
+* a sampled slice of responses feeds the
+  :class:`~repro.serving.audit.OnlineAuditor`, which periodically
+  replays the accumulated counts against the independently re-derived
+  geometric law — the last line of defense against a kernel tampered
+  *after* load-time verification.
+
+Transport is stdlib-only: HTTP/1.1 (keep-alive) on
+:func:`asyncio.start_server` for real sockets (``curl``-able), plus the
+zero-copy in-process path (:meth:`MechanismServer.handle_request`) used
+by tests, benchmarks, and co-located clients.
+
+Request/response shape (``POST /publish``)::
+
+    {"user": "gov", "n": 100, "alpha": "1/2", "true_result": 42}
+      -> 200 {"value": 41, "alpha": "1/2", "n": 100, ...}
+      -> 404 unknown/uncompiled deployment
+      -> 429 {"error": "..."} when the user's budget floor is hit
+
+``GET /healthz``, ``GET /artifacts``, ``GET /metrics``, and
+``GET /ledger/<user>`` expose liveness, the deployment list, counters +
+audit findings, and per-user accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import ReproError, ValidationError
+from ..release.artifacts import (
+    ArtifactSpec,
+    resolve_artifact_store,
+    verify_artifact,
+)
+from ..release.ledger import BudgetExceededError, ConcurrentPrivacyLedger
+from ..sampling.alias import HeterogeneousAliasSampler
+from ..sampling.rng import ensure_generator
+from .audit import OnlineAuditor
+from .batching import MicroBatcher
+
+__all__ = ["MechanismServer"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Request bodies above this are rejected outright (a publish payload is
+#: tiny; anything bigger is a client bug or abuse).
+_MAX_BODY = 1 << 16
+
+#: Sentinel distinguishing "cached as invalid" from "not cached".
+_UNCACHED = object()
+
+
+class _Deployment:
+    __slots__ = ("index", "spec", "artifact", "verification")
+
+    def __init__(self, index, spec, artifact, verification) -> None:
+        self.index = index
+        self.spec = spec
+        self.artifact = artifact
+        self.verification = verification
+
+
+class MechanismServer:
+    """Async micro-batched mechanism server over a compiled store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.release.artifacts.ArtifactStore` (or a path /
+        ``None`` for the ``REPRO_ARTIFACT_DIR`` default) holding the
+        compiled deployments.
+    floor:
+        Per-user privacy floor handed to each user's ledger; ``0``
+        disables budget enforcement (accounting is still recorded).
+    batch_window:
+        Micro-batch deadline in seconds (see
+        :class:`~repro.serving.batching.MicroBatcher`); ``0`` disables
+        batching.
+    batch_max:
+        Micro-batch size bound.
+    audit_rate:
+        Fraction of responses fed to the online auditor; ``0`` disables
+        the hook.
+    audit_every:
+        Run an audit sweep every this-many executed batches (``0``
+        means only on explicit :meth:`audit` calls).
+    verify:
+        Verify every artifact on load (default). Loading an unverified
+        artifact requires an explicit ``verify=False`` on
+        :meth:`load_artifact` — the tamper-injection path used by the
+        serving benchmark to prove the online audit catches what load
+        verification was prevented from seeing.
+    seed / audit_seed:
+        Seeds for the sampling RNG and the auditor's slice RNG.
+    """
+
+    def __init__(
+        self,
+        store=None,
+        *,
+        floor=0,
+        batch_window: float = 0.002,
+        batch_max: int = 4096,
+        audit_rate: float = 0.05,
+        audit_every: int = 64,
+        verify: bool = True,
+        seed=None,
+        audit_seed=None,
+    ) -> None:
+        self.store = resolve_artifact_store(store)
+        if self.store is None:
+            raise ReproError(
+                "MechanismServer needs an artifact store: pass one (or a "
+                "path) or set REPRO_ARTIFACT_DIR"
+            )
+        self.floor = floor
+        self.verify = bool(verify)
+        self._rng = ensure_generator(seed)
+        self._deployments: dict[str, _Deployment] = {}
+        self._samplers: list = []
+        self._fused: HeterogeneousAliasSampler | None = None
+        self._ledgers: dict[str, ConcurrentPrivacyLedger] = {}
+        self._spec_cache: dict[tuple, tuple[str, Fraction] | None] = {}
+        self.auditor = OnlineAuditor(
+            rate=audit_rate, rng=audit_seed
+        )
+        self.audit_every = int(audit_every)
+        self._batches_since_sweep = 0
+        self.batcher = MicroBatcher(
+            self._execute, window=batch_window, max_size=batch_max
+        )
+        self.metrics = {
+            "requests": 0,
+            "published": 0,
+            "rejected_budget": 0,
+            "not_found": 0,
+            "bad_request": 0,
+            "errors": 0,
+            "audit_recorded": 0,
+            "audit_sweeps": 0,
+            "audit_flagged": 0,
+        }
+        self._http_server: asyncio.base_events.Server | None = None
+
+    # -- deployment lifecycle ------------------------------------------
+    def load(self, spec: ArtifactSpec) -> int:
+        """Load one compiled deployment from the store; returns its index.
+
+        Misses are an error, not a compile: the request path (and the
+        warm-up path) of a server must never run a solver — pre-warm
+        with ``repro compile`` (``--side-grid`` for bespoke
+        side-information artifacts).
+        """
+        existing = self._deployments.get(spec.key())
+        if existing is not None:
+            return existing.index
+        artifact = self.store.get(spec)
+        if artifact is None:
+            raise ReproError(
+                f"artifact {spec.canonical()!r} is not compiled in "
+                f"{self.store.path}; run `repro compile` first"
+            )
+        return self.load_artifact(artifact)
+
+    def load_artifact(self, artifact, *, verify: bool | None = None) -> int:
+        """Register an artifact for serving; returns its batcher index.
+
+        ``verify`` defaults to the server-wide setting; a verification
+        failure refuses the deployment. Passing ``verify=False`` is the
+        deliberately-unsafe injection port for audit testing.
+        """
+        verify = self.verify if verify is None else bool(verify)
+        spec = artifact.spec
+        existing = self._deployments.get(spec.key())
+        if existing is not None:
+            return existing.index
+        verification = None
+        if verify:
+            verification = verify_artifact(artifact)
+            if not verification.ok:
+                raise ReproError(
+                    f"artifact {spec.canonical()!r} failed load-time "
+                    f"verification: {'; '.join(verification.failures)}"
+                )
+        index = len(self._samplers)
+        self._samplers.append(artifact.sampler)
+        self._fused = HeterogeneousAliasSampler(self._samplers)
+        self._deployments[spec.key()] = _Deployment(
+            index, spec, artifact, verification
+        )
+        self.auditor.register(index, artifact)
+        return index
+
+    def load_store(self) -> int:
+        """Load every (loadable) artifact in the store; returns the count.
+
+        Damaged entries are skipped (they already fail ``repro cache
+        verify``); verification failures still raise, because silently
+        serving without a refused deployment is worse than failing
+        startup.
+        """
+        loaded = 0
+        for key in self.store.keys():
+            artifact = self.store.load_key(key)
+            if artifact is None:
+                continue
+            self.load_artifact(artifact)
+            loaded += 1
+        return loaded
+
+    @property
+    def deployments(self) -> tuple[_Deployment, ...]:
+        return tuple(self._deployments.values())
+
+    def ledger(self, user: str) -> ConcurrentPrivacyLedger:
+        """The (created-on-first-use) ledger accounting for ``user``."""
+        book = self._ledgers.get(user)
+        if book is None:
+            book = self._ledgers[user] = ConcurrentPrivacyLedger(self.floor)
+        return book
+
+    # -- the fused execution tick --------------------------------------
+    def _execute(self, tables: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        values = self._fused.sample(tables, rows, self._rng)
+        recorded = self.auditor.observe(tables, rows, values)
+        if recorded:
+            self.metrics["audit_recorded"] += recorded
+        if self.audit_every > 0:
+            self._batches_since_sweep += 1
+            if self._batches_since_sweep >= self.audit_every:
+                self.audit()
+        return values
+
+    def audit(self):
+        """Run an audit sweep now; returns the findings."""
+        self._batches_since_sweep = 0
+        findings = self.auditor.sweep()
+        self.metrics["audit_sweeps"] += 1
+        self.metrics["audit_flagged"] = sum(1 for f in findings if f.flagged)
+        return findings
+
+    # -- request handling ----------------------------------------------
+    def _resolve_spec(self, payload: dict) -> tuple[str, Fraction] | None:
+        """Map request deployment fields to ``(spec key, exact alpha)``.
+
+        Memoized per distinct field tuple, so steady-state requests skip
+        Fraction parsing, spec validation, and the SHA-256 key
+        computation entirely.
+        """
+        side = payload.get("side")
+        cache_key = (
+            payload.get("kind", "geometric"),
+            payload.get("n"),
+            payload.get("alpha"),
+            payload.get("loss"),
+            None if side is None else tuple(side),
+        )
+        try:
+            hit = self._spec_cache.get(cache_key, _UNCACHED)
+        except TypeError:
+            hit = _UNCACHED  # unhashable request field: validate fresh
+        if hit is not _UNCACHED:
+            if hit is None:
+                raise ValidationError("malformed deployment fields")
+            return hit
+        try:
+            spec = ArtifactSpec(
+                kind=payload.get("kind", "geometric"),
+                n=int(payload["n"]),
+                alpha=Fraction(str(payload["alpha"])),
+                loss=payload.get("loss"),
+                side=None if side is None else tuple(int(i) for i in side),
+            )
+            resolved = (spec.key(), spec.alpha)
+        except (KeyError, TypeError, ValueError, ValidationError):
+            try:
+                self._spec_cache[cache_key] = None
+            except TypeError:
+                pass
+            raise ValidationError(
+                "deployment fields must include integer n and a "
+                "parseable alpha (e.g. \"1/2\"); optional kind/loss/side "
+                "must name a compiled artifact spec"
+            ) from None
+        self._spec_cache[cache_key] = resolved
+        return resolved
+
+    async def publish(self, payload: dict) -> tuple[int, dict]:
+        """The core serving operation; returns ``(status, response)``."""
+        self.metrics["requests"] += 1
+        user = payload.get("user")
+        if not isinstance(user, str) or not user:
+            self.metrics["bad_request"] += 1
+            return 400, {"error": "payload needs a non-empty string 'user'"}
+        try:
+            key, alpha = self._resolve_spec(payload)
+        except ValidationError as err:
+            self.metrics["bad_request"] += 1
+            return 400, {"error": str(err)}
+        deployment = self._deployments.get(key)
+        if deployment is None:
+            self.metrics["not_found"] += 1
+            return 404, {
+                "error": "deployment is not compiled/loaded; pre-warm it "
+                "with `repro compile` (use --side-grid for "
+                "side-information artifacts)",
+                "key": key[:12],
+            }
+        try:
+            row = int(payload["true_result"])
+        except (KeyError, TypeError, ValueError):
+            self.metrics["bad_request"] += 1
+            return 400, {"error": "payload needs an integer 'true_result'"}
+        if not 0 <= row <= deployment.spec.n:
+            self.metrics["bad_request"] += 1
+            return 400, {
+                "error": f"true_result must lie in [0, {deployment.spec.n}]"
+            }
+        ledger = self.ledger(user)
+        try:
+            # Atomic charge-or-reject: budget is committed before the
+            # draw, so a crash mid-batch can only over-protect.
+            ledger.charge(alpha, label=f"serve:{key[:12]}")
+        except BudgetExceededError as err:
+            self.metrics["rejected_budget"] += 1
+            return 429, {
+                "error": str(err),
+                "user": user,
+                "cumulative_alpha": str(ledger.cumulative_alpha),
+                "remaining_alpha": str(ledger.remaining_alpha),
+            }
+        try:
+            value = await self.batcher.submit(deployment.index, row)
+        except Exception as err:  # the gather is pure numpy; be loud
+            self.metrics["errors"] += 1
+            return 500, {"error": f"sampling failed: {err}"}
+        self.metrics["published"] += 1
+        return 200, {
+            "value": value,
+            "user": user,
+            "n": deployment.spec.n,
+            "alpha": str(alpha),
+            "key": key[:12],
+            "cumulative_alpha": str(ledger.cumulative_alpha),
+        }
+
+    async def handle_request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        """Route one request (the transport-independent entry point)."""
+        if method == "POST" and path == "/publish":
+            return await self.publish(payload or {})
+        if method != "GET":
+            return 405, {"error": f"method {method} not allowed"}
+        if path == "/healthz":
+            return 200, {
+                "status": "ok",
+                "deployments": len(self._deployments),
+            }
+        if path == "/artifacts":
+            return 200, {
+                "artifacts": [
+                    {
+                        "kind": d.spec.kind,
+                        "n": d.spec.n,
+                        "alpha": str(d.spec.alpha),
+                        "loss": d.spec.loss,
+                        "side": (
+                            None if d.spec.side is None else list(d.spec.side)
+                        ),
+                        "key": d.spec.key()[:12],
+                        "verified": (
+                            d.verification.ok
+                            if d.verification is not None
+                            else False
+                        ),
+                    }
+                    for d in self._deployments.values()
+                ]
+            }
+        if path == "/metrics":
+            return 200, {
+                "metrics": dict(self.metrics),
+                "batcher": dict(self.batcher.stats),
+                "audit": {
+                    "rate": self.auditor.rate,
+                    "samples": self.auditor.samples,
+                    "findings": [
+                        {
+                            "key": f.key[:12],
+                            "kind": f.kind,
+                            "samples": f.samples,
+                            "sufficient": f.sufficient,
+                            "statistic": f.statistic,
+                            "limit": f.limit,
+                            "flagged": f.flagged,
+                        }
+                        for f in self.auditor.last_findings
+                    ],
+                },
+                "users": len(self._ledgers),
+            }
+        if path.startswith("/ledger/"):
+            user = path[len("/ledger/"):]
+            ledger = self._ledgers.get(user)
+            if ledger is None:
+                return 404, {"error": f"no releases recorded for {user!r}"}
+            return 200, {
+                "user": user,
+                "releases": len(ledger),
+                "floor": str(ledger.floor),
+                "cumulative_alpha": str(ledger.cumulative_alpha),
+                "cumulative_epsilon": ledger.cumulative_epsilon,
+                "remaining_alpha": str(ledger.remaining_alpha),
+            }
+        return 404, {"error": f"no route for {method} {path}"}
+
+    # -- HTTP/1.1 transport --------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, target, _version = (
+                        request_line.decode("latin-1").split()
+                    )
+                except ValueError:
+                    break
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", 0) or 0)
+                status = None
+                if length > _MAX_BODY:
+                    status, response = 400, {"error": "request body too large"}
+                    length = 0
+                body = await reader.readexactly(length) if length else b""
+                if status is None:
+                    payload = None
+                    if body:
+                        try:
+                            payload = json.loads(body)
+                            if not isinstance(payload, dict):
+                                raise ValueError("body must be an object")
+                        except ValueError as err:
+                            payload = None
+                            status, response = 400, {
+                                "error": f"malformed JSON body: {err}"
+                            }
+                    if status is None:
+                        status, response = await self.handle_request(
+                            method, target, payload
+                        )
+                data = json.dumps(response).encode("utf-8")
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                head = (
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"Connection: {'keep-alive' if keep_alive else 'close'}"
+                    f"\r\n\r\n"
+                )
+                writer.write(head.encode("latin-1") + data)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind the HTTP listener (``port=0`` picks an ephemeral port)."""
+        if self._http_server is not None:
+            raise ReproError("server is already started")
+        self._http_server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._http_server is None:
+            raise ReproError("server is not started")
+        return self._http_server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Drain the batcher and close the listener."""
+        self.batcher.flush()
+        if self._http_server is not None:
+            self._http_server.close()
+            await self._http_server.wait_closed()
+            self._http_server = None
+        self.batcher.close()
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the ``repro serve`` main loop)."""
+        if self._http_server is None:
+            raise ReproError("call start() before serve_forever()")
+        try:
+            await self._http_server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()

@@ -1,0 +1,166 @@
+"""Tests for the online serving auditor."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.geometric import GeometricMechanism
+from repro.exceptions import ValidationError
+from repro.release.artifacts import ArtifactSpec, compile_artifact
+from repro.serving.audit import (
+    MIN_EXPECTED,
+    OnlineAuditor,
+    expected_response_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def geo_artifact():
+    return compile_artifact("geometric", 6, Fraction(1, 2))
+
+
+@pytest.fixture(scope="module")
+def optimal_artifact():
+    return compile_artifact("optimal", 4, Fraction(1, 2), loss="absolute")
+
+
+class TestExpectedResponseMatrix:
+    def test_matches_the_mechanism_kernel(self):
+        spec = ArtifactSpec("geometric", 5, Fraction(1, 3))
+        derived = expected_response_matrix(spec)
+        kernel = np.array(
+            GeometricMechanism(5, Fraction(1, 3)).matrix, dtype=float
+        )
+        assert np.allclose(derived, kernel, atol=1e-12)
+
+    def test_rows_sum_to_one(self):
+        derived = expected_response_matrix(
+            ArtifactSpec("geometric", 8, Fraction(2, 3))
+        )
+        assert np.allclose(derived.sum(axis=1), 1.0)
+
+    def test_rejects_non_geometric_specs(self):
+        spec = ArtifactSpec("optimal", 4, Fraction(1, 2), loss="absolute")
+        with pytest.raises(ValidationError):
+            expected_response_matrix(spec)
+
+    def test_read_only(self):
+        derived = expected_response_matrix(
+            ArtifactSpec("geometric", 3, Fraction(1, 2))
+        )
+        with pytest.raises(ValueError):
+            derived[0, 0] = 0.5
+
+
+class TestValidation:
+    def test_rate_bounds(self):
+        with pytest.raises(ValidationError):
+            OnlineAuditor(rate=1.5)
+        with pytest.raises(ValidationError):
+            OnlineAuditor(rate=-0.1)
+
+    def test_min_samples(self):
+        with pytest.raises(ValidationError):
+            OnlineAuditor(min_samples=0)
+
+    def test_sigmas(self):
+        with pytest.raises(ValidationError):
+            OnlineAuditor(sigmas=0)
+
+
+def feed(auditor, artifact, index, draws, rng, tamper_alpha=None):
+    """Serve ``draws`` honest (or tampered) responses into the auditor."""
+    n = artifact.spec.n
+    if tamper_alpha is None:
+        sampler = artifact.sampler
+    else:
+        sampler = compile_artifact("geometric", n, tamper_alpha).sampler
+    rows = rng.integers(0, n + 1, size=draws)
+    values = np.array([sampler.sample_one(int(r), rng) for r in rows])
+    auditor.observe(np.full(draws, index), rows, values)
+
+
+class TestHonestTraffic:
+    def test_honest_geometric_not_flagged(self, geo_artifact, rng):
+        auditor = OnlineAuditor(rate=1.0, min_samples=1000, rng=1)
+        auditor.register(0, geo_artifact)
+        feed(auditor, geo_artifact, 0, 6000, rng)
+        (finding,) = auditor.sweep()
+        assert finding.sufficient
+        assert not finding.flagged
+        assert finding.statistic <= finding.limit
+        assert auditor.flagged() == ()
+
+    def test_honest_optimal_not_flagged(self, optimal_artifact, rng):
+        auditor = OnlineAuditor(rate=1.0, min_samples=1000, rng=1)
+        auditor.register(0, optimal_artifact)
+        feed(auditor, optimal_artifact, 0, 6000, rng)
+        (finding,) = auditor.sweep()
+        assert finding.kind == "optimal"
+        assert not finding.flagged
+
+
+class TestTamperedTraffic:
+    def test_tampered_kernel_is_flagged(self, geo_artifact, rng):
+        # The deployment claims alpha=1/2 but actually serves alpha=7/8
+        # noise (a much weaker privacy level than advertised).
+        auditor = OnlineAuditor(rate=1.0, min_samples=1000, rng=1)
+        auditor.register(0, geo_artifact)
+        feed(
+            auditor, geo_artifact, 0, 6000, rng,
+            tamper_alpha=Fraction(7, 8),
+        )
+        (finding,) = auditor.sweep()
+        assert finding.sufficient
+        assert finding.flagged
+        assert finding.statistic > finding.limit
+        assert auditor.flagged() == (finding,)
+
+    def test_under_sampled_tamper_is_insufficient_not_clean(
+        self, geo_artifact, rng
+    ):
+        auditor = OnlineAuditor(rate=1.0, min_samples=10_000, rng=1)
+        auditor.register(0, geo_artifact)
+        feed(
+            auditor, geo_artifact, 0, 500, rng, tamper_alpha=Fraction(7, 8)
+        )
+        (finding,) = auditor.sweep()
+        assert not finding.sufficient
+        assert not finding.flagged
+
+
+class TestSampling:
+    def test_rate_zero_records_nothing(self, geo_artifact, rng):
+        auditor = OnlineAuditor(rate=0.0, rng=1)
+        auditor.register(0, geo_artifact)
+        recorded = auditor.observe(
+            np.zeros(100, dtype=np.int64),
+            np.zeros(100, dtype=np.int64),
+            np.zeros(100, dtype=np.int64),
+        )
+        assert recorded == 0
+        assert auditor.samples == 0
+
+    def test_partial_rate_records_a_slice(self, geo_artifact):
+        auditor = OnlineAuditor(rate=0.2, rng=3)
+        auditor.register(0, geo_artifact)
+        recorded = auditor.observe(
+            np.zeros(5000, dtype=np.int64),
+            np.zeros(5000, dtype=np.int64),
+            np.zeros(5000, dtype=np.int64),
+        )
+        # ~20% +- sampling noise, seeded so this is stable.
+        assert 800 < recorded < 1200
+        assert auditor.samples == recorded
+
+    def test_unregistered_tables_are_ignored(self, geo_artifact):
+        auditor = OnlineAuditor(rate=1.0, rng=1)
+        auditor.register(0, geo_artifact)
+        recorded = auditor.observe(
+            np.array([0, 5, 0]), np.array([1, 1, 2]), np.array([0, 0, 1])
+        )
+        assert recorded == 2
+
+    def test_min_expected_is_the_documented_guard(self):
+        assert MIN_EXPECTED == 5.0

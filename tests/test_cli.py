@@ -358,3 +358,65 @@ class TestCompileAndCacheCommands:
         )
         assert main(["cache", "verify"]) == 1
         assert "artifact store" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        from fractions import Fraction
+
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8790
+        assert args.floor == Fraction(0)
+        assert args.batch_window == 0.002
+        assert args.batch_max == 4096
+        assert args.audit_rate == 0.05
+        assert args.audit_every == 64
+        assert args.seed is None
+
+    def test_serve_refuses_empty_store(self, capsys, tmp_path):
+        assert main(["serve", "--store", str(tmp_path)]) == 1
+        assert "repro compile" in capsys.readouterr().err
+
+    def test_compile_side_grid(self, capsys, tmp_path):
+        code = main(
+            [
+                "compile",
+                "-n",
+                "3",
+                "--alphas",
+                "1/2",
+                "--side-grid",
+                "lower",
+                "upper",
+                "--store",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # geometric + optimal(all) + 3 lower sets + 3 upper sets.
+        assert "compiling 8 artifacts" in out
+        assert "side={1..3}" in out
+        assert "side={0..1}" in out
+        # The pre-warmed grid is servable with zero request-path solves.
+        from fractions import Fraction
+
+        from repro.release.artifacts import ArtifactStore
+        from repro.serving import MechanismServer
+
+        server = MechanismServer(
+            ArtifactStore(tmp_path), audit_rate=0.0
+        )
+        assert server.load_store() == 8
+        assert all(d.verification.ok for d in server.deployments)
+        sides = {
+            d.spec.side
+            for d in server.deployments
+            if d.spec.side is not None
+        }
+        assert (1, 2, 3) in sides and (0, 1) in sides
+        assert Fraction(1, 2) == server.deployments[0].spec.alpha
