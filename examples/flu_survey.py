@@ -29,7 +29,10 @@ The final act (PR 7) completes that lifecycle with ``repro serve``: the
 same artifact is served from a live asyncio statistic service — the
 survey count is published over real HTTP/1.1 (what ``curl`` would see),
 concurrent requests fuse into micro-batches, and the per-user privacy
-ledger turns an exhausted budget into a 429.
+ledger turns an exhausted budget into a 429. Since PR 8 that ledger is
+*durable*: charges are journaled to a crash-safe write-ahead log before
+any response is released, so the epilogue restarts the server on the
+same ledger directory and the government's spent budget survives.
 
 Run:  python examples/flu_survey.py
 """
@@ -37,6 +40,7 @@ Run:  python examples/flu_survey.py
 import asyncio
 import os
 import pathlib
+import tempfile
 from fractions import Fraction
 
 import numpy as np
@@ -150,10 +154,13 @@ def main() -> None:
     assert estimate >= sales_bound
 
     # --- Serve the same deployment live (`repro serve` in miniature) ---
-    asyncio.run(serve_live(store, n, alpha, true_count))
+    with tempfile.TemporaryDirectory(prefix="flu-ledger-") as ledger_dir:
+        asyncio.run(
+            serve_live(store, n, alpha, true_count, pathlib.Path(ledger_dir))
+        )
 
 
-async def serve_live(store, n, alpha, true_count) -> None:
+async def serve_live(store, n, alpha, true_count, ledger_dir) -> None:
     """Boot the statistic service on the example's own artifact store."""
     print("\n--- live serving (`repro serve`) ---")
     server = MechanismServer(
@@ -162,6 +169,8 @@ async def serve_live(store, n, alpha, true_count) -> None:
         batch_window=0.001,
         audit_rate=1.0,
         seed=20101001,
+        ledger_dir=ledger_dir,  # budgets live in a crash-safe WAL (PR 8)
+        ledger_fsync="group",  # one fsync per micro-batch, before release
     )
     loaded = server.load_store()
     await server.start(port=0)  # ephemeral port; `repro serve` pins one
@@ -222,6 +231,30 @@ async def serve_live(store, n, alpha, true_count) -> None:
 
     await http.close()
     await server.stop()
+
+    # --- Durability: the budget survives the server, not the process ---
+    # Every charge above was journaled to the write-ahead ledger before
+    # its response went out; a fresh server on the same directory starts
+    # with the government's budget already spent.
+    reborn = MechanismServer(
+        store,
+        floor=alpha**3,
+        batch_window=0.001,
+        audit_rate=0.0,
+        seed=20101002,
+        ledger_dir=ledger_dir,
+    )
+    reborn.load_store()
+    client = InProcessClient(reborn)
+    status, body = await client.publish(
+        user="government", n=n, alpha=str(alpha), true_result=true_count
+    )
+    print(
+        f"after restart, government release -> {status} "
+        f"(recovered budget: cumulative alpha {body['cumulative_alpha']})"
+    )
+    assert status == 429  # recovered from the WAL, not refilled
+    await reborn.stop()
 
 
 if __name__ == "__main__":

@@ -20,7 +20,9 @@ Subcommands::
                   [--solve-cache DIR]
     repro serve [--host H] [--port P] [--store DIR] [--floor F]
                   [--batch-window S] [--batch-max K] [--audit-rate R]
-                  [--audit-every B] [--seed S]
+                  [--audit-every B] [--seed S] [--ledger-dir DIR]
+                  [--ledger-fsync always|group|off] [--drain-deadline S]
+    repro ledger show|verify|compact [--ledger-dir DIR]
 
 Fractions are accepted anywhere a privacy level is (e.g. ``--alpha 1/4``).
 The sweep command exposes the process-pool (``--workers``) and
@@ -43,6 +45,13 @@ privacy accounting (budget floor → HTTP 429), fused heterogeneous
 sampling, and the online audit hook — until interrupted. Pre-warm
 bespoke side-information deployments with ``compile --side-grid`` so
 the server never compiles on the request path.
+
+With ``--ledger-dir`` (or ``REPRO_LEDGER_DIR``) budgets live in a
+crash-safe write-ahead-logged :class:`~repro.release.durable_ledger.DurableLedger`
+shared by N worker processes; without it they reset with the process.
+``SIGTERM``/``SIGINT`` drain gracefully. ``repro ledger`` inspects
+(``show``), integrity-checks (``verify``), or compacts (``compact``)
+a ledger directory offline.
 """
 
 from __future__ import annotations
@@ -61,6 +70,7 @@ from .core.optimal import optimal_mechanism
 from .exceptions import ReproError
 from .losses import AbsoluteLoss, SquaredLoss, ZeroOneLoss
 from .release.audit import empirical_alpha
+from .release.durable_ledger import FSYNC_MODES
 
 __all__ = ["main", "build_parser"]
 
@@ -288,6 +298,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="seed the sampling RNG (reproducible serving for tests)",
     )
+    serve.add_argument(
+        "--ledger-dir", default=None,
+        help="durable privacy-ledger directory (default: the "
+        "REPRO_LEDGER_DIR environment variable; unset = in-memory "
+        "budgets that reset with the process)",
+    )
+    serve.add_argument(
+        "--ledger-fsync", choices=list(FSYNC_MODES), default="group",
+        help="journal fsync policy for --ledger-dir: 'always' fsyncs "
+        "every charge, 'group' amortizes one fsync per micro-batch "
+        "(group commit, the default), 'off' leaves durability to the "
+        "OS page cache (benchmarking only)",
+    )
+    serve.add_argument(
+        "--drain-deadline", type=float, default=5.0,
+        help="seconds a graceful shutdown (SIGTERM/SIGINT) waits for "
+        "in-flight connections before cancelling them",
+    )
+
+    ledger = sub.add_parser(
+        "ledger",
+        help="inspect, verify, or compact a durable privacy-ledger "
+        "directory",
+    )
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+    for name, description in (
+        ("show", "per-user budgets and journal statistics"),
+        ("verify", "read-only integrity check (checksums, sequence "
+         "numbers, cumulative products)"),
+        ("compact", "snapshot the state and truncate the journal"),
+    ):
+        cmd = ledger_sub.add_parser(name, help=description)
+        cmd.add_argument(
+            "--ledger-dir", default=None,
+            help="ledger directory (default: REPRO_LEDGER_DIR)",
+        )
 
     return parser
 
@@ -574,15 +620,25 @@ def _cmd_cache(args) -> str:
     return "\n".join(lines)
 
 
+def _resolve_ledger_dir(value):
+    import os
+
+    return value if value is not None else os.environ.get("REPRO_LEDGER_DIR")
+
+
 def _cmd_serve(args) -> str:
     import asyncio
 
     from .serving.server import MechanismServer
 
     store = _resolve_cli_store(args.store)
+    ledger_dir = _resolve_ledger_dir(args.ledger_dir)
     server = MechanismServer(
         store,
         floor=args.floor,
+        ledger_dir=ledger_dir,
+        ledger_fsync=args.ledger_fsync,
+        drain_deadline=args.drain_deadline,
         batch_window=args.batch_window,
         batch_max=args.batch_max,
         audit_rate=args.audit_rate,
@@ -602,18 +658,28 @@ def _cmd_serve(args) -> str:
             f"  {spec.kind:<9} n={spec.n} alpha={spec.alpha} "
             f"key={spec.key()[:12]}"
         )
+    for key, entry in server.quarantined.items():
+        lines.append(
+            f"  QUARANTINED {key[:12]}: {entry['reason']}"
+        )
     print("\n".join(lines), flush=True)
 
     async def _run() -> None:
         await server.start(host=args.host, port=args.port)
+        budgets = (
+            f"durable ({ledger_dir}, fsync={args.ledger_fsync})"
+            if ledger_dir
+            else "in-memory (reset on restart; set --ledger-dir)"
+        )
         print(
             f"serving on http://{args.host}:{server.port} "
             f"(floor={args.floor}, window={args.batch_window}s, "
-            f"batch_max={args.batch_max}, audit_rate={args.audit_rate})",
+            f"batch_max={args.batch_max}, audit_rate={args.audit_rate}, "
+            f"budgets {budgets})",
             flush=True,
         )
         try:
-            await server.serve_forever()
+            await server.serve_forever(install_signal_handlers=True)
         finally:
             await server.stop()
 
@@ -631,6 +697,68 @@ def _cmd_serve(args) -> str:
     )
 
 
+def _cmd_ledger(args) -> str:
+    from .release.durable_ledger import DurableLedger, verify_ledger_dir
+
+    ledger_dir = _resolve_ledger_dir(args.ledger_dir)
+    if ledger_dir is None:
+        raise ReproError(
+            "no ledger directory: pass --ledger-dir or set REPRO_LEDGER_DIR"
+        )
+    if args.ledger_command == "verify":
+        report = verify_ledger_dir(ledger_dir)
+        lines = [
+            f"ledger {report['path']}: "
+            f"{'OK' if report['ok'] else 'DAMAGED'}",
+            f"  records={report['records']} seq={report['seq']} "
+            f"snapshot_seq={report['snapshot_seq']} "
+            f"users={report['users']}",
+        ]
+        if report.get("floor") is not None:
+            lines.append(f"  floor={report['floor']}")
+        if report["torn_tail_bytes"]:
+            lines.append(
+                f"  torn tail: {report['torn_tail_bytes']} byte(s) "
+                "(recovery will truncate; not a failure)"
+            )
+        for failure in report["failures"]:
+            lines.append(f"  FAIL: {failure}")
+        if not report["ok"]:
+            raise ReproError("\n".join(lines))
+        return "\n".join(lines)
+    ledger = DurableLedger(ledger_dir)
+    try:
+        if args.ledger_command == "compact":
+            result = ledger.compact()
+            return (
+                f"compacted {ledger.path}: journal "
+                f"{result['journal_bytes_before']} -> "
+                f"{result['journal_bytes_after']} bytes "
+                f"(snapshot seq {result['snapshot_seq']}, "
+                f"{result['users']} users)"
+            )
+        stats = ledger.stats()
+        lines = [
+            f"ledger {stats['path']}: floor={ledger.floor} "
+            f"seq={stats['seq']} journal_bytes={stats['journal_bytes']} "
+            f"replay_entries={stats['replay_entries']}",
+        ]
+        users = sorted(ledger._books)
+        for user in users:
+            budget = ledger.view(user)
+            lines.append(
+                f"  {user}: releases={budget.releases} "
+                f"cumulative={budget.cumulative_alpha} "
+                f"(epsilon={budget.cumulative_epsilon:.4f}) "
+                f"remaining={budget.remaining_alpha}"
+            )
+        if not users:
+            lines.append("  (no releases recorded)")
+        return "\n".join(lines)
+    finally:
+        ledger.close()
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -645,6 +773,7 @@ def main(argv=None) -> int:
         "compile": _cmd_compile,
         "cache": _cmd_cache,
         "serve": _cmd_serve,
+        "ledger": _cmd_ledger,
     }
     try:
         output = handlers[args.command](args)

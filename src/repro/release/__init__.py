@@ -28,6 +28,15 @@ from .collusion import (
     averaging_attack,
     compare_release_strategies,
 )
+from .durable_ledger import (
+    ChargeDecision,
+    DurableLedger,
+    LedgerCorruptionError,
+    LedgerUnavailableError,
+    MemoryLedgerBook,
+    UserBudget,
+    verify_ledger_dir,
+)
 from .ledger import (
     BudgetExceededError,
     ConcurrentPrivacyLedger,
@@ -52,6 +61,13 @@ __all__ = [
     "ConcurrentPrivacyLedger",
     "LedgerEntry",
     "BudgetExceededError",
+    "DurableLedger",
+    "MemoryLedgerBook",
+    "ChargeDecision",
+    "UserBudget",
+    "LedgerUnavailableError",
+    "LedgerCorruptionError",
+    "verify_ledger_dir",
     "ArtifactSpec",
     "ArtifactStore",
     "ArtifactVerification",

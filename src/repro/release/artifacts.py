@@ -749,7 +749,23 @@ class ArtifactStore:
             try:
                 with handle:
                     json.dump(payload, handle)
+                    # Durable before visible: fsync the bytes, replace,
+                    # then fsync the directory entry — a crash right
+                    # after `put` returns must never leave a truncated
+                    # artifact where load-time verification expected a
+                    # complete one.
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(handle.name, entry)
+                try:
+                    fd = os.open(entry.parent, os.O_RDONLY)
+                except OSError:  # pragma: no cover - platform-dependent
+                    fd = -1
+                if fd >= 0:
+                    try:
+                        os.fsync(fd)
+                    finally:
+                        os.close(fd)
             except BaseException:
                 try:
                     os.unlink(handle.name)

@@ -1,0 +1,998 @@
+"""Crash-safe, durable privacy-budget accounting.
+
+The serving layer's :class:`~repro.release.ledger.ConcurrentPrivacyLedger`
+enforces the paper's composition argument (Section 2.6: independent
+releases multiply their alpha guarantees, epsilons add) — but an
+in-memory ledger resets when the process dies, silently refilling every
+user's budget. That is a *privacy violation*, not an availability bug:
+the composition invariant must survive crashes, torn writes, and full
+disks. This module is the durability layer:
+
+* :class:`DurableLedger` — a write-ahead-logged ledger book. Every
+  charge is appended to ``wal.jsonl`` (one checksummed JSON record per
+  line, exact ``Fraction`` serialization) and — in the default
+  ``fsync="always"`` mode — fsync'd **before** the charge is
+  acknowledged, so a response is only ever released against a durable
+  charge. ``fsync="group"`` defers the fsync to an explicit
+  :meth:`DurableLedger.sync` so a serving tick can amortize one fsync
+  across a whole micro-batch (group commit) while keeping the same
+  release-implies-durable invariant.
+* **Conservative recovery** — on open, the snapshot is loaded and the
+  journal replayed. A torn or corrupt *tail* (a crash mid-append) is
+  truncated: an un-fsync'd charge was never acknowledged, so no response
+  was released against it and dropping it is floor-legal. A record that
+  parses and checksums, however, is **always kept**, even when the crash
+  means we cannot know whether the response went out — ambiguity
+  over-protects, never over-spends. Corruption *before* valid records
+  (a damaged middle) is refused loudly with
+  :class:`LedgerCorruptionError`, because skipping it would drop
+  admitted charges.
+* **Snapshot + compaction** — :meth:`DurableLedger.compact` atomically
+  writes ``snapshot.json`` (checksummed; cumulative guarantee and
+  release count per user, plus the idempotency replay cache) and then
+  truncates the journal. A crash between the two is safe: replay skips
+  journal records at or below the snapshot's sequence number.
+* **Multi-process sharing** — every mutation holds an advisory
+  ``flock`` on ``ledger.lock`` and first catches up on records appended
+  by sibling processes (incremental from the last applied byte offset),
+  so N serving workers charge one ledger with a single floor.
+* **Idempotency** — a charge may carry an idempotency key; the key and
+  the eventual response are journaled, so a retried publish is answered
+  from the replay cache instead of double-charging the budget
+  (:class:`ChargeDecision` outcome ``"replayed"``; a key whose charge
+  was journaled but whose response was lost in a crash resolves as
+  ``"pending"`` — charged once, safe to re-sample).
+
+:class:`MemoryLedgerBook` offers the same interface without a
+directory, so the server code is identical in both modes.
+
+Filesystem access goes through a :class:`LedgerFS` seam and crash
+points through a fault-injector hook, so the chaos suite
+(:mod:`repro.serving.faults`) can deterministically kill the process at
+``charge.before-append`` / mid-append (torn write) /
+``charge.before-fsync`` / ``charge.after-fsync`` and assert the
+recovery invariants.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import json
+import os
+import tempfile
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from fractions import Fraction
+from pathlib import Path
+
+try:  # pragma: no cover - fcntl exists on every POSIX we target
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+from ..core.privacy import alpha_to_epsilon
+from ..exceptions import ReproError
+from ..validation import check_alpha
+from .ledger import ConcurrentPrivacyLedger
+
+__all__ = [
+    "ChargeDecision",
+    "DurableLedger",
+    "LedgerCorruptionError",
+    "LedgerFS",
+    "LedgerUnavailableError",
+    "MemoryLedgerBook",
+    "UserBudget",
+    "verify_ledger_dir",
+]
+
+#: Journal fsync policies. ``always`` fsyncs inside every append (the
+#: standalone-safe default); ``group`` defers to :meth:`DurableLedger.sync`
+#: (the serving tick calls it once per micro-batch flush, before any
+#: response of that batch is released); ``off`` never fsyncs (benchmark
+#: baseline only — crash durability is then up to the OS page cache).
+FSYNC_MODES = ("always", "group", "off")
+
+_WAL_NAME = "wal.jsonl"
+_SNAPSHOT_NAME = "snapshot.json"
+_META_NAME = "meta.json"
+_LOCK_NAME = "ledger.lock"
+_FORMAT_VERSION = 1
+
+
+class LedgerUnavailableError(ReproError):
+    """The durable ledger cannot currently persist charges (disk full,
+    fsync failure, or a prior injected crash); the charge was NOT
+    recorded."""
+
+
+class LedgerCorruptionError(ReproError):
+    """The journal or snapshot is damaged in a way recovery must not
+    paper over (corruption *before* valid records would drop admitted
+    charges)."""
+
+
+class LedgerFS:
+    """The filesystem operations the ledger performs, as a seam.
+
+    The chaos harness substitutes :class:`repro.serving.faults.FaultyFS`
+    to inject torn writes, short writes, ``ENOSPC``, and fsync failures
+    at exactly these call sites. ``write`` treats a short write as an
+    ``OSError`` so the caller's rollback path handles real-world partial
+    writes the same way as injected ones.
+    """
+
+    def open_append(self, path):
+        return open(path, "ab", buffering=0)
+
+    def write(self, handle, data: bytes) -> None:
+        written = handle.write(data)
+        if written is not None and written != len(data):
+            raise OSError(
+                errno.EIO, f"short write: {written}/{len(data)} bytes"
+            )
+
+    def fsync(self, handle) -> None:
+        os.fsync(handle.fileno())
+
+    def truncate(self, handle, size: int) -> None:
+        handle.truncate(size)
+
+    def replace(self, source, destination) -> None:
+        os.replace(source, destination)
+
+    def fsync_dir(self, path) -> None:
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+REAL_FS = LedgerFS()
+
+
+class _NoFaults:
+    """Zero-overhead default for the crash-point hook."""
+
+    __slots__ = ()
+
+    def crash(self, point: str) -> None:
+        return None
+
+
+NO_FAULTS = _NoFaults()
+
+
+@dataclass(frozen=True)
+class UserBudget:
+    """A read-only statement of one user's accounting."""
+
+    user: str
+    releases: int
+    floor: object
+    cumulative_alpha: object
+    remaining_alpha: object
+
+    @property
+    def cumulative_epsilon(self) -> float:
+        return alpha_to_epsilon(max(self.cumulative_alpha, 0))
+
+
+@dataclass(frozen=True)
+class ChargeDecision:
+    """The outcome of a charge-or-reject against a ledger book.
+
+    ``outcome`` is one of:
+
+    * ``"charged"`` — the charge was admitted (and, for a durable book,
+      journaled; under ``fsync="always"`` it is already on disk);
+    * ``"rejected"`` — admitting it would cross the floor; nothing was
+      recorded;
+    * ``"replayed"`` — the idempotency key was already charged *and* its
+      response recorded: ``replay`` holds the original ``(status,
+      response)`` and no budget was spent;
+    * ``"pending"`` — the key was charged but no response was recorded
+      (a crash or lost reply); the budget is already spent, so the
+      caller should produce a fresh response *without* charging again.
+    """
+
+    outcome: str
+    user: str
+    cumulative_alpha: object
+    remaining_alpha: object
+    replay: tuple | None = None
+
+    @property
+    def charged(self) -> bool:
+        return self.outcome == "charged"
+
+
+def _encode_record(record: dict) -> bytes:
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = format(zlib.crc32(body.encode("utf-8")), "08x")
+    framed = dict(record)
+    framed["crc"] = crc
+    return (
+        json.dumps(framed, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        + b"\n"
+    )
+
+
+def _decode_record(line: bytes) -> dict | None:
+    """Parse and checksum one journal line; ``None`` = torn/corrupt."""
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(obj, dict):
+        return None
+    crc = obj.pop("crc", None)
+    body = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    if crc != format(zlib.crc32(body.encode("utf-8")), "08x"):
+        return None
+    if not isinstance(obj.get("seq"), int):
+        return None
+    return obj
+
+
+def _scan_wal(data: bytes, *, start_seq: int | None = None):
+    """Walk the journal bytes record by record.
+
+    Returns ``(records, good_size, torn_bytes, failure)``:
+
+    * ``records`` — every valid record, in order;
+    * ``good_size`` — byte length of the valid prefix;
+    * ``torn_bytes`` — trailing bytes that failed to parse/checksum
+      (``0`` when the journal is clean);
+    * ``failure`` — a human-readable reason when the damage is **not** a
+      clean tail (valid records exist after the bad region), i.e. real
+      corruption recovery must refuse to skip.
+    """
+    records: list[dict] = []
+    offset = 0
+    previous_seq = start_seq
+    n = len(data)
+    while offset < n:
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            # Unterminated final line: a torn append.
+            return records, offset, n - offset, None
+        line = data[offset:newline]
+        record = _decode_record(line) if line else None
+        if record is None or (
+            previous_seq is not None and record["seq"] != previous_seq + 1
+        ):
+            remainder = data[newline + 1:]
+            for tail_line in remainder.split(b"\n"):
+                if tail_line and _decode_record(tail_line) is not None:
+                    return (
+                        records,
+                        offset,
+                        n - offset,
+                        f"corrupt record at byte {offset} precedes "
+                        f"{len(records)} valid trailing record(s)",
+                    )
+            return records, offset, n - offset, None
+        records.append(record)
+        previous_seq = record["seq"]
+        offset = newline + 1
+    return records, offset, 0, None
+
+
+def _atomic_json_write(path: Path, payload: dict, fs: LedgerFS) -> None:
+    """Write ``payload`` to ``path`` atomically and durably."""
+    handle = tempfile.NamedTemporaryFile(
+        mode="wb", dir=path.parent, prefix=f".{path.name}-", delete=False
+    )
+    try:
+        with handle:
+            fs.write(handle, _encode_record(payload))
+            handle.flush()
+            fs.fsync(handle)
+        fs.replace(handle.name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(handle.name)
+        raise
+    fs.fsync_dir(path.parent)
+
+
+def _read_checked_json(path: Path) -> dict | None:
+    """Read a file written by :func:`_atomic_json_write`; ``None`` when
+    missing, raises :class:`LedgerCorruptionError` when damaged."""
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return None
+    record = _decode_record(data.strip())
+    if record is None:
+        raise LedgerCorruptionError(f"{path} is corrupt (checksum mismatch)")
+    return record
+
+
+class _ReplayCache:
+    """Bounded idempotency-key cache.
+
+    Entries are ``{"user", "status", "response"}``; ``status is None``
+    marks a *pending* charge (journaled, response not yet recorded).
+    Pending entries are never evicted — dropping one would let a retry
+    double-charge; completed entries age out FIFO past ``cap``.
+    """
+
+    def __init__(self, cap: int) -> None:
+        self.cap = int(cap)
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+
+    def get(self, idem: str) -> dict | None:
+        return self._entries.get(idem)
+
+    def put(self, idem: str, entry: dict) -> None:
+        self._entries[idem] = entry
+        self._entries.move_to_end(idem)
+        while len(self._entries) > self.cap:
+            for key, value in self._entries.items():
+                if value.get("status") is not None:
+                    del self._entries[key]
+                    break
+            else:
+                break
+
+    def items(self):
+        return self._entries.items()
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _fraction(text) -> Fraction:
+    try:
+        return Fraction(str(text))
+    except (ValueError, ZeroDivisionError) as err:
+        raise LedgerCorruptionError(
+            f"unparseable exact fraction {text!r}: {err}"
+        ) from None
+
+
+class MemoryLedgerBook:
+    """The process-local ledger book: per-user
+    :class:`ConcurrentPrivacyLedger` accounting plus an in-memory
+    idempotency replay cache. Budgets die with the process — the
+    serving default only when no ``--ledger-dir`` is given."""
+
+    durable = False
+
+    def __init__(self, floor=0, *, replay_cap: int = 65536) -> None:
+        check_alpha(floor, allow_endpoints=True)
+        self.floor = floor
+        self._books: dict[str, ConcurrentPrivacyLedger] = {}
+        self._replay = _ReplayCache(replay_cap)
+        self._lock = threading.Lock()
+
+    # -- the shared LedgerBook interface --------------------------------
+    def book(self, user: str) -> ConcurrentPrivacyLedger:
+        """The (created-on-first-use) ledger accounting for ``user``."""
+        ledger = self._books.get(user)
+        if ledger is None:
+            ledger = self._books[user] = ConcurrentPrivacyLedger(self.floor)
+        return ledger
+
+    def charge(
+        self, user: str, alpha, *, label: str = "release", idem=None
+    ) -> ChargeDecision:
+        with self._lock:
+            if idem is not None:
+                decision = self._replay_decision(user, idem)
+                if decision is not None:
+                    return decision
+            book = self.book(user)
+            if not book.try_charge(alpha, label=label):
+                return ChargeDecision(
+                    "rejected", user, book.cumulative_alpha,
+                    book.remaining_alpha,
+                )
+            if idem is not None:
+                self._replay.put(
+                    idem, {"user": user, "status": None, "response": None}
+                )
+            return ChargeDecision(
+                "charged", user, book.cumulative_alpha, book.remaining_alpha
+            )
+
+    def _replay_decision(self, user, idem) -> ChargeDecision | None:
+        hit = self._replay.get(idem)
+        if hit is None:
+            return None
+        book = self.book(hit.get("user") or user)
+        if hit.get("status") is not None:
+            return ChargeDecision(
+                "replayed", user, book.cumulative_alpha,
+                book.remaining_alpha, replay=(hit["status"], hit["response"]),
+            )
+        return ChargeDecision(
+            "pending", user, book.cumulative_alpha, book.remaining_alpha
+        )
+
+    def record_result(self, idem: str, status: int, response: dict) -> None:
+        """Attach the released response to its idempotency key."""
+        with self._lock:
+            hit = self._replay.get(idem) or {"user": None}
+            self._replay.put(
+                idem,
+                {"user": hit.get("user"), "status": int(status),
+                 "response": response},
+            )
+
+    def view(self, user: str) -> UserBudget | None:
+        book = self._books.get(user)
+        if book is None:
+            return None
+        return UserBudget(
+            user=user,
+            releases=len(book),
+            floor=book.floor,
+            cumulative_alpha=book.cumulative_alpha,
+            remaining_alpha=book.remaining_alpha,
+        )
+
+    def users(self) -> int:
+        return len(self._books)
+
+    def sync(self) -> None:
+        """Nothing to flush — memory books are as durable as they get."""
+
+    def close(self) -> None:
+        pass
+
+    def stats(self) -> dict:
+        return {
+            "backend": "memory",
+            "users": len(self._books),
+            "replay_entries": len(self._replay),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<MemoryLedgerBook users={len(self._books)} floor={self.floor}>"
+        )
+
+
+class DurableLedger(MemoryLedgerBook):
+    """A :class:`MemoryLedgerBook` backed by a checksummed, fsync'd,
+    append-only JSONL write-ahead log (see the module docstring for the
+    protocol and recovery semantics).
+
+    Parameters
+    ----------
+    directory:
+        The ledger directory (created if missing): ``wal.jsonl``,
+        ``snapshot.json``, ``meta.json``, ``ledger.lock``.
+    floor:
+        Per-user privacy floor. ``None`` adopts the floor persisted in
+        ``meta.json`` (0 for a fresh directory); an explicit value
+        overrides and re-persists it.
+    fsync:
+        One of :data:`FSYNC_MODES`.
+    snapshot_every:
+        Auto-compact after this many journal appends (``0`` disables;
+        :meth:`compact` always works explicitly).
+    replay_cap:
+        Bound on completed idempotency-replay entries held (pending
+        charges are never evicted).
+    fs / faults:
+        The filesystem seam and crash-point hook for fault injection.
+    """
+
+    durable = True
+
+    def __init__(
+        self,
+        directory,
+        floor=None,
+        *,
+        fsync: str = "always",
+        snapshot_every: int = 4096,
+        replay_cap: int = 65536,
+        fs: LedgerFS | None = None,
+        faults=None,
+    ) -> None:
+        if fsync not in FSYNC_MODES:
+            raise ReproError(
+                f"fsync must be one of {FSYNC_MODES}, got {fsync!r}"
+            )
+        self.path = Path(directory).expanduser()
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._fs = fs if fs is not None else REAL_FS
+        self._faults = faults if faults is not None else NO_FAULTS
+        self._mode = fsync
+        self.snapshot_every = int(snapshot_every)
+        self._wal_path = self.path / _WAL_NAME
+        self._snapshot_path = self.path / _SNAPSHOT_NAME
+        self._wal = None
+        self._lock_handle = None
+        self._seq = 0
+        self._snapshot_seq = 0
+        self._size = 0
+        self._snap_stat: tuple | None = None
+        self._appends_since_snapshot = 0
+        self._dirty = False
+        self._failed: str | None = None
+        self._closed = False
+        floor = self._resolve_floor(floor)
+        super().__init__(floor, replay_cap=replay_cap)
+        with self._exclusive():
+            pass  # recovery happens in the catch-up under the first lock
+
+    # -- metadata ------------------------------------------------------
+    def _resolve_floor(self, floor):
+        meta = _read_checked_json(self.path / _META_NAME)
+        if meta is not None and meta.get("version") != _FORMAT_VERSION:
+            raise LedgerCorruptionError(
+                f"ledger format version {meta.get('version')!r} is not "
+                f"{_FORMAT_VERSION}"
+            )
+        stored = None if meta is None else _fraction(meta["floor"])
+        if floor is None:
+            floor = stored if stored is not None else 0
+        check_alpha(floor, allow_endpoints=True)
+        floor = Fraction(floor)
+        if stored is None or stored != floor:
+            _atomic_json_write(
+                self.path / _META_NAME,
+                {"version": _FORMAT_VERSION, "seq": 0,
+                 "floor": str(floor)},
+                self._fs,
+            )
+        return floor
+
+    # -- locking and cross-process catch-up ----------------------------
+    def _flock(self):
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return
+        if self._lock_handle is None:
+            self._lock_handle = open(self.path / _LOCK_NAME, "a+")
+        fcntl.flock(self._lock_handle.fileno(), fcntl.LOCK_EX)
+
+    def _funlock(self):
+        if fcntl is None or self._lock_handle is None:  # pragma: no cover
+            return
+        fcntl.flock(self._lock_handle.fileno(), fcntl.LOCK_UN)
+
+    @contextlib.contextmanager
+    def _exclusive(self):
+        with self._lock:
+            if self._failed:
+                raise LedgerUnavailableError(self._failed)
+            if self._closed:
+                raise LedgerUnavailableError("ledger is closed")
+            self._flock()
+            try:
+                self._catch_up()
+                yield
+            except BaseException as err:
+                if not isinstance(err, (Exception, GeneratorExit)):
+                    # A simulated (or real) crash mid-protocol: this
+                    # in-process instance no longer matches the disk.
+                    # Refuse further use; recovery = open a new ledger.
+                    self._failed = f"crashed mid-operation: {err!r}"
+                raise
+            finally:
+                self._funlock()
+
+    def _wal_handle(self):
+        if self._wal is None:
+            self._wal = self._fs.open_append(self._wal_path)
+        return self._wal
+
+    def _stat_snapshot(self):
+        try:
+            stat = os.stat(self._snapshot_path)
+        except FileNotFoundError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _catch_up(self) -> None:
+        """Apply whatever sibling processes appended since our offset."""
+        try:
+            wal_size = os.path.getsize(self._wal_path)
+        except FileNotFoundError:
+            wal_size = 0
+        if wal_size == self._size and self._stat_snapshot() == self._snap_stat:
+            return
+        if wal_size > self._size and self._stat_snapshot() == self._snap_stat:
+            with open(self._wal_path, "rb") as handle:
+                handle.seek(self._size)
+                data = handle.read()
+            records, good, torn, failure = _scan_wal(
+                data, start_seq=self._seq
+            )
+            if failure is None and not (torn and records == []):
+                if torn:
+                    self._truncate_wal(self._size + good)
+                for record in records:
+                    self._apply(record)
+                self._size += good
+                return
+        self._reload()
+
+    def _truncate_wal(self, size: int) -> None:
+        handle = self._wal_handle()
+        self._fs.truncate(handle, size)
+        if self._mode != "off":
+            self._fs.fsync(handle)
+
+    def _reload(self) -> None:
+        """Full recovery: snapshot, then journal replay, truncating a
+        torn tail and refusing mid-journal corruption."""
+        self._books.clear()
+        self._replay.clear()
+        self._seq = 0
+        self._snapshot_seq = 0
+        snapshot = _read_checked_json(self._snapshot_path)
+        if snapshot is not None:
+            if snapshot.get("version") != _FORMAT_VERSION:
+                raise LedgerCorruptionError(
+                    f"snapshot version {snapshot.get('version')!r} is not "
+                    f"{_FORMAT_VERSION}"
+                )
+            self._snapshot_seq = self._seq = int(snapshot["seq"])
+            for user, state in snapshot.get("users", {}).items():
+                book = self.book(user)
+                book.restore(
+                    _fraction(state["cum"]), label="snapshot",
+                    releases=int(state.get("releases", 1)),
+                )
+            for idem, entry in snapshot.get("replay", {}).items():
+                self._replay.put(idem, dict(entry))
+        self._snap_stat = self._stat_snapshot()
+        try:
+            data = self._wal_path.read_bytes()
+        except FileNotFoundError:
+            data = b""
+        records, good, torn, failure = _scan_wal(data)
+        if failure is not None:
+            raise LedgerCorruptionError(
+                f"{self._wal_path}: {failure}; refusing to drop admitted "
+                "charges — restore from snapshot/backup or repair manually"
+            )
+        applied = [r for r in records if r["seq"] > self._snapshot_seq]
+        if applied and applied[0]["seq"] != self._snapshot_seq + 1:
+            raise LedgerCorruptionError(
+                f"{self._wal_path}: journal starts at seq "
+                f"{applied[0]['seq']} but the snapshot ends at "
+                f"{self._snapshot_seq}; records are missing"
+            )
+        if torn:
+            self._truncate_wal(good)
+        for record in applied:
+            self._apply(record)
+        self._size = good
+
+    def _apply(self, record: dict) -> None:
+        op = record.get("op")
+        if op == "charge":
+            user = record["user"]
+            book = self.book(user)
+            book.restore(
+                _fraction(record["cum"]),
+                label=record.get("label", "release"),
+            )
+            idem = record.get("idem")
+            if idem is not None:
+                existing = self._replay.get(idem)
+                if existing is None or existing.get("status") is None:
+                    self._replay.put(
+                        idem,
+                        {"user": user, "status": None, "response": None},
+                    )
+        elif op == "result":
+            self._replay.put(
+                record["idem"],
+                {
+                    "user": record.get("user"),
+                    "status": record.get("status"),
+                    "response": record.get("response"),
+                },
+            )
+        # Unknown ops are ignored for forward compatibility.
+        self._seq = record["seq"]
+
+    # -- the append protocol -------------------------------------------
+    def _append(self, record: dict) -> None:
+        """Append one record; on I/O failure roll back to the last
+        known-good journal length so the ledger stays usable."""
+        line = _encode_record(record)
+        handle = self._wal_handle()
+        start = self._size
+        try:
+            self._fs.write(handle, line)
+            self._faults.crash("charge.before-fsync")
+            if self._mode == "always":
+                self._fs.fsync(handle)
+            elif self._mode == "group":
+                self._dirty = True
+        except OSError as err:
+            try:
+                self._fs.truncate(handle, start)
+                if self._mode != "off":
+                    self._fs.fsync(handle)
+            except OSError as rollback_err:
+                self._failed = (
+                    f"journal rollback failed ({rollback_err}) after a "
+                    f"failed append ({err}); the ledger is read-only"
+                )
+                raise LedgerUnavailableError(self._failed) from err
+            raise LedgerUnavailableError(
+                f"could not persist the charge: {err}"
+            ) from err
+        self._size = start + len(line)
+        self._seq = record["seq"]
+        self._appends_since_snapshot += 1
+
+    # -- the LedgerBook interface, durably -----------------------------
+    def charge(
+        self, user: str, alpha, *, label: str = "release", idem=None
+    ) -> ChargeDecision:
+        check_alpha(alpha)
+        alpha = Fraction(alpha)
+        with self._exclusive():
+            if idem is not None:
+                decision = self._replay_decision(user, idem)
+                if decision is not None:
+                    return decision
+            book = self.book(user)
+            if not book.can_afford(alpha):
+                return ChargeDecision(
+                    "rejected", user, book.cumulative_alpha,
+                    book.remaining_alpha,
+                )
+            record = {
+                "op": "charge",
+                "seq": self._seq + 1,
+                "user": user,
+                "alpha": str(alpha),
+                "cum": str(book.cumulative_alpha * alpha),
+                "label": label,
+            }
+            if idem is not None:
+                record["idem"] = idem
+            self._faults.crash("charge.before-append")
+            self._append(record)
+            self._faults.crash("charge.after-fsync")
+            book.charge(alpha, label=label)
+            if idem is not None:
+                self._replay.put(
+                    idem, {"user": user, "status": None, "response": None}
+                )
+            decision = ChargeDecision(
+                "charged", user, book.cumulative_alpha, book.remaining_alpha
+            )
+            self._maybe_compact()
+            return decision
+
+    def record_result(self, idem: str, status: int, response: dict) -> None:
+        """Journal the released response for idempotent replay.
+
+        Best-effort relative to the charge itself: losing this record in
+        a crash downgrades a future retry from ``"replayed"`` to
+        ``"pending"`` (re-sample, never re-charge).
+        """
+        with self._exclusive():
+            hit = self._replay.get(idem) or {"user": None}
+            record = {
+                "op": "result",
+                "seq": self._seq + 1,
+                "idem": idem,
+                "user": hit.get("user"),
+                "status": int(status),
+                "response": response,
+            }
+            self._faults.crash("result.before-append")
+            self._append(record)
+            self._replay.put(
+                idem,
+                {"user": hit.get("user"), "status": int(status),
+                 "response": response},
+            )
+            self._maybe_compact()
+
+    def view(self, user: str) -> UserBudget | None:
+        with self._exclusive():
+            return super().view(user)
+
+    def users(self) -> int:
+        with self._exclusive():
+            return len(self._books)
+
+    def sync(self) -> None:
+        """Group commit: fsync everything appended since the last sync.
+
+        Under ``fsync="group"`` the serving tick calls this once per
+        micro-batch flush, *before* any response of the batch is
+        released — one fsync amortized over the whole batch.
+        """
+        with self._lock:
+            if self._failed:
+                raise LedgerUnavailableError(self._failed)
+            if self._dirty and self._wal is not None:
+                try:
+                    self._fs.fsync(self._wal)
+                except OSError as err:
+                    self._failed = f"group-commit fsync failed: {err}"
+                    raise LedgerUnavailableError(self._failed) from err
+                self._dirty = False
+
+    # -- snapshot + compaction -----------------------------------------
+    def _maybe_compact(self) -> None:
+        if (
+            self.snapshot_every > 0
+            and self._appends_since_snapshot >= self.snapshot_every
+        ):
+            self._compact_locked()
+
+    def compact(self) -> dict:
+        """Snapshot the state and truncate the journal; returns stats."""
+        with self._exclusive():
+            before = self._size
+            self._compact_locked()
+            return {
+                "snapshot_seq": self._snapshot_seq,
+                "journal_bytes_before": before,
+                "journal_bytes_after": self._size,
+                "users": len(self._books),
+            }
+
+    def _compact_locked(self) -> None:
+        if self._dirty:
+            self._fs.fsync(self._wal_handle())
+            self._dirty = False
+        payload = {
+            "version": _FORMAT_VERSION,
+            "seq": self._seq,
+            "floor": str(Fraction(self.floor)),
+            "users": {
+                user: {
+                    "cum": str(book.cumulative_alpha),
+                    "releases": len(book),
+                }
+                for user, book in self._books.items()
+            },
+            "replay": {idem: entry for idem, entry in self._replay.items()},
+        }
+        _atomic_json_write(self._snapshot_path, payload, self._fs)
+        self._faults.crash("compact.after-snapshot")
+        self._truncate_wal(0)
+        self._size = 0
+        self._snapshot_seq = self._seq
+        self._appends_since_snapshot = 0
+        self._snap_stat = self._stat_snapshot()
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Flush pending bytes and release the journal handle."""
+        with self._lock:
+            self._closed = True
+            if self._wal is not None:
+                with contextlib.suppress(OSError, ValueError):
+                    if self._dirty and not self._failed:
+                        self._fs.fsync(self._wal)
+                with contextlib.suppress(OSError):
+                    self._wal.close()
+                self._wal = None
+            if self._lock_handle is not None:
+                with contextlib.suppress(OSError):
+                    self._lock_handle.close()
+                self._lock_handle = None
+
+    def stats(self) -> dict:
+        return {
+            "backend": "durable",
+            "path": str(self.path),
+            "fsync": self._mode,
+            "users": len(self._books),
+            "seq": self._seq,
+            "snapshot_seq": self._snapshot_seq,
+            "journal_bytes": self._size,
+            "replay_entries": len(self._replay),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<DurableLedger path={str(self.path)!r} users="
+            f"{len(self._books)} seq={self._seq} fsync={self._mode}>"
+        )
+
+
+def verify_ledger_dir(directory) -> dict:
+    """Read-only integrity check of a ledger directory.
+
+    Returns a report dict: ``ok`` is ``False`` only for damage recovery
+    would refuse (mid-journal corruption, bad snapshot/meta checksums,
+    sequence gaps). A torn tail is reported (``torn_tail_bytes``) but is
+    *not* a failure — recovery truncates it by design.
+    """
+    path = Path(directory).expanduser()
+    failures: list[str] = []
+    report = {
+        "path": str(path),
+        "ok": True,
+        "records": 0,
+        "users": 0,
+        "seq": 0,
+        "snapshot_seq": 0,
+        "torn_tail_bytes": 0,
+        "failures": failures,
+    }
+    snapshot_seq = 0
+    users: set[str] = set()
+    cumulative: dict[str, Fraction] = {}
+    try:
+        meta = _read_checked_json(path / _META_NAME)
+    except LedgerCorruptionError as err:
+        failures.append(str(err))
+        meta = None
+    if meta is not None:
+        report["floor"] = meta.get("floor")
+    try:
+        snapshot = _read_checked_json(path / _SNAPSHOT_NAME)
+    except LedgerCorruptionError as err:
+        failures.append(str(err))
+        snapshot = None
+    if snapshot is not None:
+        snapshot_seq = int(snapshot.get("seq", 0))
+        for user, state in snapshot.get("users", {}).items():
+            users.add(user)
+            try:
+                cumulative[user] = _fraction(state["cum"])
+            except LedgerCorruptionError as err:
+                failures.append(f"snapshot user {user!r}: {err}")
+    report["snapshot_seq"] = snapshot_seq
+    try:
+        data = (path / _WAL_NAME).read_bytes()
+    except FileNotFoundError:
+        data = b""
+    records, _good, torn, failure = _scan_wal(data)
+    if failure is not None:
+        failures.append(failure)
+    report["torn_tail_bytes"] = torn
+    applied = [r for r in records if r["seq"] > snapshot_seq]
+    if applied and applied[0]["seq"] != snapshot_seq + 1:
+        failures.append(
+            f"journal starts at seq {applied[0]['seq']} but the snapshot "
+            f"ends at {snapshot_seq}"
+        )
+    for record in applied:
+        if record.get("op") == "charge":
+            user = record["user"]
+            users.add(user)
+            try:
+                step = _fraction(record["alpha"])
+                claimed = _fraction(record["cum"])
+            except LedgerCorruptionError as err:
+                failures.append(f"seq {record['seq']}: {err}")
+                continue
+            expected = cumulative.get(user, Fraction(1)) * step
+            if expected != claimed:
+                failures.append(
+                    f"seq {record['seq']}: cumulative {claimed} does not "
+                    f"equal running product {expected} for user {user!r}"
+                )
+            cumulative[user] = claimed
+    report["records"] = len(records)
+    report["users"] = len(users)
+    report["seq"] = max(
+        [snapshot_seq] + [r["seq"] for r in records], default=0
+    )
+    report["ok"] = not failures
+    return report

@@ -84,6 +84,7 @@ class PrivacyLedger:
             )
         self.floor = floor
         self._entries: list[LedgerEntry] = []
+        self._restored = 0
 
     # ------------------------------------------------------------------
     @property
@@ -144,6 +145,38 @@ class PrivacyLedger:
             )
         )
 
+    def restore(self, cumulative, *, label: str = "recovered",
+                releases: int = 1) -> None:
+        """Seed the ledger with an externally-recovered joint guarantee.
+
+        The durability layer (:mod:`repro.release.durable_ledger`)
+        rebuilds in-memory books from its write-ahead log and snapshots:
+        each replayed record carries the exact cumulative guarantee, so
+        recovery *sets* it rather than re-deriving it, and the floor is
+        deliberately not re-checked — a recovered ledger may already sit
+        at (never below) its floor, and refusing to restore it would
+        drop admitted charges. ``releases`` counts how many releases the
+        restored state summarizes (a compacted snapshot entry stands for
+        many), so :func:`len` stays truthful.
+        """
+        check_alpha(cumulative, allow_endpoints=True)
+        if cumulative == 0:
+            raise ValidationError("cannot restore a zero joint guarantee")
+        if releases < 1:
+            raise ValidationError(
+                f"restored state must summarize >= 1 release(s), "
+                f"got {releases}"
+            )
+        current = self.cumulative_alpha
+        self._entries.append(
+            LedgerEntry(
+                label=label,
+                alpha=Fraction(cumulative) / current,
+                cumulative_alpha=Fraction(cumulative),
+            )
+        )
+        self._restored += releases - 1
+
     def try_charge(self, alpha, *, label: str = "release") -> bool:
         """Charge-or-reject: record the release iff it fits the floor.
 
@@ -175,7 +208,7 @@ class PrivacyLedger:
         return "\n".join(lines)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._entries) + self._restored
 
     def __repr__(self) -> str:
         return (
@@ -214,6 +247,11 @@ class ConcurrentPrivacyLedger(PrivacyLedger):
     def charge(self, alpha, *, label: str = "release") -> None:
         with self._lock:
             super().charge(alpha, label=label)
+
+    def restore(self, cumulative, *, label: str = "recovered",
+                releases: int = 1) -> None:
+        with self._lock:
+            super().restore(cumulative, label=label, releases=releases)
 
     def __repr__(self) -> str:
         return (

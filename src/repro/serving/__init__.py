@@ -16,6 +16,13 @@ See :mod:`repro.serving.server` for the architecture overview and
 from .audit import AuditFinding, OnlineAuditor, expected_response_matrix
 from .batching import MicroBatcher
 from .client import HTTPServingClient, InProcessClient
+from .faults import (
+    CRASH_POINTS,
+    FaultInjector,
+    FaultyFS,
+    FlakyEndpoint,
+    InjectedCrash,
+)
 from .server import MechanismServer
 
 __all__ = [
@@ -26,4 +33,9 @@ __all__ = [
     "HTTPServingClient",
     "InProcessClient",
     "MechanismServer",
+    "CRASH_POINTS",
+    "FaultInjector",
+    "FaultyFS",
+    "FlakyEndpoint",
+    "InjectedCrash",
 ]

@@ -31,6 +31,7 @@ from collections.abc import Callable
 import numpy as np
 
 from ..exceptions import ValidationError
+from ..release.durable_ledger import NO_FAULTS
 
 __all__ = ["MicroBatcher"]
 
@@ -61,12 +62,14 @@ class MicroBatcher:
         *,
         window: float = 0.002,
         max_size: int = 4096,
+        faults=None,
     ) -> None:
         if window < 0:
             raise ValidationError(f"window must be >= 0, got {window}")
         if max_size < 1:
             raise ValidationError(f"max_size must be >= 1, got {max_size}")
         self._execute = execute
+        self.faults = NO_FAULTS if faults is None else faults
         self.window = float(window)
         self.max_size = int(max_size)
         self._pending: list[tuple[int, int, asyncio.Future]] = []
@@ -124,8 +127,15 @@ class MicroBatcher:
             (item[1] for item in pending), dtype=np.int64, count=len(pending)
         )
         try:
+            self.faults.crash("batcher.before-execute")
             values = self._execute(tables, rows)
-        except Exception as err:
+            self.faults.crash("batcher.after-execute")
+        except BaseException as err:  # noqa: BLE001 - must not strand futures
+            # InjectedCrash (and real crashes like KeyboardInterrupt)
+            # tear through `except Exception` everywhere else, but a
+            # flush may run from a timer callback where nothing awaits
+            # it — re-raising would strand every parked future forever.
+            # Failing the futures *is* the propagation path.
             for _, _, future in pending:
                 if not future.done():
                     future.set_exception(err)

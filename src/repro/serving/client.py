@@ -9,7 +9,12 @@ Two transports, one call shape:
   serving pipeline itself — batcher, ledger, fused gather, audit hook —
   not TCP);
 * :class:`HTTPServingClient` — a minimal asyncio HTTP/1.1 client with
-  one keep-alive connection, exercising exactly what ``curl`` sees.
+  one keep-alive connection, exercising exactly what ``curl`` sees —
+  plus the resilience a real caller needs: per-request timeouts (a
+  stalled server can no longer hang the coroutine forever), bounded
+  exponential backoff with deterministic jitter, and automatic
+  idempotency keys on ``publish`` so a retry after a lost response
+  replays the original answer instead of double-charging the budget.
 
 Both return ``(status, payload)`` rather than raising on 4xx/5xx: a 429
 budget rejection is flow control a load generator counts, not an
@@ -19,15 +24,30 @@ exception.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import os
+import random
 
 from ..exceptions import ReproError
 
 __all__ = ["InProcessClient", "HTTPServingClient"]
 
+#: Errors worth retrying: the request may never have reached the server
+#: (connect refused/reset, torn connection) or the response was lost
+#: (timeout, truncated read). With an idempotency key both cases are
+#: safe to replay.
+RETRYABLE = (
+    asyncio.TimeoutError,
+    asyncio.IncompleteReadError,
+    ConnectionError,
+    OSError,
+    ReproError,
+)
+
 
 def _publish_payload(
-    user, n, alpha, true_result, kind, loss, side
+    user, n, alpha, true_result, kind, loss, side, idem=None
 ) -> dict:
     payload = {
         "user": user,
@@ -41,6 +61,8 @@ def _publish_payload(
         payload["loss"] = loss
     if side is not None:
         payload["side"] = list(side)
+    if idem is not None:
+        payload["idem"] = idem
     return payload
 
 
@@ -60,9 +82,12 @@ class InProcessClient:
         kind: str = "geometric",
         loss: str | None = None,
         side=None,
+        idem: str | None = None,
     ) -> tuple[int, dict]:
         return await self.server.publish(
-            _publish_payload(user, n, alpha, true_result, kind, loss, side)
+            _publish_payload(
+                user, n, alpha, true_result, kind, loss, side, idem
+            )
         )
 
     async def get(self, path: str) -> tuple[int, dict]:
@@ -70,11 +95,51 @@ class InProcessClient:
 
 
 class HTTPServingClient:
-    """Keep-alive HTTP/1.1 client against a live server socket."""
+    """Keep-alive HTTP/1.1 client against a live server socket.
 
-    def __init__(self, host: str, port: int) -> None:
+    Parameters
+    ----------
+    timeout:
+        Per-attempt deadline in seconds covering connect + write + read.
+        A stalled or half-dead server produces a ``TimeoutError`` after
+        ``timeout`` seconds instead of hanging the caller forever.
+        ``None`` disables the deadline (the pre-resilience behavior).
+    retries:
+        Additional attempts after the first failure. Each retry drops
+        the (possibly poisoned) connection and reconnects.
+    backoff / backoff_max:
+        Bounded exponential backoff between attempts:
+        ``min(backoff * 2**attempt, backoff_max)`` scaled by a jitter in
+        ``[0.5, 1.0)`` so a fleet of recovering clients does not
+        stampede in lockstep.
+    seed:
+        Seeds the jitter RNG for reproducible retry schedules in tests.
+
+    ``publish`` attaches an idempotency key automatically (override with
+    ``idem=``), so a retried publish whose first response was lost
+    replays the server's original answer rather than charging twice.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = 5.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+        seed: int | None = None,
+    ) -> None:
         self.host = host
         self.port = int(port)
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.backoff_max = float(backoff_max)
+        self._rng = random.Random(seed)
+        self._idem_prefix = f"{os.getpid():x}-{self._rng.randrange(1 << 48):012x}"
+        self._idem_counter = itertools.count()
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
@@ -84,12 +149,25 @@ class HTTPServingClient:
                 self.host, self.port
             )
 
-    async def request(
-        self, method: str, path: str, payload: dict | None = None
+    async def _drop_connection(self) -> None:
+        """Discard a connection whose state is no longer trustworthy."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                pass
+        self._writer = None
+        self._reader = None
+
+    def _backoff_delay(self, attempt: int) -> float:
+        base = min(self.backoff * (2 ** attempt), self.backoff_max)
+        return base * (0.5 + 0.5 * self._rng.random())
+
+    async def _round_trip(
+        self, method: str, path: str, body: bytes
     ) -> tuple[int, dict]:
-        """One round-trip on the persistent connection."""
         await self._connect()
-        body = b"" if payload is None else json.dumps(payload).encode()
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
@@ -115,6 +193,32 @@ class HTTPServingClient:
         data = await self._reader.readexactly(length) if length else b"{}"
         return status, json.loads(data)
 
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        """One logical round-trip: timeout-bounded, retried with backoff.
+
+        Raises the last attempt's error once ``retries`` extra attempts
+        are exhausted. POSTs without an ``idem`` key in the payload are
+        still retried — the serving operations are safe to replay only
+        with a key, which :meth:`publish` attaches automatically.
+        """
+        body = b"" if payload is None else json.dumps(payload).encode()
+        last_error: BaseException | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                await asyncio.sleep(self._backoff_delay(attempt - 1))
+            try:
+                if self.timeout is None:
+                    return await self._round_trip(method, path, body)
+                return await asyncio.wait_for(
+                    self._round_trip(method, path, body), self.timeout
+                )
+            except RETRYABLE as err:
+                last_error = err
+                await self._drop_connection()
+        raise last_error
+
     async def publish(
         self,
         *,
@@ -125,11 +229,16 @@ class HTTPServingClient:
         kind: str = "geometric",
         loss: str | None = None,
         side=None,
+        idem: str | None = None,
     ) -> tuple[int, dict]:
+        if idem is None:
+            idem = f"{self._idem_prefix}-{next(self._idem_counter)}"
         return await self.request(
             "POST",
             "/publish",
-            _publish_payload(user, n, alpha, true_result, kind, loss, side),
+            _publish_payload(
+                user, n, alpha, true_result, kind, loss, side, idem
+            ),
         )
 
     async def get(self, path: str) -> tuple[int, dict]:

@@ -1,0 +1,350 @@
+"""Deterministic fault injection for the serving stack.
+
+The durability guarantees of :mod:`repro.release.durable_ledger` and the
+resilience guarantees of the server/client are only worth what the chaos
+suite can *prove* about them. This module provides the knives:
+
+* :class:`InjectedCrash` — a ``BaseException`` (deliberately not an
+  ``Exception``) modeling sudden process death: it tears through the
+  ``except Exception`` handlers that guard ordinary serving errors,
+  exactly as ``kill -9`` would, leaving whatever half-finished disk
+  state the crash point implies.
+* :class:`FaultInjector` — named, countdown-armed fault plans. Code
+  under test calls :meth:`FaultInjector.crash` at its crash points
+  (``"charge.before-append"``, ``"charge.before-fsync"``,
+  ``"charge.after-fsync"``, ``"batcher.before-execute"``, …); the
+  filesystem shim consults :meth:`FaultInjector.take` at every I/O op.
+  Unarmed points cost one dict lookup — the production default is the
+  shared no-op injector, which costs nothing.
+* :class:`FaultyFS` — a :class:`~repro.release.durable_ledger.LedgerFS`
+  that can tear a write (persist only a prefix, then "die"), short-write
+  (persist a prefix, then fail with an ``OSError`` the rollback path
+  must heal), fill the disk (``ENOSPC``), or fail ``fsync``.
+* :class:`FlakyEndpoint` — an HTTP-aware TCP shim in front of a real
+  server that drops connections, stalls forever (client-timeout food),
+  delays, or — nastiest — forwards the request and then swallows the
+  response, which is precisely the case idempotency keys exist for: the
+  server charged and answered, the client saw nothing and retries.
+
+Every fault is deterministic: armed by name with ``after``/``times``
+counters, no randomness, so a chaos test replays identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import errno
+from dataclasses import dataclass
+
+from ..exceptions import ReproError
+from ..release.durable_ledger import LedgerFS
+
+__all__ = [
+    "InjectedCrash",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyFS",
+    "FlakyEndpoint",
+    "CRASH_POINTS",
+]
+
+#: The named crash points threaded through the stack (the kill-point
+#: matrix of the chaos suite). Filesystem ops additionally expose
+#: ``fs.write`` / ``fs.fsync`` / ``fs.truncate`` / ``fs.replace``.
+CRASH_POINTS = (
+    "charge.before-append",       # nothing on disk, nothing released
+    "charge.before-fsync",        # bytes written, durability unknown
+    "charge.after-fsync",         # charge durable, response never sent
+    "result.before-append",       # charge durable, replay record lost
+    "compact.after-snapshot",     # snapshot durable, journal not yet cut
+    "batcher.before-execute",     # charges durable, batch never sampled
+    "batcher.after-execute",      # batch sampled, responses never sent
+    "server.before-response",     # response built, socket never written
+)
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death at a named crash point.
+
+    A ``BaseException`` so ordinary ``except Exception`` error handling
+    cannot absorb it — in-flight work dies, exactly like the process.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at {point!r}")
+        self.point = point
+
+
+@dataclass
+class FaultPlan:
+    """One armed fault: fire ``action`` at a point, ``after`` skips,
+    ``times`` repetitions."""
+
+    action: str          # "crash" | "fail" | "tear" | "short"
+    after: int = 0
+    times: int = 1
+    keep: int = 0        # bytes persisted before tear/short
+    exc: object = None   # OSError factory/instance for "fail"/"short"
+
+    def make_error(self, point: str) -> OSError:
+        if self.exc is None:
+            return OSError(errno.ENOSPC, f"injected ENOSPC at {point!r}")
+        if callable(self.exc):
+            return self.exc()
+        return self.exc
+
+
+class FaultInjector:
+    """Deterministic registry of armed faults, consulted by name.
+
+    ``hits`` counts every visit to every point (armed or not), so tests
+    can assert a crash point was actually reached.
+    """
+
+    def __init__(self) -> None:
+        self._plans: dict[str, FaultPlan] = {}
+        self.hits: dict[str, int] = {}
+        self.fired: list[str] = []
+
+    # -- arming --------------------------------------------------------
+    def crash_at(self, point: str, *, after: int = 0, times: int = 1):
+        """Arm sudden death at ``point`` (skip the first ``after`` hits)."""
+        self._plans[point] = FaultPlan("crash", after=after, times=times)
+        return self
+
+    def fail_at(self, point: str, *, after: int = 0, times: int = 1,
+                exc=None):
+        """Arm an ``OSError`` (default ``ENOSPC``) at ``point``."""
+        self._plans[point] = FaultPlan(
+            "fail", after=after, times=times, exc=exc
+        )
+        return self
+
+    def tear_at(self, point: str, *, after: int = 0, keep: int = 8):
+        """Arm a torn write: persist ``keep`` bytes, then die."""
+        self._plans[point] = FaultPlan("tear", after=after, keep=keep)
+        return self
+
+    def short_at(self, point: str, *, after: int = 0, keep: int = 8,
+                 exc=None):
+        """Arm a short write: persist ``keep`` bytes, then ``OSError``."""
+        self._plans[point] = FaultPlan(
+            "short", after=after, keep=keep, exc=exc
+        )
+        return self
+
+    def disarm(self, point: str) -> None:
+        self._plans.pop(point, None)
+
+    # -- consultation --------------------------------------------------
+    def take(self, point: str) -> FaultPlan | None:
+        """Record a visit; return the plan iff it fires this visit."""
+        self.hits[point] = self.hits.get(point, 0) + 1
+        plan = self._plans.get(point)
+        if plan is None:
+            return None
+        if plan.after > 0:
+            plan.after -= 1
+            return None
+        if plan.times <= 0:
+            return None
+        plan.times -= 1
+        self.fired.append(point)
+        return plan
+
+    def crash(self, point: str) -> None:
+        """The crash-point hook: die here iff armed."""
+        plan = self.take(point)
+        if plan is None:
+            return
+        if plan.action != "crash":
+            raise ReproError(
+                f"point {point!r} is a pure crash point; arm it with "
+                f"crash_at (got {plan.action!r})"
+            )
+        raise InjectedCrash(point)
+
+
+class FaultyFS(LedgerFS):
+    """A :class:`LedgerFS` with injectable I/O faults.
+
+    Consults the injector at ``fs.write`` / ``fs.fsync`` /
+    ``fs.truncate`` / ``fs.replace``. A ``tear`` on ``fs.write``
+    persists ``keep`` bytes and raises :class:`InjectedCrash` (the torn
+    tail recovery must truncate); a ``short`` persists ``keep`` bytes
+    and raises ``OSError`` (the rollback path must heal); ``fail``
+    raises without persisting anything.
+    """
+
+    def __init__(self, faults: FaultInjector) -> None:
+        self.faults = faults
+
+    def write(self, handle, data: bytes) -> None:
+        plan = self.faults.take("fs.write")
+        if plan is None:
+            super().write(handle, data)
+            return
+        if plan.action == "crash":
+            raise InjectedCrash("fs.write")
+        if plan.action == "fail":
+            raise plan.make_error("fs.write")
+        kept = data[: max(0, min(plan.keep, len(data) - 1))]
+        if kept:
+            super().write(handle, kept)
+        if plan.action == "tear":
+            raise InjectedCrash("fs.write")
+        raise plan.make_error("fs.write")
+
+    def fsync(self, handle) -> None:
+        plan = self.faults.take("fs.fsync")
+        if plan is not None:
+            if plan.action == "crash":
+                raise InjectedCrash("fs.fsync")
+            raise plan.make_error("fs.fsync")
+        super().fsync(handle)
+
+    def truncate(self, handle, size: int) -> None:
+        plan = self.faults.take("fs.truncate")
+        if plan is not None:
+            if plan.action == "crash":
+                raise InjectedCrash("fs.truncate")
+            raise plan.make_error("fs.truncate")
+        super().truncate(handle, size)
+
+    def replace(self, source, destination) -> None:
+        plan = self.faults.take("fs.replace")
+        if plan is not None:
+            if plan.action == "crash":
+                raise InjectedCrash("fs.replace")
+            raise plan.make_error("fs.replace")
+        super().replace(source, destination)
+
+
+async def _read_http_message(reader) -> bytes | None:
+    """Read one full HTTP/1.1 message (head + content-length body)."""
+    head = b""
+    while b"\r\n\r\n" not in head:
+        chunk = await reader.read(4096)
+        if not chunk:
+            return None
+        head += chunk
+    raw_head, _, rest = head.partition(b"\r\n\r\n")
+    length = 0
+    for line in raw_head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    while len(rest) < length:
+        chunk = await reader.read(length - len(rest))
+        if not chunk:
+            break
+        rest += chunk
+    return raw_head + b"\r\n\r\n" + rest
+
+
+class FlakyEndpoint:
+    """An HTTP-aware flaky shim in front of a real serving socket.
+
+    Each accepted connection consumes the next behavior: ``drop`` closes
+    immediately (connection reset food for the retry layer), ``stall``
+    reads the request and never answers (client-timeout food), ``delay``
+    waits ``delay`` seconds before proxying, and ``swallow`` forwards
+    the request to the backend, reads the response, and discards it —
+    the server has charged and answered, the client must retry with the
+    same idempotency key or double-spend the budget. Once the counters
+    are exhausted, connections proxy transparently.
+    """
+
+    def __init__(
+        self,
+        backend_host: str,
+        backend_port: int,
+        *,
+        drop: int = 0,
+        stall: int = 0,
+        swallow: int = 0,
+        delay: float = 0.0,
+        delay_count: int = 0,
+    ) -> None:
+        self.backend = (backend_host, int(backend_port))
+        self.drop = int(drop)
+        self.stall = int(stall)
+        self.swallow = int(swallow)
+        self.delay = float(delay)
+        self.delay_count = int(delay_count)
+        self.connections = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._stalled: list[asyncio.StreamWriter] = []
+
+    async def start(self, host: str = "127.0.0.1") -> None:
+        self._server = await asyncio.start_server(self._handle, host, 0)
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise ReproError("endpoint is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        for writer in self._stalled:
+            writer.close()
+        self._stalled.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader, writer) -> None:
+        self.connections += 1
+        try:
+            if self.drop > 0:
+                self.drop -= 1
+                return
+            if self.stall > 0:
+                self.stall -= 1
+                self._stalled.append(writer)
+                await _read_http_message(reader)
+                await asyncio.sleep(3600)  # hold the socket open, say nothing
+                return
+            if self.delay_count > 0:
+                self.delay_count -= 1
+                await asyncio.sleep(self.delay)
+            swallow = False
+            if self.swallow > 0:
+                self.swallow -= 1
+                swallow = True
+            await self._proxy(reader, writer, swallow=swallow)
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            pass
+        finally:
+            if writer not in self._stalled:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError, asyncio.CancelledError):
+                    pass
+
+    async def _proxy(self, reader, writer, *, swallow: bool) -> None:
+        upstream_reader, upstream_writer = await asyncio.open_connection(
+            *self.backend
+        )
+        try:
+            while True:
+                request = await _read_http_message(reader)
+                if request is None:
+                    return
+                upstream_writer.write(request)
+                await upstream_writer.drain()
+                response = await _read_http_message(upstream_reader)
+                if response is None:
+                    return
+                if swallow:
+                    return  # the response evaporates; the client retries
+                writer.write(response)
+                await writer.drain()
+        finally:
+            upstream_writer.close()
+            try:
+                await upstream_writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass

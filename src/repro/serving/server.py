@@ -22,7 +22,16 @@ has already *proved*:
 * every release is charged to the requesting user's
   :class:`~repro.release.ledger.ConcurrentPrivacyLedger` *before*
   sampling; exceeding the per-user floor is an HTTP 429, and the
-  charge-or-reject is atomic so racers can never overspend;
+  charge-or-reject is atomic so racers can never overspend. With
+  ``ledger_dir=`` the book is a crash-safe
+  :class:`~repro.release.durable_ledger.DurableLedger`: the charge is
+  journaled (and fsync'd — per charge, or once per micro-batch under
+  group commit) *before* the response is released, so a crash can only
+  over-protect, and budgets survive restarts instead of silently
+  refilling (which would be a privacy violation, not an availability
+  bug). Requests may carry an ``"idem"`` idempotency key: a retried
+  publish is answered from the replay journal instead of
+  double-charging;
 * a sampled slice of responses feeds the
   :class:`~repro.serving.audit.OnlineAuditor`, which periodically
   replays the accumulated counts against the independently re-derived
@@ -36,10 +45,18 @@ by tests, benchmarks, and co-located clients.
 
 Request/response shape (``POST /publish``)::
 
-    {"user": "gov", "n": 100, "alpha": "1/2", "true_result": 42}
+    {"user": "gov", "n": 100, "alpha": "1/2", "true_result": 42,
+     "idem": "optional-retry-key"}
       -> 200 {"value": 41, "alpha": "1/2", "n": 100, ...}
       -> 404 unknown/uncompiled deployment
       -> 429 {"error": "..."} when the user's budget floor is hit
+      -> 503 quarantined deployment or unavailable durable ledger
+
+Resilience: artifacts that fail load-time verification are
+**quarantined** (503 on that deployment, the rest of the store serves);
+``SIGTERM``/``SIGINT`` trigger a graceful drain (stop accepting, await
+open connections up to ``drain_deadline``, flush the batcher, fsync and
+close the ledger).
 
 ``GET /healthz``, ``GET /artifacts``, ``GET /metrics``, and
 ``GET /ledger/<user>`` expose liveness, the deployment list, counters +
@@ -49,7 +66,9 @@ audit findings, and per-user accounting.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
+import signal
 from fractions import Fraction
 
 import numpy as np
@@ -60,7 +79,13 @@ from ..release.artifacts import (
     resolve_artifact_store,
     verify_artifact,
 )
-from ..release.ledger import BudgetExceededError, ConcurrentPrivacyLedger
+from ..release.durable_ledger import (
+    NO_FAULTS,
+    DurableLedger,
+    LedgerUnavailableError,
+    MemoryLedgerBook,
+)
+from ..release.ledger import ConcurrentPrivacyLedger
 from ..sampling.alias import HeterogeneousAliasSampler
 from ..sampling.rng import ensure_generator
 from .audit import OnlineAuditor
@@ -75,7 +100,12 @@ _REASONS = {
     405: "Method Not Allowed",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+#: Idempotency keys above this length are rejected (they are journaled;
+#: unbounded keys would be a disk-growth vector).
+_MAX_IDEM = 128
 
 #: Request bodies above this are rejected outright (a publish payload is
 #: tiny; anything bigger is a client bug or abuse).
@@ -107,6 +137,24 @@ class MechanismServer:
     floor:
         Per-user privacy floor handed to each user's ledger; ``0``
         disables budget enforcement (accounting is still recorded).
+    ledger_dir:
+        When given, budgets live in a crash-safe
+        :class:`~repro.release.durable_ledger.DurableLedger` at this
+        directory (shared by N worker processes; budgets survive
+        restarts). ``None`` keeps the in-memory book.
+    ledger / ledger_fsync:
+        ``ledger`` passes a pre-built ledger book directly (overrides
+        ``ledger_dir``/``floor`` wiring); ``ledger_fsync`` picks the
+        journal policy for a ``ledger_dir`` book — the default
+        ``"group"`` amortizes one fsync per micro-batch flush (group
+        commit), which keeps the release-implies-durable invariant
+        because every batch is synced before its futures resolve.
+    drain_deadline:
+        Seconds :meth:`stop` waits for in-flight connections before
+        cancelling them.
+    faults:
+        A :class:`~repro.serving.faults.FaultInjector` threaded through
+        the batcher and durable ledger (chaos testing only).
     batch_window:
         Micro-batch deadline in seconds (see
         :class:`~repro.serving.batching.MicroBatcher`); ``0`` disables
@@ -134,6 +182,11 @@ class MechanismServer:
         store=None,
         *,
         floor=0,
+        ledger_dir=None,
+        ledger=None,
+        ledger_fsync: str = "group",
+        drain_deadline: float = 5.0,
+        faults=None,
         batch_window: float = 0.002,
         batch_max: int = 4096,
         audit_rate: float = 0.05,
@@ -150,11 +203,21 @@ class MechanismServer:
             )
         self.floor = floor
         self.verify = bool(verify)
+        self.drain_deadline = float(drain_deadline)
+        self.faults = faults if faults is not None else NO_FAULTS
         self._rng = ensure_generator(seed)
         self._deployments: dict[str, _Deployment] = {}
+        self._quarantined: dict[str, dict] = {}
         self._samplers: list = []
         self._fused: HeterogeneousAliasSampler | None = None
-        self._ledgers: dict[str, ConcurrentPrivacyLedger] = {}
+        if ledger is not None:
+            self.ledgers = ledger
+        elif ledger_dir is not None:
+            self.ledgers = DurableLedger(
+                ledger_dir, floor, fsync=ledger_fsync, faults=self.faults
+            )
+        else:
+            self.ledgers = MemoryLedgerBook(floor)
         self._spec_cache: dict[tuple, tuple[str, Fraction] | None] = {}
         self.auditor = OnlineAuditor(
             rate=audit_rate, rng=audit_seed
@@ -162,20 +225,28 @@ class MechanismServer:
         self.audit_every = int(audit_every)
         self._batches_since_sweep = 0
         self.batcher = MicroBatcher(
-            self._execute, window=batch_window, max_size=batch_max
+            self._execute, window=batch_window, max_size=batch_max,
+            faults=self.faults,
         )
         self.metrics = {
             "requests": 0,
             "published": 0,
+            "replayed": 0,
             "rejected_budget": 0,
             "not_found": 0,
             "bad_request": 0,
+            "quarantined_requests": 0,
+            "ledger_unavailable": 0,
             "errors": 0,
             "audit_recorded": 0,
             "audit_sweeps": 0,
             "audit_flagged": 0,
         }
         self._http_server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._shutdown: asyncio.Event | None = None
+        self._draining = False
+        self._stopped = False
 
     # -- deployment lifecycle ------------------------------------------
     def load(self, spec: ArtifactSpec) -> int:
@@ -230,18 +301,31 @@ class MechanismServer:
         """Load every (loadable) artifact in the store; returns the count.
 
         Damaged entries are skipped (they already fail ``repro cache
-        verify``); verification failures still raise, because silently
-        serving without a refused deployment is worse than failing
-        startup.
+        verify``). A verification failure **quarantines** that one
+        deployment — requests naming it get a 503 with the reason while
+        every healthy artifact keeps serving — instead of refusing the
+        whole store: one bad entry must not take down the service.
         """
         loaded = 0
         for key in self.store.keys():
             artifact = self.store.load_key(key)
             if artifact is None:
                 continue
-            self.load_artifact(artifact)
+            try:
+                self.load_artifact(artifact)
+            except ReproError as err:
+                self._quarantined[artifact.spec.key()] = {
+                    "spec": artifact.spec,
+                    "reason": str(err),
+                }
+                continue
             loaded += 1
         return loaded
+
+    @property
+    def quarantined(self) -> dict[str, dict]:
+        """Deployments refused at load, by spec key (503 when requested)."""
+        return dict(self._quarantined)
 
     @property
     def deployments(self) -> tuple[_Deployment, ...]:
@@ -249,14 +333,16 @@ class MechanismServer:
 
     def ledger(self, user: str) -> ConcurrentPrivacyLedger:
         """The (created-on-first-use) ledger accounting for ``user``."""
-        book = self._ledgers.get(user)
-        if book is None:
-            book = self._ledgers[user] = ConcurrentPrivacyLedger(self.floor)
-        return book
+        return self.ledgers.book(user)
 
     # -- the fused execution tick --------------------------------------
     def _execute(self, tables: np.ndarray, rows: np.ndarray) -> np.ndarray:
         values = self._fused.sample(tables, rows, self._rng)
+        # Group commit: one fsync covers every charge journaled by this
+        # batch's requests, and it lands *before* the batcher resolves
+        # their futures — no response is released against a volatile
+        # charge. (A no-op for the memory book and fsync="always".)
+        self.ledgers.sync()
         recorded = self.auditor.observe(tables, rows, values)
         if recorded:
             self.metrics["audit_recorded"] += recorded
@@ -332,6 +418,15 @@ class MechanismServer:
         except ValidationError as err:
             self.metrics["bad_request"] += 1
             return 400, {"error": str(err)}
+        quarantined = self._quarantined.get(key)
+        if quarantined is not None:
+            self.metrics["quarantined_requests"] += 1
+            return 503, {
+                "error": "deployment is quarantined (failed load-time "
+                "verification); recompile it with `repro compile`",
+                "reason": quarantined["reason"],
+                "key": key[:12],
+            }
         deployment = self._deployments.get(key)
         if deployment is None:
             self.metrics["not_found"] += 1
@@ -351,33 +446,68 @@ class MechanismServer:
             return 400, {
                 "error": f"true_result must lie in [0, {deployment.spec.n}]"
             }
-        ledger = self.ledger(user)
+        idem = payload.get("idem")
+        if idem is not None and not (
+            isinstance(idem, str) and 0 < len(idem) <= _MAX_IDEM
+        ):
+            self.metrics["bad_request"] += 1
+            return 400, {
+                "error": "optional 'idem' must be a non-empty string of "
+                f"at most {_MAX_IDEM} characters"
+            }
         try:
-            # Atomic charge-or-reject: budget is committed before the
-            # draw, so a crash mid-batch can only over-protect.
-            ledger.charge(alpha, label=f"serve:{key[:12]}")
-        except BudgetExceededError as err:
+            # Atomic charge-or-reject: budget is committed (and, for a
+            # durable book, journaled) before the draw, so a crash
+            # mid-batch can only over-protect. A replayed idempotency
+            # key returns the original response without charging again.
+            decision = self.ledgers.charge(
+                user, alpha, label=f"serve:{key[:12]}", idem=idem
+            )
+        except LedgerUnavailableError as err:
+            self.metrics["ledger_unavailable"] += 1
+            return 503, {
+                "error": f"privacy ledger unavailable: {err}; the charge "
+                "was not recorded and no statistic was released"
+            }
+        if decision.outcome == "replayed":
+            self.metrics["replayed"] += 1
+            status, response = decision.replay
+            return status, dict(response)
+        if decision.outcome == "rejected":
             self.metrics["rejected_budget"] += 1
             return 429, {
-                "error": str(err),
+                "error": (
+                    f"release at alpha={alpha} would take user {user!r} "
+                    f"below the privacy floor {self.floor}"
+                ),
                 "user": user,
-                "cumulative_alpha": str(ledger.cumulative_alpha),
-                "remaining_alpha": str(ledger.remaining_alpha),
+                "cumulative_alpha": str(decision.cumulative_alpha),
+                "remaining_alpha": str(decision.remaining_alpha),
             }
+        # outcome "charged", or "pending" (the charge was journaled but
+        # the response was lost — the budget is already spent, so
+        # sampling a fresh response spends nothing extra).
         try:
             value = await self.batcher.submit(deployment.index, row)
         except Exception as err:  # the gather is pure numpy; be loud
             self.metrics["errors"] += 1
             return 500, {"error": f"sampling failed: {err}"}
         self.metrics["published"] += 1
-        return 200, {
+        response = {
             "value": value,
             "user": user,
             "n": deployment.spec.n,
             "alpha": str(alpha),
             "key": key[:12],
-            "cumulative_alpha": str(ledger.cumulative_alpha),
+            "cumulative_alpha": str(decision.cumulative_alpha),
         }
+        if idem is not None:
+            # Best-effort replay journal: losing it downgrades a retry
+            # from "replayed" to "pending" (re-sample, never re-charge).
+            with contextlib.suppress(LedgerUnavailableError):
+                self.ledgers.record_result(idem, 200, response)
+        self.faults.crash("server.before-response")
+        return 200, response
 
     async def handle_request(
         self, method: str, path: str, payload: dict | None = None
@@ -411,7 +541,17 @@ class MechanismServer:
                         ),
                     }
                     for d in self._deployments.values()
-                ]
+                ],
+                "quarantined": [
+                    {
+                        "kind": q["spec"].kind,
+                        "n": q["spec"].n,
+                        "alpha": str(q["spec"].alpha),
+                        "key": key[:12],
+                        "reason": q["reason"],
+                    }
+                    for key, q in self._quarantined.items()
+                ],
             }
         if path == "/metrics":
             return 200, {
@@ -433,25 +573,39 @@ class MechanismServer:
                         for f in self.auditor.last_findings
                     ],
                 },
-                "users": len(self._ledgers),
+                "ledger": self.ledgers.stats(),
+                "users": self.ledgers.users(),
             }
         if path.startswith("/ledger/"):
             user = path[len("/ledger/"):]
-            ledger = self._ledgers.get(user)
-            if ledger is None:
+            budget = self.ledgers.view(user)
+            if budget is None:
                 return 404, {"error": f"no releases recorded for {user!r}"}
             return 200, {
                 "user": user,
-                "releases": len(ledger),
-                "floor": str(ledger.floor),
-                "cumulative_alpha": str(ledger.cumulative_alpha),
-                "cumulative_epsilon": ledger.cumulative_epsilon,
-                "remaining_alpha": str(ledger.remaining_alpha),
+                "releases": budget.releases,
+                "floor": str(budget.floor),
+                "cumulative_alpha": str(budget.cumulative_alpha),
+                "cumulative_epsilon": budget.cumulative_epsilon,
+                "remaining_alpha": str(budget.remaining_alpha),
             }
         return 404, {"error": f"no route for {method} {path}"}
 
     # -- HTTP/1.1 transport --------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
+        # Registered so a graceful drain can await in-flight handlers
+        # (bounded by drain_deadline) instead of abandoning keep-alive
+        # connections mid-response.
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _serve_connection(self, reader, writer) -> None:
         try:
             while True:
                 request_line = await reader.readline()
@@ -496,7 +650,7 @@ class MechanismServer:
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower()
                     != "close"
-                )
+                ) and not self._draining
                 head = (
                     f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                     f"Content-Type: application/json\r\n"
@@ -536,22 +690,86 @@ class MechanismServer:
             raise ReproError("server is not started")
         return self._http_server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
-        """Drain the batcher and close the listener."""
-        self.batcher.flush()
+    async def stop(self, *, drain_deadline: float | None = None) -> None:
+        """Graceful drain: stop accepting, finish in-flight work, flush
+        the batcher, fsync and close the ledger.
+
+        In-flight keep-alive handlers are awaited up to
+        ``drain_deadline`` seconds (the server default when ``None``);
+        stragglers — typically idle keep-alive connections parked on a
+        read — are then cancelled. Idempotent: a second call is a no-op.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._draining = True
+        deadline = (
+            self.drain_deadline if drain_deadline is None else drain_deadline
+        )
         if self._http_server is not None:
             self._http_server.close()
             await self._http_server.wait_closed()
             self._http_server = None
+        self.batcher.flush()
+        pending = {t for t in self._connections if not t.done()}
+        if pending:
+            _done, alive = await asyncio.wait(pending, timeout=deadline)
+            for task in alive:
+                task.cancel()
+            if alive:
+                await asyncio.gather(*alive, return_exceptions=True)
+        # Handlers drained after the first flush may have parked more
+        # queries; flush again before failing anything still pending.
+        self.batcher.flush()
         self.batcher.close()
+        try:
+            self.ledgers.sync()
+        except LedgerUnavailableError:
+            pass  # already as durable as it will get; close regardless
+        self.ledgers.close()
 
-    async def serve_forever(self) -> None:
-        """Serve until cancelled (the ``repro serve`` main loop)."""
+    def request_shutdown(self) -> None:
+        """Ask :meth:`serve_forever` to drain and exit (signal-safe when
+        registered via ``loop.add_signal_handler``)."""
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def serve_forever(self, *, install_signal_handlers=False) -> None:
+        """Serve until cancelled or shut down (the ``repro serve`` loop).
+
+        With ``install_signal_handlers=True``, ``SIGTERM`` and
+        ``SIGINT`` trigger a graceful drain (stop accepting, await open
+        handlers, flush the batcher, fsync the ledger) instead of
+        killing the process mid-charge.
+        """
         if self._http_server is None:
             raise ReproError("call start() before serve_forever()")
+        self._shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed: list = []
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    continue  # pragma: no cover - non-POSIX loop
+                installed.append(signum)
+        shutdown_task = asyncio.create_task(self._shutdown.wait())
+        server_task = asyncio.create_task(self._http_server.serve_forever())
         try:
-            await self._http_server.serve_forever()
+            await asyncio.wait(
+                {shutdown_task, server_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
         except asyncio.CancelledError:
             pass
         finally:
+            for task in (shutdown_task, server_task):
+                task.cancel()
+            await asyncio.gather(
+                shutdown_task, server_task, return_exceptions=True
+            )
+            for signum in installed:
+                with contextlib.suppress(ValueError, RuntimeError):
+                    loop.remove_signal_handler(signum)
             await self.stop()

@@ -1,0 +1,477 @@
+"""Tests for the crash-safe durable privacy ledger.
+
+The invariants under test (see the module docstring of
+:mod:`repro.release.durable_ledger`):
+
+* **release-implies-durable** — a charge is journaled (and, in
+  ``fsync="always"`` mode, fsync'd) before the caller sees "charged";
+* **conservative recovery** — a valid checksummed record is always
+  kept (ambiguity over-protects), a torn tail is truncated
+  (never-acknowledged = never-released = floor-legal to drop), and
+  corruption *before* valid records is refused loudly;
+* **exactness** — budgets round-trip as exact ``Fraction`` values, not
+  floats;
+* **idempotency** — a replayed key never double-charges, even across a
+  crash that lost the response.
+"""
+
+import json
+import multiprocessing
+import os
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ReproError, ValidationError
+from repro.release.durable_ledger import (
+    FSYNC_MODES,
+    DurableLedger,
+    LedgerCorruptionError,
+    LedgerUnavailableError,
+    MemoryLedgerBook,
+    verify_ledger_dir,
+)
+from repro.release.ledger import ConcurrentPrivacyLedger, PrivacyLedger
+from repro.serving.faults import FaultInjector, FaultyFS, InjectedCrash
+
+HALF = Fraction(1, 2)
+QUARTER = Fraction(1, 4)
+
+
+@pytest.fixture()
+def ledger_dir(tmp_path):
+    return tmp_path / "ledger"
+
+
+def reopen(ledger_dir, **kwargs):
+    return DurableLedger(ledger_dir, **kwargs)
+
+
+class TestRestore:
+    def test_restore_sets_exact_cumulative(self):
+        ledger = PrivacyLedger(floor=Fraction(1, 16))
+        ledger.restore(Fraction(3, 7))
+        assert ledger.cumulative_alpha == Fraction(3, 7)
+        assert len(ledger) == 1
+
+    def test_restore_summarizing_many_releases_keeps_len_truthful(self):
+        ledger = ConcurrentPrivacyLedger(floor=0)
+        ledger.restore(Fraction(1, 8), releases=3)
+        assert len(ledger) == 3
+        ledger.charge(HALF)
+        assert len(ledger) == 4
+        assert ledger.cumulative_alpha == Fraction(1, 16)
+
+    def test_restore_may_sit_at_the_floor(self):
+        ledger = PrivacyLedger(floor=Fraction(1, 8))
+        ledger.restore(Fraction(1, 8))
+        assert ledger.cumulative_alpha == ledger.floor
+        assert not ledger.can_afford(HALF)
+
+    def test_restore_rejects_nonsense(self):
+        ledger = PrivacyLedger()
+        with pytest.raises(ValidationError):
+            ledger.restore(0)
+        with pytest.raises(ValidationError):
+            ledger.restore(HALF, releases=0)
+
+
+class TestDurableRoundtrip:
+    def test_exact_fractions_survive_reopen(self, ledger_dir):
+        ledger = DurableLedger(ledger_dir, Fraction(1, 1000))
+        ledger.charge("alice", Fraction(123, 456), label="odd")
+        ledger.charge("alice", Fraction(7, 9))
+        ledger.close()
+        back = reopen(ledger_dir)
+        budget = back.view("alice")
+        assert budget.cumulative_alpha == Fraction(123, 456) * Fraction(7, 9)
+        assert budget.releases == 2
+        assert back.floor == Fraction(1, 1000)
+        back.close()
+
+    def test_floor_enforced_across_restarts(self, ledger_dir):
+        statuses = []
+        for _ in range(4):
+            ledger = reopen(ledger_dir, floor=Fraction(1, 8))
+            statuses.append(ledger.charge("u", HALF).outcome)
+            ledger.close()
+        # 1/2 -> 1/4 -> 1/8 (== floor, legal) -> rejected
+        assert statuses == ["charged", "charged", "charged", "rejected"]
+
+    def test_rejected_charge_writes_nothing(self, ledger_dir):
+        ledger = DurableLedger(ledger_dir, Fraction(1, 4))
+        ledger.charge("u", HALF)
+        size = os.path.getsize(ledger_dir / "wal.jsonl")
+        decision = ledger.charge("u", QUARTER)
+        assert decision.outcome == "rejected"
+        assert os.path.getsize(ledger_dir / "wal.jsonl") == size
+        ledger.close()
+
+    def test_none_floor_adopts_persisted_floor(self, ledger_dir):
+        DurableLedger(ledger_dir, Fraction(1, 8)).close()
+        back = reopen(ledger_dir)
+        assert back.floor == Fraction(1, 8)
+        back.close()
+
+    def test_explicit_floor_overrides_persisted(self, ledger_dir):
+        DurableLedger(ledger_dir, Fraction(1, 8)).close()
+        back = reopen(ledger_dir, floor=Fraction(1, 32))
+        assert back.floor == Fraction(1, 32)
+        back.close()
+        assert reopen(ledger_dir).floor == Fraction(1, 32)
+
+    def test_bad_fsync_mode_rejected(self, ledger_dir):
+        with pytest.raises(ReproError, match="fsync"):
+            DurableLedger(ledger_dir, fsync="sometimes")
+        assert set(FSYNC_MODES) == {"always", "group", "off"}
+
+
+class TestIdempotency:
+    def test_replay_returns_original_response(self, ledger_dir):
+        ledger = DurableLedger(ledger_dir, Fraction(1, 4))
+        first = ledger.charge("u", HALF, idem="req-1")
+        assert first.outcome == "charged"
+        ledger.record_result("req-1", 200, {"value": 9})
+        again = ledger.charge("u", HALF, idem="req-1")
+        assert again.outcome == "replayed"
+        assert again.replay == (200, {"value": 9})
+        # the budget was spent exactly once
+        assert ledger.view("u").cumulative_alpha == HALF
+        ledger.close()
+
+    def test_replay_survives_reopen(self, ledger_dir):
+        ledger = DurableLedger(ledger_dir, Fraction(1, 4))
+        ledger.charge("u", HALF, idem="req-1")
+        ledger.record_result("req-1", 200, {"value": 9})
+        ledger.close()
+        back = reopen(ledger_dir)
+        again = back.charge("u", HALF, idem="req-1")
+        assert again.outcome == "replayed"
+        assert again.replay == (200, {"value": 9})
+        back.close()
+
+    def test_charged_but_response_lost_is_pending_not_recharged(
+        self, ledger_dir
+    ):
+        ledger = DurableLedger(ledger_dir, Fraction(1, 4))
+        ledger.charge("u", HALF, idem="req-1")
+        ledger.close()  # "crash" before record_result
+        back = reopen(ledger_dir)
+        decision = back.charge("u", HALF, idem="req-1")
+        assert decision.outcome == "pending"
+        assert back.view("u").cumulative_alpha == HALF  # spent once
+        back.close()
+
+    def test_memory_book_same_semantics(self):
+        book = MemoryLedgerBook(Fraction(1, 4))
+        assert book.charge("u", HALF, idem="k").outcome == "charged"
+        assert book.charge("u", HALF, idem="k").outcome == "pending"
+        book.record_result("k", 200, {"v": 1})
+        replay = book.charge("u", HALF, idem="k")
+        assert replay.outcome == "replayed"
+        assert replay.replay == (200, {"v": 1})
+        assert book.view("u").cumulative_alpha == HALF
+
+
+class TestRecovery:
+    def test_torn_tail_is_truncated(self, ledger_dir):
+        ledger = DurableLedger(ledger_dir)
+        ledger.charge("u", HALF)
+        ledger.charge("u", HALF)
+        ledger.close()
+        wal = ledger_dir / "wal.jsonl"
+        intact = wal.read_bytes()
+        wal.write_bytes(intact + b'{"op":"charge","seq":3,"user":"u"')
+        back = reopen(ledger_dir)
+        assert back.view("u").cumulative_alpha == QUARTER
+        assert wal.read_bytes() == intact  # tail physically removed
+        back.close()
+
+    def test_checksum_corrupt_tail_is_truncated(self, ledger_dir):
+        ledger = DurableLedger(ledger_dir)
+        ledger.charge("u", HALF)
+        ledger.charge("u", HALF)
+        ledger.close()
+        wal = ledger_dir / "wal.jsonl"
+        lines = wal.read_bytes().splitlines(keepends=True)
+        flipped = lines[-1].replace(b'"user":"u"', b'"user":"x"')
+        assert flipped != lines[-1]
+        wal.write_bytes(b"".join(lines[:-1]) + flipped)
+        back = reopen(ledger_dir)
+        assert back.view("u").cumulative_alpha == HALF
+        back.close()
+
+    def test_mid_journal_corruption_is_refused(self, ledger_dir):
+        ledger = DurableLedger(ledger_dir)
+        ledger.charge("u", HALF)
+        ledger.charge("u", HALF)
+        ledger.close()
+        wal = ledger_dir / "wal.jsonl"
+        lines = wal.read_bytes().splitlines(keepends=True)
+        wal.write_bytes(b"garbage not json\n" + b"".join(lines))
+        with pytest.raises(LedgerCorruptionError, match="refusing to drop"):
+            reopen(ledger_dir)
+        report = verify_ledger_dir(ledger_dir)
+        assert not report["ok"]
+
+    def test_seq_gap_is_refused(self, ledger_dir):
+        ledger = DurableLedger(ledger_dir)
+        ledger.charge("u", HALF)
+        ledger.charge("u", HALF)
+        ledger.close()
+        wal = ledger_dir / "wal.jsonl"
+        lines = wal.read_bytes().splitlines(keepends=True)
+        wal.write_bytes(lines[-1])  # first record vanished
+        with pytest.raises(LedgerCorruptionError):
+            reopen(ledger_dir)
+
+    def test_snapshot_plus_journal_replay(self, ledger_dir):
+        ledger = DurableLedger(ledger_dir, Fraction(1, 100))
+        ledger.charge("u", HALF, label="before-snapshot")
+        ledger.compact()
+        ledger.charge("u", QUARTER, label="after-snapshot")
+        ledger.close()
+        back = reopen(ledger_dir)
+        budget = back.view("u")
+        assert budget.cumulative_alpha == Fraction(1, 8)
+        assert budget.releases == 2
+        back.close()
+
+    def test_crash_between_snapshot_and_truncate_is_safe(self, ledger_dir):
+        faults = FaultInjector().crash_at("compact.after-snapshot")
+        ledger = DurableLedger(ledger_dir, faults=faults)
+        ledger.charge("u", HALF)
+        with pytest.raises(InjectedCrash):
+            ledger.compact()
+        # the snapshot landed, the journal did not get truncated:
+        assert (ledger_dir / "snapshot.json").exists()
+        assert os.path.getsize(ledger_dir / "wal.jsonl") > 0
+        back = reopen(ledger_dir)
+        # replay must not double-apply the journaled charge
+        assert back.view("u").cumulative_alpha == HALF
+        assert back.view("u").releases == 1
+        back.close()
+
+    def test_auto_compaction_bounds_the_journal(self, ledger_dir):
+        ledger = DurableLedger(ledger_dir, snapshot_every=4)
+        for _ in range(10):
+            ledger.charge("u", Fraction(999, 1000))
+        assert ledger.stats()["snapshot_seq"] >= 4
+        ledger.close()
+        back = reopen(ledger_dir)
+        assert back.view("u").cumulative_alpha == Fraction(999, 1000) ** 10
+        assert back.view("u").releases == 10
+        back.close()
+
+    def test_verify_ledger_dir_reports_clean_state(self, ledger_dir):
+        ledger = DurableLedger(ledger_dir, Fraction(1, 64))
+        ledger.charge("a", HALF)
+        ledger.charge("b", QUARTER)
+        ledger.close()
+        report = verify_ledger_dir(ledger_dir)
+        assert report["ok"]
+        assert report["records"] == 2
+        assert report["users"] == 2
+        assert report["floor"] == "1/64"
+
+    def test_verify_catches_tampered_cumulative(self, ledger_dir):
+        ledger = DurableLedger(ledger_dir)
+        ledger.charge("u", HALF)
+        ledger.close()
+        wal = ledger_dir / "wal.jsonl"
+        record = json.loads(wal.read_bytes())
+        record["cum"] = "1/3"  # inconsistent with alpha product
+        del record["crc"]
+        from repro.release.durable_ledger import _encode_record
+
+        wal.write_bytes(_encode_record(record))
+        report = verify_ledger_dir(ledger_dir)
+        assert not report["ok"]
+        assert any("running product" in f for f in report["failures"])
+
+
+class TestMultiInstanceSharing:
+    def test_two_instances_share_one_budget(self, ledger_dir):
+        a = DurableLedger(ledger_dir, Fraction(1, 8))
+        b = DurableLedger(ledger_dir, Fraction(1, 8))
+        assert a.charge("u", HALF).outcome == "charged"
+        assert b.charge("u", HALF).outcome == "charged"
+        assert a.charge("u", HALF).outcome == "charged"  # hits 1/8 == floor
+        assert b.charge("u", HALF).outcome == "rejected"
+        assert a.view("u").cumulative_alpha == Fraction(1, 8)
+        assert b.view("u").cumulative_alpha == Fraction(1, 8)
+        a.close()
+        b.close()
+
+    def test_sibling_sees_compaction(self, ledger_dir):
+        a = DurableLedger(ledger_dir)
+        b = DurableLedger(ledger_dir)
+        a.charge("u", HALF)
+        a.compact()
+        a.charge("u", HALF)
+        assert b.view("u").cumulative_alpha == QUARTER
+        a.close()
+        b.close()
+
+    def test_concurrent_processes_never_overspend(self, ledger_dir):
+        DurableLedger(ledger_dir, Fraction(1, 2) ** 10).close()
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(4) as pool:
+            outcomes = pool.map(
+                _charge_worker, [str(ledger_dir)] * 4
+            )
+        charged = sum(outcomes)
+        assert charged == 10  # exactly the floor's capacity, no more
+        report = verify_ledger_dir(ledger_dir)
+        assert report["ok"]
+        back = reopen(ledger_dir)
+        assert back.view("racer").cumulative_alpha == Fraction(1, 2) ** 10
+        back.close()
+
+
+def _charge_worker(directory: str) -> int:
+    ledger = DurableLedger(directory)
+    charged = 0
+    for _ in range(5):
+        if ledger.charge("racer", HALF).outcome == "charged":
+            charged += 1
+    ledger.close()
+    return charged
+
+
+class TestFaultInjection:
+    def test_enospc_surfaces_as_unavailable_and_heals(self, ledger_dir):
+        DurableLedger(ledger_dir).close()  # settle meta.json cleanly
+        faults = FaultInjector().fail_at("fs.write", after=1)
+        ledger = DurableLedger(
+            ledger_dir, fs=FaultyFS(faults), faults=faults
+        )
+        ledger.charge("u", HALF)
+        with pytest.raises(LedgerUnavailableError, match="persist"):
+            ledger.charge("u", HALF)
+        # the failed charge spent nothing and the ledger stays usable:
+        assert ledger.view("u").cumulative_alpha == HALF
+        assert ledger.charge("u", HALF).outcome == "charged"
+        ledger.close()
+        back = reopen(ledger_dir)
+        assert back.view("u").cumulative_alpha == QUARTER
+        back.close()
+
+    def test_short_write_rolls_back_cleanly(self, ledger_dir):
+        DurableLedger(ledger_dir).close()
+        faults = FaultInjector().short_at("fs.write", after=1, keep=7)
+        ledger = DurableLedger(
+            ledger_dir, fs=FaultyFS(faults), faults=faults
+        )
+        ledger.charge("u", HALF)
+        with pytest.raises(LedgerUnavailableError):
+            ledger.charge("u", HALF)
+        assert ledger.charge("u", HALF).outcome == "charged"
+        ledger.close()
+        report = verify_ledger_dir(ledger_dir)
+        assert report["ok"]
+        assert report["records"] == 2
+
+    def test_fsync_failure_marks_group_ledger_unavailable(self, ledger_dir):
+        DurableLedger(ledger_dir).close()
+        faults = FaultInjector().fail_at(
+            "fs.fsync", exc=lambda: OSError(5, "injected EIO")
+        )
+        ledger = DurableLedger(
+            ledger_dir, fsync="group", fs=FaultyFS(faults), faults=faults
+        )
+        ledger.charge("u", HALF)
+        with pytest.raises(LedgerUnavailableError, match="group-commit"):
+            ledger.sync()
+        with pytest.raises(LedgerUnavailableError):
+            ledger.charge("u", HALF)
+        ledger.close()
+
+
+@pytest.mark.chaos
+class TestKillPointMatrix:
+    """The parametrized kill matrix: crash a charge at every stage and
+    assert the recovered state is floor-legal and never more permissive
+    than reality (satellite 3).
+
+    ``acked`` = how many of the 3 attempted charges were acknowledged
+    (the caller saw "charged", so a response may have been released).
+    The recovered cumulative must satisfy::
+
+        floor <= recovered <= alpha ** acked      (never more permissive
+                                                   than what was released)
+        recovered >= alpha ** attempts            (never over-spent)
+    """
+
+    CASES = [
+        # (kill point arming, acked charges after the crash)
+        ("charge.before-append", 2),   # died before touching the disk
+        ("fs.write-tear", 2),          # died mid-append: torn record
+        ("charge.before-fsync", 2),    # bytes written, ack never sent
+        ("charge.after-fsync", 3),     # durable; only the response died
+    ]
+
+    @pytest.mark.parametrize("point,acked_max", CASES)
+    def test_kill_and_recover(self, tmp_path, point, acked_max):
+        directory = tmp_path / "ledger"
+        floor = Fraction(1, 2) ** 5
+        faults = FaultInjector()
+        if point == "fs.write-tear":
+            faults.tear_at("fs.write", after=3, keep=10)  # meta.json first
+        else:
+            faults.crash_at(point, after=2)
+        ledger = DurableLedger(
+            directory, floor, fsync="always",
+            fs=FaultyFS(faults), faults=faults,
+        )
+        acked = 0
+        crashed = False
+        for _ in range(3):
+            try:
+                if ledger.charge("u", HALF).outcome == "charged":
+                    acked += 1
+            except InjectedCrash:
+                crashed = True
+                break
+        assert crashed, f"kill point {point} never fired"
+        # the crashed instance refuses further use (it is "dead"):
+        with pytest.raises(LedgerUnavailableError):
+            ledger.charge("u", HALF)
+
+        recovered = DurableLedger(directory, floor)
+        budget = recovered.view("u")
+        cum = Fraction(1) if budget is None else budget.cumulative_alpha
+        assert acked <= acked_max
+        # never more permissive than what was acknowledged/released:
+        assert cum <= HALF ** acked
+        # never over-spent relative to everything attempted:
+        assert cum >= HALF ** 3
+        assert cum >= floor
+        # and the recovered ledger keeps enforcing the floor exactly:
+        remaining = 0
+        while recovered.charge("u", HALF).outcome == "charged":
+            remaining += 1
+        assert recovered.view("u").cumulative_alpha >= floor
+        recovered.close()
+
+    def test_after_fsync_crash_keeps_the_charge(self, tmp_path):
+        """The ambiguous case: the charge is durable but the in-memory
+        ack died. Recovery must keep it (over-protect, never refill)."""
+        directory = tmp_path / "ledger"
+        faults = FaultInjector().crash_at("charge.after-fsync")
+        ledger = DurableLedger(directory, fsync="always", faults=faults)
+        with pytest.raises(InjectedCrash):
+            ledger.charge("u", HALF)
+        recovered = DurableLedger(directory)
+        assert recovered.view("u").cumulative_alpha == HALF
+        recovered.close()
+
+    def test_before_append_crash_spends_nothing(self, tmp_path):
+        directory = tmp_path / "ledger"
+        faults = FaultInjector().crash_at("charge.before-append")
+        ledger = DurableLedger(directory, faults=faults)
+        with pytest.raises(InjectedCrash):
+            ledger.charge("u", HALF)
+        recovered = DurableLedger(directory)
+        assert recovered.view("u") is None
+        recovered.close()

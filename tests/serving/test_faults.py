@@ -1,0 +1,135 @@
+"""Tests for the deterministic fault-injection harness itself.
+
+The chaos suite is only as trustworthy as its knives: these tests pin
+the injector's countdown semantics, the ``BaseException`` nature of
+:class:`InjectedCrash`, the filesystem shim's tear/short/fail behavior,
+and the :class:`FlakyEndpoint` proxy modes.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.release.durable_ledger import NO_FAULTS
+from repro.serving.batching import MicroBatcher
+from repro.serving.faults import (
+    CRASH_POINTS,
+    FaultInjector,
+    FaultyFS,
+    InjectedCrash,
+)
+
+
+class TestFaultInjector:
+    def test_unarmed_points_never_fire_but_count(self):
+        faults = FaultInjector()
+        for point in CRASH_POINTS:
+            faults.crash(point)
+        assert all(faults.hits[p] == 1 for p in CRASH_POINTS)
+        assert faults.fired == []
+
+    def test_injected_crash_is_not_an_exception(self):
+        assert issubclass(InjectedCrash, BaseException)
+        assert not issubclass(InjectedCrash, Exception)
+        faults = FaultInjector().crash_at("charge.after-fsync")
+        with pytest.raises(InjectedCrash) as info:
+            try:
+                faults.crash("charge.after-fsync")
+            except Exception:  # must NOT absorb a crash
+                pytest.fail("except Exception absorbed an InjectedCrash")
+        assert info.value.point == "charge.after-fsync"
+
+    def test_after_and_times_countdowns(self):
+        faults = FaultInjector().crash_at("p", after=2, times=2)
+        fired = []
+        for _ in range(6):
+            try:
+                faults.crash("p")
+                fired.append(False)
+            except InjectedCrash:
+                fired.append(True)
+        assert fired == [False, False, True, True, False, False]
+        assert faults.fired == ["p", "p"]
+
+    def test_crash_points_reject_non_crash_plans(self):
+        faults = FaultInjector().fail_at("charge.before-append")
+        with pytest.raises(ReproError, match="pure crash point"):
+            faults.crash("charge.before-append")
+
+    def test_disarm(self):
+        faults = FaultInjector().crash_at("p")
+        faults.disarm("p")
+        faults.crash("p")  # no raise
+
+    def test_no_faults_is_inert(self):
+        for point in CRASH_POINTS:
+            NO_FAULTS.crash(point)
+
+
+class TestFaultyFS:
+    def test_tear_persists_prefix_then_dies(self, tmp_path):
+        faults = FaultInjector().tear_at("fs.write", keep=5)
+        fs = FaultyFS(faults)
+        handle = fs.open_append(tmp_path / "f")
+        with pytest.raises(InjectedCrash):
+            fs.write(handle, b"0123456789")
+        handle.close()
+        assert (tmp_path / "f").read_bytes() == b"01234"
+
+    def test_short_write_persists_prefix_then_oserror(self, tmp_path):
+        faults = FaultInjector().short_at("fs.write", keep=3)
+        fs = FaultyFS(faults)
+        handle = fs.open_append(tmp_path / "f")
+        with pytest.raises(OSError):
+            fs.write(handle, b"0123456789")
+        handle.close()
+        assert (tmp_path / "f").read_bytes() == b"012"
+
+    def test_fail_persists_nothing(self, tmp_path):
+        faults = FaultInjector().fail_at("fs.write")
+        fs = FaultyFS(faults)
+        handle = fs.open_append(tmp_path / "f")
+        with pytest.raises(OSError) as info:
+            fs.write(handle, b"0123456789")
+        handle.close()
+        assert "ENOSPC" in str(info.value)
+        assert (tmp_path / "f").read_bytes() == b""
+
+    def test_passthrough_when_unarmed(self, tmp_path):
+        fs = FaultyFS(FaultInjector())
+        handle = fs.open_append(tmp_path / "f")
+        fs.write(handle, b"abc")
+        fs.fsync(handle)
+        fs.truncate(handle, 1)
+        handle.close()
+        assert (tmp_path / "f").read_bytes() == b"a"
+
+
+class TestBatcherCrashPoints:
+    def test_crash_fails_futures_instead_of_stranding_them(self):
+        async def main():
+            faults = FaultInjector().crash_at("batcher.before-execute")
+            batcher = MicroBatcher(
+                lambda tables, rows: rows, window=0.001, faults=faults
+            )
+            with pytest.raises(InjectedCrash):
+                await batcher.submit(0, 1)
+            # the batcher survives for the next batch:
+            faults.disarm("batcher.before-execute")
+            assert await batcher.submit(0, 7) == 7
+            batcher.close()
+
+        asyncio.run(main())
+
+    def test_crash_after_execute_still_fails_futures(self):
+        async def main():
+            faults = FaultInjector().crash_at("batcher.after-execute")
+            batcher = MicroBatcher(
+                lambda tables, rows: rows, window=0.001, faults=faults
+            )
+            with pytest.raises(InjectedCrash):
+                await batcher.submit(0, 1)
+            batcher.close()
+
+        asyncio.run(main())
