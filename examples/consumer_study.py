@@ -157,6 +157,31 @@ async def serve_study(n, alphas) -> None:
         assert served == 60
         assert not [f for f in server.audit() if f.flagged]
 
+        # PR 9: one /metrics scrape covers the serving layer and the
+        # solver layer that compiled the grid (solve-cache hits,
+        # artifact-store loads land in the process-default registry).
+        _, scrape = await server.handle_request(
+            "GET", "/metrics?format=prometheus"
+        )
+        lines = scrape["__raw__"].splitlines()
+        latency_series = sum(
+            1
+            for line in lines
+            if line.startswith("repro_publish_latency_seconds_count")
+        )
+        solver = [
+            line
+            for line in lines
+            if line.startswith(
+                ("repro_solve_cache_total", "repro_artifact_store_total")
+            )
+        ]
+        print(
+            f"one /metrics scrape: latency histograms for "
+            f"{latency_series} deployments; solver layer: "
+            + ", ".join(solver[:3])
+        )
+
 
 if __name__ == "__main__":
     main()

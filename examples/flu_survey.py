@@ -171,6 +171,8 @@ async def serve_live(store, n, alpha, true_count, ledger_dir) -> None:
         seed=20101001,
         ledger_dir=ledger_dir,  # budgets live in a crash-safe WAL (PR 8)
         ledger_fsync="group",  # one fsync per micro-batch, before release
+        trace_rate=1.0,  # trace everything for the demo (PR 9)
+        trace_seed=20101003,
     )
     loaded = server.load_store()
     await server.start(port=0)  # ephemeral port; `repro serve` pins one
@@ -189,6 +191,7 @@ async def serve_live(store, n, alpha, true_count, ledger_dir) -> None:
         f"HTTP publish -> {status}: value={body['value']} "
         f"(budget left: alpha down to {body['cumulative_alpha']})"
     )
+    government_trace = body["trace"]  # traced end-to-end (PR 9)
 
     # Concurrent consumers fuse into one micro-batched gather.
     client = InProcessClient(server)
@@ -228,6 +231,29 @@ async def serve_live(store, n, alpha, true_count, ledger_dir) -> None:
     flagged = [f for f in server.audit() if f.flagged]
     print(f"online audit: {len(flagged)} deployments flagged")
     assert not flagged
+
+    # --- Observability (PR 9): the same traffic as the operator sees it.
+    # One Prometheus scrape covers requests by status, per-deployment
+    # latency histograms, WAL health, and budget burn-down; the HTTP
+    # publish above was traced end-to-end through the durable ledger
+    # and the fused sampler.
+    _, scrape = await server.handle_request(
+        "GET", "/metrics?format=prometheus"
+    )
+    lines = scrape["__raw__"].splitlines()
+    for prefix in (
+        'repro_requests_total{route="publish",status="200"}',
+        "repro_budget_users_near_floor",
+    ):
+        for line in lines:
+            if line.startswith(prefix):
+                print(f"scrape: {line}")
+                break
+    spans = server.telemetry.tracer.recent(trace=government_trace)
+    print(
+        f"trace {government_trace}: "
+        + " -> ".join(record["name"] for record in reversed(spans))
+    )
 
     await http.close()
     await server.stop()

@@ -96,6 +96,14 @@ from .release import (
     set_default_artifact_store,
     verify_artifact,
 )
+from .obs import (
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    burn_rows_from_book,
+    burn_rows_from_dir,
+    default_registry,
+)
 from .serving import InProcessClient, MechanismServer, MicroBatcher, OnlineAuditor
 from .solvers import SolveCache, set_default_cache
 
@@ -191,6 +199,13 @@ __all__ = [
     "InProcessClient",
     "MicroBatcher",
     "OnlineAuditor",
+    # observability
+    "MetricsRegistry",
+    "Telemetry",
+    "Tracer",
+    "default_registry",
+    "burn_rows_from_book",
+    "burn_rows_from_dir",
     # losses
     "LossFunction",
     "cached_loss_matrix",

@@ -22,7 +22,12 @@ Subcommands::
                   [--batch-window S] [--batch-max K] [--audit-rate R]
                   [--audit-every B] [--seed S] [--ledger-dir DIR]
                   [--ledger-fsync always|group|off] [--drain-deadline S]
+                  [--trace-rate R] [--trace-dir DIR] [--trace-ring K]
     repro ledger show|verify|compact [--ledger-dir DIR]
+    repro obs top [--server URL | --ledger-dir DIR] [--limit K]
+    repro obs tail [--server URL | --trace-dir DIR] [--limit K]
+                  [--name SPAN] [--trace ID]
+    repro obs export --server URL [--format prometheus|json] [--out F]
 
 Fractions are accepted anywhere a privacy level is (e.g. ``--alpha 1/4``).
 The sweep command exposes the process-pool (``--workers``) and
@@ -51,7 +56,16 @@ crash-safe write-ahead-logged :class:`~repro.release.durable_ledger.DurableLedge
 shared by N worker processes; without it they reset with the process.
 ``SIGTERM``/``SIGINT`` drain gracefully. ``repro ledger`` inspects
 (``show``), integrity-checks (``verify``), or compacts (``compact``)
-a ledger directory offline.
+a ledger directory offline; ``show`` includes per-user burn columns
+(spent fraction of the epsilon budget, exact remaining charges).
+
+``obs`` is the observability toolbox over :mod:`repro.obs`: ``top``
+ranks users by budget burn (live ``/obs/burn`` or a WAL directory at
+rest), ``tail`` prints recent trace spans (live ring buffer or a
+``--trace-dir`` JSONL log), ``export`` dumps a live server's metrics
+as Prometheus text or the legacy JSON snapshot. ``serve`` grows
+``--trace-rate``/``--trace-dir``/``--trace-ring`` to configure request
+tracing.
 """
 
 from __future__ import annotations
@@ -316,6 +330,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a graceful shutdown (SIGTERM/SIGINT) waits for "
         "in-flight connections before cancelling them",
     )
+    serve.add_argument(
+        "--trace-rate", type=float, default=0.0,
+        help="fraction of publishes to trace end to end (0 disables "
+        "tracing; 1.0 traces every request)",
+    )
+    serve.add_argument(
+        "--trace-dir", default=None,
+        help="append sampled trace spans to DIR/trace.jsonl (unset: "
+        "in-memory ring buffer only, via GET /trace/recent)",
+    )
+    serve.add_argument(
+        "--trace-ring", type=int, default=1024,
+        help="spans kept in the in-memory ring served by /trace/recent",
+    )
 
     ledger = sub.add_parser(
         "ledger",
@@ -334,6 +362,54 @@ def build_parser() -> argparse.ArgumentParser:
             "--ledger-dir", default=None,
             help="ledger directory (default: REPRO_LEDGER_DIR)",
         )
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability toolbox: rank budget burners, tail trace "
+        "spans, export metrics",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_top = obs_sub.add_parser(
+        "top", help="rank users by privacy-budget burn"
+    )
+    obs_top.add_argument(
+        "--server", default=None,
+        help="live server base URL (e.g. http://127.0.0.1:8790)",
+    )
+    obs_top.add_argument(
+        "--ledger-dir", default=None,
+        help="rank from a ledger directory at rest "
+        "(default: REPRO_LEDGER_DIR when --server is not given)",
+    )
+    obs_top.add_argument("--limit", type=int, default=20)
+    obs_tail = obs_sub.add_parser(
+        "tail", help="print recent trace spans, newest first"
+    )
+    obs_tail.add_argument(
+        "--server", default=None,
+        help="live server base URL (reads the /trace/recent ring)",
+    )
+    obs_tail.add_argument(
+        "--trace-dir", default=None,
+        help="read a trace.jsonl log written by serve --trace-dir",
+    )
+    obs_tail.add_argument("--limit", type=int, default=20)
+    obs_tail.add_argument(
+        "--name", default=None, help="only spans with this name"
+    )
+    obs_tail.add_argument(
+        "--trace", default=None, help="only spans of this trace id"
+    )
+    obs_export = obs_sub.add_parser(
+        "export", help="dump a live server's metrics"
+    )
+    obs_export.add_argument("--server", required=True)
+    obs_export.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus"
+    )
+    obs_export.add_argument(
+        "--out", default=None, help="write to this file instead of stdout"
+    )
 
     return parser
 
@@ -644,6 +720,9 @@ def _cmd_serve(args) -> str:
         audit_rate=args.audit_rate,
         audit_every=args.audit_every,
         seed=args.seed,
+        trace_rate=args.trace_rate,
+        trace_dir=args.trace_dir,
+        trace_ring=args.trace_ring,
     )
     loaded = server.load_store()
     if not loaded:
@@ -743,20 +822,59 @@ def _cmd_ledger(args) -> str:
             f"seq={stats['seq']} journal_bytes={stats['journal_bytes']} "
             f"replay_entries={stats['replay_entries']}",
         ]
+        from .obs.budget import burn_rows_from_book
+
+        burn = {row.user: row for row in burn_rows_from_book(ledger)}
         users = sorted(ledger._books)
         for user in users:
             budget = ledger.view(user)
+            row = burn.get(user)
+            extra = ""
+            if row is not None:
+                left = (
+                    "inf"
+                    if row.remaining_charges is None
+                    else row.remaining_charges
+                )
+                extra = (
+                    f" spent={row.spent_fraction * 100:.1f}% "
+                    f"charges_left={left}"
+                )
             lines.append(
                 f"  {user}: releases={budget.releases} "
                 f"cumulative={budget.cumulative_alpha} "
                 f"(epsilon={budget.cumulative_epsilon:.4f}) "
                 f"remaining={budget.remaining_alpha}"
+                + extra
             )
         if not users:
             lines.append("  (no releases recorded)")
         return "\n".join(lines)
     finally:
         ledger.close()
+
+
+def _cmd_obs(args) -> str:
+    from .obs.cli import obs_export, obs_tail, obs_top
+
+    if args.obs_command == "top":
+        ledger_dir = args.ledger_dir
+        if args.server is None:
+            ledger_dir = _resolve_ledger_dir(ledger_dir)
+        return obs_top(
+            server=args.server, ledger_dir=ledger_dir, limit=args.limit
+        )
+    if args.obs_command == "tail":
+        return obs_tail(
+            server=args.server,
+            trace_dir=args.trace_dir,
+            limit=args.limit,
+            name=args.name,
+            trace=args.trace,
+        )
+    return obs_export(
+        server=args.server, format=args.format, out=args.out
+    )
 
 
 def main(argv=None) -> int:
@@ -774,6 +892,7 @@ def main(argv=None) -> int:
         "cache": _cmd_cache,
         "serve": _cmd_serve,
         "ledger": _cmd_ledger,
+        "obs": _cmd_obs,
     }
     try:
         output = handlers[args.command](args)

@@ -46,6 +46,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 import weakref
 from dataclasses import dataclass
 from fractions import Fraction
@@ -549,6 +550,23 @@ def verify_artifact(artifact: MechanismArtifact) -> ArtifactVerification:
       by :func:`repro.solvers.hybrid.replay_certificate`, proving the
       stored kernel optimal with the stored loss.
     """
+    t0 = time.perf_counter()
+    report = _verify_artifact(artifact)
+    _observe_seconds(
+        "repro_artifact_verify_seconds",
+        "Load/startup artifact verification time (certificate replay).",
+        time.perf_counter() - t0,
+    )
+    return report
+
+
+def _observe_seconds(name: str, help: str, seconds: float) -> None:
+    from ..obs.metrics import default_registry
+
+    default_registry().histogram(name, help).observe(seconds)
+
+
+def _verify_artifact(artifact: MechanismArtifact) -> ArtifactVerification:
     checks: list[str] = []
     failures: list[str] = []
     spec = artifact.spec
@@ -671,6 +689,18 @@ class ArtifactStore:
     def _entry_path(self, key: str) -> Path:
         return self.path / key[:2] / f"{key}.json"
 
+    @staticmethod
+    def _count(op: str) -> None:
+        # Mirror the per-instance stats into the process-default
+        # registry so a serving scrape covers artifact-store behaviour.
+        from ..obs.metrics import default_registry
+
+        default_registry().counter(
+            "repro_artifact_store_total",
+            "Artifact-store operations, by op.",
+            labels=("op",),
+        ).labels(op).inc()
+
     # -- lookup --------------------------------------------------------
     def get(self, spec: ArtifactSpec) -> MechanismArtifact | None:
         """Return the stored artifact for ``spec``, or ``None``."""
@@ -684,8 +714,10 @@ class ArtifactStore:
                 self._remember(key, artifact)
         if artifact is None:
             self.stats["misses"] += 1
+            self._count("miss")
             return None
         self.stats["hits"] += 1
+        self._count("hit")
         return artifact
 
     def get_or_compile(
@@ -718,6 +750,7 @@ class ArtifactStore:
                     )
                     self.put(artifact)
                     self.stats["compiles"] += 1
+                    self._count("compile")
         return artifact
 
     # -- locking -------------------------------------------------------
@@ -774,6 +807,7 @@ class ArtifactStore:
                 raise
         self._remember(key, artifact)
         self.stats["stores"] += 1
+        self._count("store")
 
     # -- maintenance ---------------------------------------------------
     def keys(self) -> list[str]:
@@ -853,11 +887,18 @@ class ArtifactStore:
     # -- internals -----------------------------------------------------
     def _load(self, key: str) -> MechanismArtifact | None:
         entry = self._entry_path(key)
+        t0 = time.perf_counter()
         try:
             payload = json.loads(entry.read_text())
-            return MechanismArtifact.from_payload(payload)
+            artifact = MechanismArtifact.from_payload(payload)
         except (OSError, ValueError, ValidationError):
             return None
+        _observe_seconds(
+            "repro_artifact_load_seconds",
+            "On-disk artifact load + decode time.",
+            time.perf_counter() - t0,
+        )
+        return artifact
 
     def _remember(self, key: str, artifact: MechanismArtifact) -> None:
         if len(self._memory) >= _MEMORY_ENTRIES:

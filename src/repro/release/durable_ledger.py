@@ -62,6 +62,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -75,6 +76,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 from ..core.privacy import alpha_to_epsilon
 from ..exceptions import ReproError
+from ..obs.tracing import current_trace
 from ..validation import check_alpha
 from .ledger import ConcurrentPrivacyLedger
 
@@ -101,6 +103,11 @@ _SNAPSHOT_NAME = "snapshot.json"
 _META_NAME = "meta.json"
 _LOCK_NAME = "ledger.lock"
 _FORMAT_VERSION = 1
+
+#: Deferred WAL-append latency samples fold into the histogram at this
+#: many pending entries (and at every scrape) — keeps the hot append
+#: path to one list append while bounding memory between scrapes.
+_LAT_FOLD_CAP = 65536
 
 
 class LedgerUnavailableError(ReproError):
@@ -373,9 +380,12 @@ class MemoryLedgerBook:
 
     durable = False
 
-    def __init__(self, floor=0, *, replay_cap: int = 65536) -> None:
+    def __init__(
+        self, floor=0, *, replay_cap: int = 65536, telemetry=None
+    ) -> None:
         check_alpha(floor, allow_endpoints=True)
         self.floor = floor
+        self.telemetry = telemetry
         self._books: dict[str, ConcurrentPrivacyLedger] = {}
         self._replay = _ReplayCache(replay_cap)
         self._lock = threading.Lock()
@@ -506,6 +516,7 @@ class DurableLedger(MemoryLedgerBook):
         replay_cap: int = 65536,
         fs: LedgerFS | None = None,
         faults=None,
+        telemetry=None,
     ) -> None:
         if fsync not in FSYNC_MODES:
             raise ReproError(
@@ -516,6 +527,9 @@ class DurableLedger(MemoryLedgerBook):
         self._fs = fs if fs is not None else REAL_FS
         self._faults = faults if faults is not None else NO_FAULTS
         self._mode = fsync
+        self._fsyncs = 0
+        self._compactions = 0
+        self._last_fsync_s: float | None = None
         self.snapshot_every = int(snapshot_every)
         self._wal_path = self.path / _WAL_NAME
         self._snapshot_path = self.path / _SNAPSHOT_NAME
@@ -530,7 +544,13 @@ class DurableLedger(MemoryLedgerBook):
         self._failed: str | None = None
         self._closed = False
         floor = self._resolve_floor(floor)
-        super().__init__(floor, replay_cap=replay_cap)
+        self._wal_lat_pending: list = []
+        super().__init__(floor, replay_cap=replay_cap, telemetry=telemetry)
+        if telemetry is not None:
+            # Deferred WAL-append latency: each charge parks one raw
+            # duration (a C-level list append); this collector folds
+            # them into the histogram at scrape time.
+            telemetry.registry.register_collector(self._fold_wal_latency)
         with self._exclusive():
             pass  # recovery happens in the catch-up under the first lock
 
@@ -708,6 +728,18 @@ class DurableLedger(MemoryLedgerBook):
         # Unknown ops are ignored for forward compatibility.
         self._seq = record["seq"]
 
+    def _fold_wal_latency(self) -> None:
+        """Fold deferred append durations into the latency histogram.
+
+        Registered as a scrape-time collector; also triggered by the
+        append path at :data:`_LAT_FOLD_CAP` pending samples so the
+        parked list stays bounded between scrapes.
+        """
+        pending = self._wal_lat_pending
+        if pending:
+            self._wal_lat_pending = []
+            self.telemetry.wal_append_latency.observe_many(pending)
+
     # -- the append protocol -------------------------------------------
     def _append(self, record: dict) -> None:
         """Append one record; on I/O failure roll back to the last
@@ -715,11 +747,37 @@ class DurableLedger(MemoryLedgerBook):
         line = _encode_record(record)
         handle = self._wal_handle()
         start = self._size
+        obs = self.telemetry
+        # Untraced requests (the vast majority at low sampling rates)
+        # must not pay for span machinery on every charge — one C-level
+        # ContextVar read decides; metrics stay unconditional.
+        traced = obs is not None and current_trace() is not None
         try:
-            self._fs.write(handle, line)
+            t0 = time.perf_counter()
+            if traced:
+                with obs.tracer.span("wal.append", seq=record["seq"]):
+                    self._fs.write(handle, line)
+            else:
+                self._fs.write(handle, line)
+            if obs is not None:
+                pending = self._wal_lat_pending
+                pending.append(time.perf_counter() - t0)
+                if len(pending) >= _LAT_FOLD_CAP:
+                    self._fold_wal_latency()
             self._faults.crash("charge.before-fsync")
             if self._mode == "always":
-                self._fs.fsync(handle)
+                t1 = time.perf_counter()
+                if traced:
+                    with obs.tracer.span("wal.fsync", mode="always"):
+                        self._fs.fsync(handle)
+                else:
+                    self._fs.fsync(handle)
+                self._last_fsync_s = time.perf_counter() - t1
+                self._fsyncs += 1
+                if obs is not None:
+                    obs.wal_fsync_latency.labels("always").observe(
+                        self._last_fsync_s
+                    )
             elif self._mode == "group":
                 self._dirty = True
         except OSError as err:
@@ -826,12 +884,27 @@ class DurableLedger(MemoryLedgerBook):
             if self._failed:
                 raise LedgerUnavailableError(self._failed)
             if self._dirty and self._wal is not None:
+                obs = self.telemetry
+                t0 = time.perf_counter()
                 try:
-                    self._fs.fsync(self._wal)
+                    if obs is not None:
+                        # Inside a micro-batch execute this span is
+                        # batch-scoped: it lands in every traced
+                        # request whose charge this fsync commits.
+                        with obs.tracer.span("wal.fsync", mode="group"):
+                            self._fs.fsync(self._wal)
+                    else:
+                        self._fs.fsync(self._wal)
                 except OSError as err:
                     self._failed = f"group-commit fsync failed: {err}"
                     raise LedgerUnavailableError(self._failed) from err
                 self._dirty = False
+                self._last_fsync_s = time.perf_counter() - t0
+                self._fsyncs += 1
+                if obs is not None:
+                    obs.wal_fsync_latency.labels("group").observe(
+                        self._last_fsync_s
+                    )
 
     # -- snapshot + compaction -----------------------------------------
     def _maybe_compact(self) -> None:
@@ -877,6 +950,9 @@ class DurableLedger(MemoryLedgerBook):
         self._snapshot_seq = self._seq
         self._appends_since_snapshot = 0
         self._snap_stat = self._stat_snapshot()
+        self._compactions += 1
+        if self.telemetry is not None:
+            self.telemetry.ledger_compactions.inc()
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
@@ -905,6 +981,11 @@ class DurableLedger(MemoryLedgerBook):
             "snapshot_seq": self._snapshot_seq,
             "journal_bytes": self._size,
             "replay_entries": len(self._replay),
+            "fsyncs": self._fsyncs,
+            "compactions": self._compactions,
+            "last_fsync_ms": None
+            if self._last_fsync_s is None
+            else round(self._last_fsync_s * 1e3, 4),
         }
 
     def __repr__(self) -> str:

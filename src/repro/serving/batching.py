@@ -21,11 +21,21 @@ executed as one gather when either
 The executor callback is synchronous and must never block the loop for
 long — the intended executor is a pure alias-table gather plus counter
 updates (see :meth:`repro.serving.server.MechanismServer`).
+
+Telemetry: ``stats`` records a per-reason flush breakdown and a
+power-of-two occupancy histogram alongside the legacy counters; when a
+:class:`repro.obs.Telemetry` is attached, flushes also land in the
+metrics registry and — for requests being traced — a ``batch.flush``
+span is broadcast to every traced request fused into the batch (the
+batcher binds the batch's trace contexts around ``execute``, so spans
+opened inside it, like the group-commit fsync and the fused gather,
+join every one of those traces).
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from collections.abc import Callable
 
 import numpy as np
@@ -34,6 +44,11 @@ from ..exceptions import ValidationError
 from ..release.durable_ledger import NO_FAULTS
 
 __all__ = ["MicroBatcher"]
+
+#: Flush reasons tracked in ``stats["flush_reasons"]``. ``manual``
+#: covers direct ``flush()`` calls (drain paths); ``immediate`` is the
+#: unbatched ``window <= 0`` mode.
+FLUSH_REASONS = ("max_size", "deadline", "immediate", "manual", "close")
 
 
 class MicroBatcher:
@@ -51,9 +66,16 @@ class MicroBatcher:
         the unbatched mode).
     max_size:
         Flush immediately once this many queries are pending.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`; adds flush metrics and
+        batch-scoped trace spans. ``None`` keeps the batcher free of
+        any observability work.
 
     Stats (``stats`` dict): ``queries``, ``batches``, ``size_flushes``,
-    ``deadline_flushes``, ``max_batch``.
+    ``deadline_flushes``, ``max_batch``, plus ``flush_reasons`` (counts
+    per :data:`FLUSH_REASONS`) and ``occupancy`` (power-of-two batch
+    size buckets: key ``"1"`` counts 1-row batches, ``"2"`` 2-row,
+    ``"4"`` 3-4, doubling up to ``"16384+"``).
     """
 
     def __init__(
@@ -63,6 +85,7 @@ class MicroBatcher:
         window: float = 0.002,
         max_size: int = 4096,
         faults=None,
+        telemetry=None,
     ) -> None:
         if window < 0:
             raise ValidationError(f"window must be >= 0, got {window}")
@@ -72,7 +95,9 @@ class MicroBatcher:
         self.faults = NO_FAULTS if faults is None else faults
         self.window = float(window)
         self.max_size = int(max_size)
+        self.telemetry = telemetry
         self._pending: list[tuple[int, int, asyncio.Future]] = []
+        self._traced: list = []
         self._timer: asyncio.TimerHandle | None = None
         self.stats = {
             "queries": 0,
@@ -80,33 +105,57 @@ class MicroBatcher:
             "size_flushes": 0,
             "deadline_flushes": 0,
             "max_batch": 0,
+            "flush_reasons": {reason: 0 for reason in FLUSH_REASONS},
+            "occupancy": {
+                str(1 << i): 0 for i in range(15)
+            },
         }
+        self.stats["occupancy"]["16384+"] = self.stats["occupancy"].pop(
+            "16384"
+        )
 
     @property
     def pending(self) -> int:
         """Queries currently parked awaiting a flush."""
         return len(self._pending)
 
-    async def submit(self, table: int, row: int) -> int:
-        """Enqueue one query and await its sampled output."""
+    async def submit(self, table: int, row: int, trace=None) -> int:
+        """Enqueue one query and await its sampled output.
+
+        ``trace`` optionally carries the submitting request's
+        :class:`repro.obs.TraceContext`, so batch-scoped spans from the
+        flush that serves this query are recorded under its trace ID.
+        """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._pending.append((int(table), int(row), future))
+        if trace is not None:
+            self._traced.append(trace)
         self.stats["queries"] += 1
         if len(self._pending) >= self.max_size:
             self.stats["size_flushes"] += 1
-            self.flush()
+            self.flush(reason="max_size")
         elif self.window <= 0:
-            self.flush()
+            self.flush(reason="immediate")
         elif self._timer is None:
             self._timer = loop.call_later(self.window, self._deadline_flush)
         return await future
 
     def _deadline_flush(self) -> None:
         self.stats["deadline_flushes"] += 1
-        self.flush()
+        self.flush(reason="deadline")
 
-    def flush(self) -> None:
+    def _record_occupancy(self, size: int) -> None:
+        buckets = self.stats["occupancy"]
+        if size >= 16384:
+            buckets["16384+"] += 1
+            return
+        bound = 1
+        while bound < size:
+            bound <<= 1
+        buckets[str(bound)] += 1
+
+    def flush(self, reason: str = "manual") -> None:
         """Execute everything pending as one fused tick (no-op if empty).
 
         Safe to call at any time — shutdown paths use it to drain the
@@ -116,30 +165,60 @@ class MicroBatcher:
             self._timer.cancel()
             self._timer = None
         pending, self._pending = self._pending, []
+        traced, self._traced = self._traced, []
         if not pending:
             return
         self.stats["batches"] += 1
         self.stats["max_batch"] = max(self.stats["max_batch"], len(pending))
+        self.stats["flush_reasons"][reason] += 1
+        self._record_occupancy(len(pending))
         tables = np.fromiter(
             (item[0] for item in pending), dtype=np.int64, count=len(pending)
         )
         rows = np.fromiter(
             (item[1] for item in pending), dtype=np.int64, count=len(pending)
         )
+        obs = self.telemetry
+        batch_token = None
+        if obs is not None and traced:
+            batch_token = obs.tracer.activate_batch(traced)
+        t0 = time.perf_counter() if obs is not None else 0.0
         try:
-            self.faults.crash("batcher.before-execute")
-            values = self._execute(tables, rows)
-            self.faults.crash("batcher.after-execute")
-        except BaseException as err:  # noqa: BLE001 - must not strand futures
-            # InjectedCrash (and real crashes like KeyboardInterrupt)
-            # tear through `except Exception` everywhere else, but a
-            # flush may run from a timer callback where nothing awaits
-            # it — re-raising would strand every parked future forever.
-            # Failing the futures *is* the propagation path.
-            for _, _, future in pending:
-                if not future.done():
-                    future.set_exception(err)
-            return
+            span = (
+                obs.tracer.span(
+                    "batch.flush", size=len(pending), reason=reason
+                )
+                if batch_token is not None
+                else None
+            )
+            try:
+                if span is not None:
+                    span.__enter__()
+                self.faults.crash("batcher.before-execute")
+                values = self._execute(tables, rows)
+                self.faults.crash("batcher.after-execute")
+            except BaseException as err:  # noqa: BLE001 - must not strand futures
+                # InjectedCrash (and real crashes like KeyboardInterrupt)
+                # tear through `except Exception` everywhere else, but a
+                # flush may run from a timer callback where nothing
+                # awaits it — re-raising would strand every parked
+                # future forever. Failing the futures *is* the
+                # propagation path.
+                if span is not None:
+                    span.__exit__(type(err), err, None)
+                for _, _, future in pending:
+                    if not future.done():
+                        future.set_exception(err)
+                return
+            if span is not None:
+                span.__exit__(None, None, None)
+        finally:
+            if batch_token is not None:
+                obs.tracer.deactivate_batch(batch_token)
+        if obs is not None:
+            obs.batch_flushes.labels(reason).inc()
+            obs.batch_size.observe(float(len(pending)))
+            obs.batch_flush_latency.observe(time.perf_counter() - t0)
         for (_, _, future), value in zip(pending, values):
             # A caller may have timed out / been cancelled mid-batch;
             # its slot was still sampled (the gather is all-or-nothing)
@@ -153,6 +232,7 @@ class MicroBatcher:
             self._timer.cancel()
             self._timer = None
         pending, self._pending = self._pending, []
+        self._traced = []
         for _, _, future in pending:
             if not future.done():
                 future.set_exception(

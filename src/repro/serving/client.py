@@ -24,10 +24,12 @@ exception.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import itertools
 import json
 import os
 import random
+import time
 
 from ..exceptions import ReproError
 
@@ -114,6 +116,11 @@ class HTTPServingClient:
         stampede in lockstep.
     seed:
         Seeds the jitter RNG for reproducible retry schedules in tests.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`: records a round-trip
+        latency histogram, a retry counter labeled by error kind, and —
+        when the calling task is being traced — ``client.request`` /
+        ``client.retry`` spans.
 
     ``publish`` attaches an idempotency key automatically (override with
     ``idem=``), so a retried publish whose first response was lost
@@ -130,6 +137,7 @@ class HTTPServingClient:
         backoff: float = 0.05,
         backoff_max: float = 2.0,
         seed: int | None = None,
+        telemetry=None,
     ) -> None:
         self.host = host
         self.port = int(port)
@@ -137,6 +145,7 @@ class HTTPServingClient:
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.backoff_max = float(backoff_max)
+        self.telemetry = telemetry
         self._rng = random.Random(seed)
         self._idem_prefix = f"{os.getpid():x}-{self._rng.randrange(1 << 48):012x}"
         self._idem_counter = itertools.count()
@@ -191,7 +200,12 @@ class HTTPServingClient:
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
         data = await self._reader.readexactly(length) if length else b"{}"
-        return status, json.loads(data)
+        try:
+            return status, json.loads(data)
+        except ValueError:
+            # Content-negotiated raw-text route (e.g. the Prometheus
+            # exposition of /metrics); mirror the in-process shape.
+            return status, {"__raw__": data.decode("utf-8", "replace")}
 
     async def request(
         self, method: str, path: str, payload: dict | None = None
@@ -204,16 +218,43 @@ class HTTPServingClient:
         with a key, which :meth:`publish` attaches automatically.
         """
         body = b"" if payload is None else json.dumps(payload).encode()
+        obs = self.telemetry
+        t0 = time.perf_counter() if obs is not None else 0.0
         last_error: BaseException | None = None
         for attempt in range(self.retries + 1):
             if attempt:
-                await asyncio.sleep(self._backoff_delay(attempt - 1))
+                delay = self._backoff_delay(attempt - 1)
+                if obs is not None:
+                    obs.client_retries.labels(
+                        type(last_error).__name__
+                    ).inc()
+                    with obs.tracer.span(
+                        "client.retry", attempt=attempt,
+                        backoff_s=round(delay, 4),
+                        error=type(last_error).__name__,
+                    ):
+                        await asyncio.sleep(delay)
+                else:
+                    await asyncio.sleep(delay)
             try:
-                if self.timeout is None:
-                    return await self._round_trip(method, path, body)
-                return await asyncio.wait_for(
-                    self._round_trip(method, path, body), self.timeout
-                )
+                if obs is not None:
+                    span = obs.tracer.span(
+                        "client.request", method=method, path=path,
+                        attempt=attempt,
+                    )
+                else:
+                    span = contextlib.nullcontext()
+                with span:
+                    if self.timeout is None:
+                        result = await self._round_trip(method, path, body)
+                    else:
+                        result = await asyncio.wait_for(
+                            self._round_trip(method, path, body),
+                            self.timeout,
+                        )
+                if obs is not None:
+                    obs.client_latency.observe(time.perf_counter() - t0)
+                return result
             except RETRYABLE as err:
                 last_error = err
                 await self._drop_connection()

@@ -59,8 +59,19 @@ open connections up to ``drain_deadline``, flush the batcher, fsync and
 close the ledger).
 
 ``GET /healthz``, ``GET /artifacts``, ``GET /metrics``, and
-``GET /ledger/<user>`` expose liveness, the deployment list, counters +
-audit findings, and per-user accounting.
+``GET /ledger/<user>`` expose liveness + ledger/WAL health, the
+deployment list, counters + audit findings, and per-user accounting.
+
+Telemetry (PR 9): the server carries a :class:`repro.obs.Telemetry` —
+on by default; pass ``telemetry=False`` for the bare pre-telemetry
+server — giving it labeled Prometheus metrics (``GET /metrics``
+content-negotiates the text exposition; the JSON shape above remains
+the default), sampled end-to-end request traces (``--trace-rate`` /
+``--trace-dir``; ring served at ``GET /trace/recent``), and budget
+burn-rate gauges with a ``GET /obs/burn`` drill-down. A traced publish
+carries one trace ID across ``server.publish`` → ``ledger.charge`` →
+``wal.append`` → ``wal.fsync`` → ``batch.flush`` → ``sampler.gather``,
+the batch-scoped spans broadcast by the micro-batcher.
 """
 
 from __future__ import annotations
@@ -68,12 +79,21 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import math
 import signal
+import time
 from fractions import Fraction
 
 import numpy as np
 
 from ..exceptions import ReproError, ValidationError
+from ..obs import (
+    MetricsRegistry,
+    Telemetry,
+    burn_rows_from_book,
+    default_registry,
+    floor_proximity,
+)
 from ..release.artifacts import (
     ArtifactSpec,
     resolve_artifact_store,
@@ -114,15 +134,48 @@ _MAX_BODY = 1 << 16
 #: Sentinel distinguishing "cached as invalid" from "not cached".
 _UNCACHED = object()
 
+#: Deferred latency samples fold into the histograms at this many
+#: pending pairs (and at every scrape) — bounds memory between scrapes
+#: while keeping the per-request cost to a tuple append.
+_LATENCY_FOLD_CAP = 65536
+
+
+def _parse_query(query: str) -> dict:
+    """Minimal query-string parsing (no repeats, no percent-decoding —
+    the observability routes only take simple tokens)."""
+    params: dict = {}
+    if query:
+        for part in query.split("&"):
+            name, _, value = part.partition("=")
+            if name:
+                params[name] = value
+    return params
+
+
+#: ``GET /metrics`` serves the Prometheus text exposition instead of
+#: JSON when the Accept header asks for one of these (or the query
+#: string carries ``format=prometheus``).
+_PROM_ACCEPT = ("text/plain", "application/openmetrics-text")
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 class _Deployment:
-    __slots__ = ("index", "spec", "artifact", "verification")
+    __slots__ = (
+        "index", "spec", "artifact", "verification", "latency", "charges"
+    )
 
     def __init__(self, index, spec, artifact, verification) -> None:
         self.index = index
         self.spec = spec
         self.artifact = artifact
         self.verification = verification
+        # Telemetry: the pre-resolved latency-histogram child for this
+        # deployment's spec-key label (None when telemetry is off) and a
+        # plain charge count the scrape-time collector turns into the
+        # epsilon-spent gauge — the hot path pays one histogram observe
+        # and one integer increment, never a label resolution.
+        self.latency = None
+        self.charges = 0
 
 
 class MechanismServer:
@@ -175,6 +228,19 @@ class MechanismServer:
         verification was prevented from seeing.
     seed / audit_seed:
         Seeds for the sampling RNG and the auditor's slice RNG.
+    telemetry:
+        ``None`` (default) builds a :class:`repro.obs.Telemetry` over a
+        private registry (merged with the process default registry —
+        where the solver layer reports — at scrape time);
+        ``False`` disables telemetry entirely (the configuration
+        ``benchmarks/bench_observability.py`` measures overhead
+        against); an explicit :class:`~repro.obs.Telemetry` is adopted
+        as-is (shared registries across servers included).
+    trace_rate / trace_dir / trace_ring / trace_seed:
+        Tracer construction for the default telemetry: the fraction of
+        requests traced end-to-end, the directory receiving the JSONL
+        span log (``None`` keeps the in-memory ring only), the ring
+        capacity behind ``GET /trace/recent``, and the sampling seed.
     """
 
     def __init__(
@@ -194,6 +260,11 @@ class MechanismServer:
         verify: bool = True,
         seed=None,
         audit_seed=None,
+        telemetry=None,
+        trace_rate: float = 0.0,
+        trace_dir=None,
+        trace_ring: int = 1024,
+        trace_seed=None,
     ) -> None:
         self.store = resolve_artifact_store(store)
         if self.store is None:
@@ -210,14 +281,49 @@ class MechanismServer:
         self._quarantined: dict[str, dict] = {}
         self._samplers: list = []
         self._fused: HeterogeneousAliasSampler | None = None
+        if telemetry is False:
+            obs = None
+            self._owns_telemetry = False
+        elif telemetry is None:
+            obs = Telemetry(
+                MetricsRegistry(),
+                trace_rate=trace_rate,
+                trace_dir=trace_dir,
+                trace_ring=trace_ring,
+                trace_seed=trace_seed,
+            )
+            self._owns_telemetry = True
+        else:
+            obs = telemetry
+            self._owns_telemetry = False
+        self.telemetry = obs
+        self._obs = obs
+        # Precomputed hot-path handles. The publish path must stay
+        # within the bench-enforced overhead ceiling, so the per-request
+        # telemetry work is all C-level: the sampling coin is a bound
+        # RNG draw, the active-trace check a bound ContextVar.get, and
+        # request/outcome tallies are plain dicts that the scrape-time
+        # collector mirrors into the Prometheus families.
+        self._may_trace = obs is not None and obs.tracer.rate > 0.0
+        self._trace_rate = obs.tracer.rate if obs is not None else 0.0
+        self._trace_coin = obs.tracer.coin if obs is not None else None
+        self._trace_begin = obs.tracer.begin if obs is not None else None
+        self._status_counts: dict[int, int] = {}
+        self._outcome_counts = {
+            "charged": 0, "rejected": 0, "replayed": 0, "pending": 0
+        }
+        self._latency_pending: list = []
         if ledger is not None:
             self.ledgers = ledger
+            if obs is not None and getattr(ledger, "telemetry", None) is None:
+                self.ledgers.telemetry = obs
         elif ledger_dir is not None:
             self.ledgers = DurableLedger(
-                ledger_dir, floor, fsync=ledger_fsync, faults=self.faults
+                ledger_dir, floor, fsync=ledger_fsync, faults=self.faults,
+                telemetry=obs,
             )
         else:
-            self.ledgers = MemoryLedgerBook(floor)
+            self.ledgers = MemoryLedgerBook(floor, telemetry=obs)
         self._spec_cache: dict[tuple, tuple[str, Fraction] | None] = {}
         self.auditor = OnlineAuditor(
             rate=audit_rate, rng=audit_seed
@@ -226,8 +332,10 @@ class MechanismServer:
         self._batches_since_sweep = 0
         self.batcher = MicroBatcher(
             self._execute, window=batch_window, max_size=batch_max,
-            faults=self.faults,
+            faults=self.faults, telemetry=obs,
         )
+        if obs is not None:
+            obs.registry.register_collector(self._collect_gauges)
         self.metrics = {
             "requests": 0,
             "published": 0,
@@ -291,9 +399,12 @@ class MechanismServer:
         index = len(self._samplers)
         self._samplers.append(artifact.sampler)
         self._fused = HeterogeneousAliasSampler(self._samplers)
-        self._deployments[spec.key()] = _Deployment(
-            index, spec, artifact, verification
-        )
+        deployment = _Deployment(index, spec, artifact, verification)
+        if self._obs is not None:
+            deployment.latency = self._obs.publish_latency.labels(
+                spec.key()[:12]
+            )
+        self._deployments[spec.key()] = deployment
         self.auditor.register(index, artifact)
         return index
 
@@ -337,7 +448,17 @@ class MechanismServer:
 
     # -- the fused execution tick --------------------------------------
     def _execute(self, tables: np.ndarray, rows: np.ndarray) -> np.ndarray:
-        values = self._fused.sample(tables, rows, self._rng)
+        obs = self._obs
+        if obs is not None:
+            t0 = time.perf_counter()
+            # Batch-scoped span: the batcher has bound this batch's
+            # traced requests, so the fused gather lands in each of
+            # their traces.
+            with obs.tracer.span("sampler.gather", queries=len(tables)):
+                values = self._fused.sample(tables, rows, self._rng)
+            obs.gather_latency.observe(time.perf_counter() - t0)
+        else:
+            values = self._fused.sample(tables, rows, self._rng)
         # Group commit: one fsync covers every charge journaled by this
         # batch's requests, and it lands *before* the batcher resolves
         # their futures — no response is released against a volatile
@@ -358,7 +479,86 @@ class MechanismServer:
         findings = self.auditor.sweep()
         self.metrics["audit_sweeps"] += 1
         self.metrics["audit_flagged"] = sum(1 for f in findings if f.flagged)
+        obs = self._obs
+        if obs is not None:
+            for finding in findings:
+                obs.audit_findings.labels(
+                    "true" if finding.flagged else "false"
+                ).inc()
+                # Findings bypass trace sampling — a divergence from the
+                # re-derived law is always worth a record.
+                obs.tracer.event(
+                    "audit.finding",
+                    key=finding.key[:12],
+                    kind=finding.kind,
+                    samples=finding.samples,
+                    statistic=finding.statistic,
+                    limit=finding.limit,
+                    flagged=finding.flagged,
+                )
         return findings
+
+    def _fold_latency(self) -> None:
+        """Fold deferred latency samples into the histogram children.
+
+        The request path records raw ``(deployment, elapsed)`` pairs
+        (two C-level ops); this fold buckets them per deployment in one
+        ``observe_many`` batch pass. Runs at every scrape/snapshot and
+        whenever the pending list hits :data:`_LATENCY_FOLD_CAP`, which
+        bounds deferred memory.
+        """
+        pending = self._latency_pending
+        if not pending:
+            return
+        self._latency_pending = []
+        by_deployment: dict = {}
+        for deployment, elapsed in pending:
+            bucket = by_deployment.get(deployment)
+            if bucket is None:
+                bucket = by_deployment[deployment] = []
+            bucket.append(elapsed)
+        for deployment, values in by_deployment.items():
+            deployment.latency.observe_many(values)
+            deployment.charges += len(values)
+
+    def _collect_gauges(self) -> None:
+        """Scrape-time collector: request tallies, budget burn, WAL.
+
+        Registered on the telemetry registry, so the work — mirroring
+        the hot-path dict tallies into their Prometheus families,
+        walking the ledger books for burn rows, ranking the top burners
+        — happens per scrape/snapshot, never on the request path. Never
+        raises: a scrape must not fail because the ledger is
+        mid-shutdown.
+        """
+        obs = self._obs
+        try:
+            self._fold_latency()
+            for status, count in self._status_counts.items():
+                obs.requests.labels("publish", str(status)).value = float(
+                    count
+                )
+            for outcome, count in self._outcome_counts.items():
+                if count:
+                    obs.ledger_outcomes.labels(outcome).value = float(count)
+            stats = self.ledgers.stats()
+            if "journal_bytes" in stats:
+                obs.wal_journal_bytes.set(stats["journal_bytes"])
+            rows = burn_rows_from_book(self.ledgers)
+            for k, count in floor_proximity(rows).items():
+                obs.users_near_floor.labels(str(k)).set(count)
+            for row in rows[:10]:
+                obs.user_spent_fraction.labels(row.user).set(
+                    row.spent_fraction
+                )
+            for deployment in self._deployments.values():
+                alpha = float(deployment.spec.alpha)
+                if 0 < alpha < 1:
+                    obs.deployment_epsilon.labels(
+                        deployment.spec.key()[:12]
+                    ).set(deployment.charges * -math.log(alpha))
+        except Exception:  # noqa: BLE001 - scrapes must stay available
+            pass
 
     # -- request handling ----------------------------------------------
     def _resolve_spec(self, payload: dict) -> tuple[str, Fraction] | None:
@@ -407,7 +607,42 @@ class MechanismServer:
         return resolved
 
     async def publish(self, payload: dict) -> tuple[int, dict]:
-        """The core serving operation; returns ``(status, response)``."""
+        """The core serving operation; returns ``(status, response)``.
+
+        With telemetry on this wrapper adds one latency clock, the
+        per-status request counter (children cached per status), and —
+        for the sampled fraction — the root ``server.publish`` span
+        bound to the task so every layer below joins the same trace.
+        Traced responses carry the trace ID under ``"trace"``.
+        """
+        obs = self._obs
+        if obs is None:
+            return await self._publish(payload, 0.0)
+        t0 = time.perf_counter()
+        ctx = None
+        if self._may_trace:
+            # Inline of Tracer.sample: one C-level RNG draw decides,
+            # and only the sampled fraction constructs a context.
+            rate = self._trace_rate
+            if rate >= 1.0 or self._trace_coin() < rate:
+                ctx = self._trace_begin()
+        if ctx is None:
+            status, response = await self._publish(payload, t0)
+        else:
+            token = obs.tracer.activate(ctx)
+            try:
+                with obs.tracer.span("server.publish"):
+                    status, response = await self._publish(payload, t0, ctx)
+            finally:
+                obs.tracer.deactivate(token)
+            response["trace"] = ctx.trace_id
+        counts = self._status_counts
+        counts[status] = counts.get(status, 0) + 1
+        return status, response
+
+    async def _publish(
+        self, payload: dict, t0: float, trace_ctx=None
+    ) -> tuple[int, dict]:
         self.metrics["requests"] += 1
         user = payload.get("user")
         if not isinstance(user, str) or not user:
@@ -455,20 +690,32 @@ class MechanismServer:
                 "error": "optional 'idem' must be a non-empty string of "
                 f"at most {_MAX_IDEM} characters"
             }
+        obs = self._obs
+        # ``trace_ctx`` rides in from the sampling decision in
+        # ``publish``: untraced requests (the vast majority at low
+        # sampling rates) carry ``None`` and skip all span machinery.
         try:
             # Atomic charge-or-reject: budget is committed (and, for a
             # durable book, journaled) before the draw, so a crash
             # mid-batch can only over-protect. A replayed idempotency
             # key returns the original response without charging again.
-            decision = self.ledgers.charge(
-                user, alpha, label=f"serve:{key[:12]}", idem=idem
-            )
+            if trace_ctx is not None:
+                with obs.tracer.span("ledger.charge", user=user):
+                    decision = self.ledgers.charge(
+                        user, alpha, label=f"serve:{key[:12]}", idem=idem
+                    )
+            else:
+                decision = self.ledgers.charge(
+                    user, alpha, label=f"serve:{key[:12]}", idem=idem
+                )
         except LedgerUnavailableError as err:
             self.metrics["ledger_unavailable"] += 1
             return 503, {
                 "error": f"privacy ledger unavailable: {err}; the charge "
                 "was not recorded and no statistic was released"
             }
+        if obs is not None:
+            self._outcome_counts[decision.outcome] += 1
         if decision.outcome == "replayed":
             self.metrics["replayed"] += 1
             status, response = decision.replay
@@ -488,11 +735,26 @@ class MechanismServer:
         # the response was lost — the budget is already spent, so
         # sampling a fresh response spends nothing extra).
         try:
-            value = await self.batcher.submit(deployment.index, row)
+            if trace_ctx is not None:
+                value = await self.batcher.submit(
+                    deployment.index, row, trace=trace_ctx
+                )
+            else:
+                value = await self.batcher.submit(deployment.index, row)
         except Exception as err:  # the gather is pure numpy; be loud
             self.metrics["errors"] += 1
             return 500, {"error": f"sampling failed: {err}"}
         self.metrics["published"] += 1
+        if obs is not None:
+            # Deferred latency fold: the hot path only appends
+            # ``(deployment, elapsed)``; bucketing happens in one
+            # batched ``observe_many`` pass at scrape time
+            # (_fold_latency), mirroring how the sampler fuses
+            # per-request draws into one gather.
+            pending = self._latency_pending
+            pending.append((deployment, time.perf_counter() - t0))
+            if len(pending) >= _LATENCY_FOLD_CAP:
+                self._fold_latency()
         response = {
             "value": value,
             "user": user,
@@ -510,18 +772,47 @@ class MechanismServer:
         return 200, response
 
     async def handle_request(
-        self, method: str, path: str, payload: dict | None = None
+        self, method: str, path: str, payload: dict | None = None,
+        headers: dict | None = None,
     ) -> tuple[int, dict]:
-        """Route one request (the transport-independent entry point)."""
+        """Route one request (the transport-independent entry point).
+
+        ``headers`` (lower-cased names) is optional and only consulted
+        for content negotiation: ``GET /metrics`` returns the
+        Prometheus text exposition instead of the legacy JSON shape
+        when the Accept header asks for text/openmetrics (or the query
+        string says ``format=prometheus``). Raw-text responses are
+        conveyed as ``{"__raw__": text, "__content_type__": ...}`` —
+        the HTTP transport unwraps them; in-process callers read the
+        keys directly.
+        """
         if method == "POST" and path == "/publish":
             return await self.publish(payload or {})
+        path, _, query = path.partition("?")
+        params = _parse_query(query)
         if method != "GET":
             return 405, {"error": f"method {method} not allowed"}
+        status, response = self._route_get(path, params, headers)
+        obs = self._obs
+        if obs is not None:
+            route = path.split("/", 2)[1] if path.startswith("/") else path
+            obs.requests.labels(route or "root", str(status)).inc()
+        return status, response
+
+    def _route_get(
+        self, path: str, params: dict, headers: dict | None
+    ) -> tuple[int, dict]:
         if path == "/healthz":
-            return 200, {
+            health = {
                 "status": "ok",
                 "deployments": len(self._deployments),
+                "quarantined": len(self._quarantined),
+                "draining": self._draining,
+                # Ledger/WAL health: journal bytes, seq, last-fsync
+                # latency, compaction count for a durable book.
+                "ledger": self.ledgers.stats(),
             }
+            return 200, health
         if path == "/artifacts":
             return 200, {
                 "artifacts": [
@@ -554,6 +845,21 @@ class MechanismServer:
                 ],
             }
         if path == "/metrics":
+            if self._wants_prometheus(params, headers):
+                if self._obs is None:
+                    return 404, {
+                        "error": "telemetry is disabled on this server"
+                    }
+                text = self._obs.registry.render()
+                if self._obs.registry is not default_registry():
+                    # Merge in the process-default registry, where the
+                    # solver layer (solve cache, artifact store, hybrid
+                    # certification) reports — one scrape, whole stack.
+                    text += default_registry().render()
+                return 200, {
+                    "__raw__": text,
+                    "__content_type__": _PROM_CONTENT_TYPE,
+                }
             return 200, {
                 "metrics": dict(self.metrics),
                 "batcher": dict(self.batcher.stats),
@@ -589,7 +895,40 @@ class MechanismServer:
                 "cumulative_epsilon": budget.cumulative_epsilon,
                 "remaining_alpha": str(budget.remaining_alpha),
             }
-        return 404, {"error": f"no route for {method} {path}"}
+        if path == "/trace/recent":
+            if self._obs is None:
+                return 404, {"error": "telemetry is disabled on this server"}
+            try:
+                limit = int(params.get("limit", 100))
+            except ValueError:
+                return 400, {"error": "limit must be an integer"}
+            spans = self._obs.tracer.recent(
+                limit,
+                name=params.get("name"),
+                trace=params.get("trace"),
+            )
+            return 200, {"spans": spans, "emitted": self._obs.tracer.emitted}
+        if path == "/obs/burn":
+            rows = burn_rows_from_book(self.ledgers)
+            try:
+                limit = int(params.get("limit", 50))
+            except ValueError:
+                return 400, {"error": "limit must be an integer"}
+            return 200, {
+                "users": self.ledgers.users(),
+                "floor_proximity": floor_proximity(rows),
+                "rows": [row.to_dict() for row in rows[:limit]],
+            }
+        return 404, {"error": f"no route for GET {path}"}
+
+    @staticmethod
+    def _wants_prometheus(params: dict, headers: dict | None) -> bool:
+        if params.get("format") == "prometheus":
+            return True
+        if headers is None:
+            return False
+        accept = headers.get("accept", "")
+        return any(kind in accept for kind in _PROM_ACCEPT)
 
     # -- HTTP/1.1 transport --------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
@@ -644,16 +983,25 @@ class MechanismServer:
                             }
                     if status is None:
                         status, response = await self.handle_request(
-                            method, target, payload
+                            method, target, payload, headers
                         )
-                data = json.dumps(response).encode("utf-8")
+                if isinstance(response, dict) and "__raw__" in response:
+                    # A content-negotiated raw-text response (the
+                    # Prometheus exposition) — serve it verbatim.
+                    data = response["__raw__"].encode("utf-8")
+                    content_type = response.get(
+                        "__content_type__", "text/plain; charset=utf-8"
+                    )
+                else:
+                    data = json.dumps(response).encode("utf-8")
+                    content_type = "application/json"
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower()
                     != "close"
                 ) and not self._draining
                 head = (
                     f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                    f"Content-Type: application/json\r\n"
+                    f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(data)}\r\n"
                     f"Connection: {'keep-alive' if keep_alive else 'close'}"
                     f"\r\n\r\n"
@@ -710,7 +1058,7 @@ class MechanismServer:
             self._http_server.close()
             await self._http_server.wait_closed()
             self._http_server = None
-        self.batcher.flush()
+        self.batcher.flush(reason="close")
         pending = {t for t in self._connections if not t.done()}
         if pending:
             _done, alive = await asyncio.wait(pending, timeout=deadline)
@@ -720,13 +1068,20 @@ class MechanismServer:
                 await asyncio.gather(*alive, return_exceptions=True)
         # Handlers drained after the first flush may have parked more
         # queries; flush again before failing anything still pending.
-        self.batcher.flush()
+        self.batcher.flush(reason="close")
         self.batcher.close()
         try:
             self.ledgers.sync()
         except LedgerUnavailableError:
             pass  # already as durable as it will get; close regardless
         self.ledgers.close()
+        if self._obs is not None:
+            # Flush the span log; close it only if this server built the
+            # telemetry (a shared Telemetry may outlive one server).
+            if self._owns_telemetry:
+                self._obs.close()
+            else:
+                self._obs.tracer.flush()
 
     def request_shutdown(self) -> None:
         """Ask :meth:`serve_forever` to drain and exit (signal-safe when

@@ -207,6 +207,20 @@ class SolveCache:
         self._memory: dict[str, LPSolution] = {}
         self.stats = {"hits": 0, "misses": 0, "stores": 0}
 
+    @staticmethod
+    def _count(result: str) -> None:
+        # Mirrors the per-instance stats into the process-default
+        # metrics registry, so one /metrics scrape of a serving process
+        # also shows solver-cache behaviour. Resolved per call: the
+        # solver path is not hot, and tests swap the default registry.
+        from ..obs.metrics import default_registry
+
+        default_registry().counter(
+            "repro_solve_cache_total",
+            "Solve-cache lookups and stores, by result.",
+            labels=("result",),
+        ).labels(result).inc()
+
     # -- keying --------------------------------------------------------
     def key(self, program: LinearProgram, *, variant: str = "") -> str:
         """Content key for ``program`` (see :func:`canonical_key`)."""
@@ -225,8 +239,10 @@ class SolveCache:
                 self._remember(key, cached)
         if cached is None:
             self.stats["misses"] += 1
+            self._count("miss")
             return None
         self.stats["hits"] += 1
+        self._count("hit")
         return LPSolution(
             values=list(cached.values),
             objective=cached.objective,
@@ -269,6 +285,7 @@ class SolveCache:
             raise
         self._remember(key, solution)
         self.stats["stores"] += 1
+        self._count("store")
 
     def put(
         self,

@@ -34,6 +34,7 @@ instead of one exact factorization *per pivot*.
 
 from __future__ import annotations
 
+import time
 from fractions import Fraction
 
 import numpy as np
@@ -42,6 +43,23 @@ from ..exceptions import ValidationError
 from .base import LinearProgram, LPSolution, coerce_exact
 from .scipy_backend import ScipyBackend, solve_with_optimal_basis
 from .simplex import ExactSimplexBackend
+
+
+def _observe_certify(stage: str, seconds: float) -> None:
+    """Record one certification timing in the default metrics registry.
+
+    ``stage`` is ``"basis"`` (certifying a float-identified basis inside
+    :meth:`HybridBackend.solve`) or ``"candidate"`` (strong-duality
+    certification of an external candidate via
+    :func:`find_certificate`).
+    """
+    from ..obs.metrics import default_registry
+
+    default_registry().histogram(
+        "repro_solver_certify_seconds",
+        "Exact certification time in the hybrid LP pipeline, by stage.",
+        labels=("stage",),
+    ).labels(stage).observe(seconds)
 
 __all__ = [
     "HybridBackend",
@@ -434,7 +452,9 @@ class HybridBackend:
                 standard = _StandardForm(program)
                 basis = standard.identify_basis(float_result)
                 if basis is not None:
+                    t0 = time.perf_counter()
                     certified = standard.certify(basis)
+                    _observe_certify("basis", time.perf_counter() - t0)
                     if certified is not None:
                         self.last_path = "certified"
                         return certified
@@ -590,7 +610,9 @@ def certify_solution(
     it later with zero solver calls) use :func:`find_certificate`
     directly and store the duals alongside the candidate.
     """
+    t0 = time.perf_counter()
     found = find_certificate(program, values)
+    _observe_certify("candidate", time.perf_counter() - t0)
     if found is None:
         return None
     objective, _ = found

@@ -1,0 +1,172 @@
+"""Tests for span tracing: propagation, broadcast, ring and JSONL sinks."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.tracing import NOOP_SPAN, Tracer
+
+
+class TestSampling:
+    def test_rate_zero_never_samples(self):
+        tracer = Tracer(0.0)
+        assert all(tracer.sample() is None for _ in range(50))
+
+    def test_rate_one_always_samples_with_unique_ids(self):
+        tracer = Tracer(1.0)
+        contexts = [tracer.sample() for _ in range(10)]
+        assert all(ctx is not None for ctx in contexts)
+        assert len({ctx.trace_id for ctx in contexts}) == 10
+
+    def test_rate_is_validated(self):
+        with pytest.raises(ValidationError, match="rate"):
+            Tracer(1.5)
+
+    def test_seeded_sampling_is_deterministic(self):
+        picks = [
+            [Tracer(0.5, seed=7).sample() is not None for _ in range(20)]
+            for _ in range(2)
+        ]
+        assert picks[0] == picks[1]
+
+
+class TestSpans:
+    def test_span_without_context_is_the_noop_singleton(self):
+        tracer = Tracer(1.0)
+        assert tracer.span("anything") is NOOP_SPAN
+        with tracer.span("anything") as span:
+            span.set(extra=1)  # no-op, no error
+        assert tracer.emitted == 0
+
+    def test_nested_spans_share_trace_and_parent_chain(self):
+        tracer = Tracer(1.0)
+        ctx = tracer.sample()
+        token = tracer.activate(ctx)
+        try:
+            with tracer.span("outer"):
+                with tracer.span("inner", step=2):
+                    pass
+        finally:
+            tracer.deactivate(token)
+        inner, outer = tracer.recent(2)  # newest first: outer closed last
+        assert {outer["name"], inner["name"]} == {"outer", "inner"}
+        outer, inner = (
+            (outer, inner) if outer["name"] == "outer" else (inner, outer)
+        )
+        assert outer["trace"] == inner["trace"] == ctx.trace_id
+        assert outer["parent"] is None
+        assert inner["parent"] == outer["span"]
+        assert inner["attrs"] == {"step": 2}
+        assert inner["dur_ms"] >= 0.0
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer(1.0)
+        token = tracer.activate(tracer.sample())
+        try:
+            with pytest.raises(RuntimeError):
+                with tracer.span("boom"):
+                    raise RuntimeError("x")
+        finally:
+            tracer.deactivate(token)
+        (record,) = tracer.recent(1)
+        assert record["attrs"]["error"] == "RuntimeError"
+
+    def test_batch_spans_broadcast_to_every_traced_request(self):
+        tracer = Tracer(1.0)
+        contexts = [tracer.sample() for _ in range(3)]
+        token = tracer.activate_batch(contexts)
+        try:
+            with tracer.span("batch.flush", size=3):
+                pass
+        finally:
+            tracer.deactivate_batch(token)
+        records = tracer.recent(10, name="batch.flush")
+        assert len(records) == 3
+        assert {r["trace"] for r in records} == {
+            ctx.trace_id for ctx in contexts
+        }
+        # One shared span id across the broadcast.
+        assert len({r["span"] for r in records}) == 1
+
+    def test_request_context_wins_over_batch(self):
+        tracer = Tracer(1.0)
+        request = tracer.sample()
+        batch_token = tracer.activate_batch([tracer.sample()])
+        token = tracer.activate(request)
+        try:
+            with tracer.span("step"):
+                pass
+        finally:
+            tracer.deactivate(token)
+            tracer.deactivate_batch(batch_token)
+        (record,) = tracer.recent(1)
+        assert record["trace"] == request.trace_id
+
+    def test_event_bypasses_sampling(self):
+        tracer = Tracer(0.0)
+        record = tracer.event("audit.finding", flagged=True)
+        assert record["dur_ms"] == 0.0
+        assert record["attrs"] == {"flagged": True}
+        assert tracer.recent(1)[0]["name"] == "audit.finding"
+
+
+class TestSinks:
+    def test_ring_is_bounded_and_newest_first(self):
+        tracer = Tracer(0.0, ring=4)
+        for i in range(10):
+            tracer.event("e", i=i)
+        records = tracer.recent(100)
+        assert [r["attrs"]["i"] for r in records] == [9, 8, 7, 6]
+        assert tracer.emitted == 10
+
+    def test_recent_filters_by_name_and_trace(self):
+        tracer = Tracer(1.0)
+        ctx = tracer.sample()
+        token = tracer.activate(ctx)
+        try:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        finally:
+            tracer.deactivate(token)
+        tracer.event("a")  # different trace
+        assert len(tracer.recent(10, name="a")) == 2
+        assert len(tracer.recent(10, name="a", trace=ctx.trace_id)) == 1
+        assert tracer.recent(10, name="zzz") == []
+
+    def test_jsonl_written_flushed_and_closed(self, tmp_path):
+        with Tracer(0.0, tmp_path / "traces") as tracer:
+            for i in range(3):
+                tracer.event("e", i=i)
+            tracer.flush()
+            lines = (
+                (tmp_path / "traces" / "trace.jsonl")
+                .read_text()
+                .strip()
+                .splitlines()
+            )
+            assert len(lines) == 3
+            parsed = [json.loads(line) for line in lines]
+            assert [p["attrs"]["i"] for p in parsed] == [0, 1, 2]
+            assert set(parsed[0]) == {
+                "trace", "span", "parent", "name", "ts", "dur_ms", "attrs"
+            }
+        # close() flushed the remainder and is idempotent.
+        tracer.close()
+
+    def test_no_directory_means_no_file(self, tmp_path):
+        tracer = Tracer(0.0)
+        tracer.event("e")
+        tracer.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_non_json_attrs_are_stringified(self, tmp_path):
+        from fractions import Fraction
+
+        tracer = Tracer(0.0, tmp_path)
+        tracer.event("e", alpha=Fraction(1, 2))
+        tracer.close()
+        (line,) = (tmp_path / "trace.jsonl").read_text().splitlines()
+        assert json.loads(line)["attrs"]["alpha"] == "1/2"

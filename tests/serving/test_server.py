@@ -216,7 +216,10 @@ class TestRoutes:
             )
 
         health, artifacts, metrics, ledger, missing, nope, put = run(go())
-        assert health == (200, {"status": "ok", "deployments": 3})
+        assert health[0] == 200
+        assert health[1]["status"] == "ok"
+        assert health[1]["deployments"] == 3
+        assert health[1]["ledger"]["backend"] == "memory"
         assert len(artifacts[1]["artifacts"]) == 3
         assert all(a["verified"] for a in artifacts[1]["artifacts"])
         assert metrics[1]["metrics"]["published"] == 1
@@ -250,7 +253,9 @@ class TestHTTP:
         publish, health, bad = run(go())
         assert publish[0] == 200
         assert 0 <= publish[1]["value"] <= 8
-        assert health == (200, {"status": "ok", "deployments": 3})
+        assert health[0] == 200
+        assert health[1]["status"] == "ok"
+        assert health[1]["deployments"] == 3
         assert bad[0] == 400
 
     def test_stop_is_idempotent(self, store):

@@ -420,3 +420,131 @@ class TestServeCommand:
         }
         assert (1, 2, 3) in sides and (0, 1) in sides
         assert Fraction(1, 2) == server.deployments[0].spec.alpha
+
+
+class TestObsAndLedgerCommands:
+    def make_ledger(self, tmp_path):
+        from fractions import Fraction
+
+        from repro.release.durable_ledger import DurableLedger
+
+        ledger = DurableLedger(tmp_path / "ledger", floor=Fraction(1, 8))
+        ledger.charge("alice", Fraction(1, 2))
+        ledger.charge("alice", Fraction(1, 2))
+        ledger.charge("bob", Fraction(1, 2))
+        ledger.close()
+        return tmp_path / "ledger"
+
+    def test_serve_parser_trace_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.trace_rate == 0.0
+        assert args.trace_dir is None
+        assert args.trace_ring == 1024
+
+    def test_ledger_show_burn_columns(self, capsys, tmp_path):
+        directory = self.make_ledger(tmp_path)
+        assert main(["ledger", "show", "--ledger-dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "alice: releases=2" in out
+        assert "spent=66.7% charges_left=1" in out
+        assert "bob: releases=1" in out
+        assert "spent=33.3% charges_left=2" in out
+
+    def test_obs_top_from_ledger_dir(self, capsys, tmp_path):
+        directory = self.make_ledger(tmp_path)
+        assert main(["obs", "top", "--ledger-dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        # Most-burned first, with the floor-proximity footer.
+        assert lines[1].startswith("alice")
+        assert lines[2].startswith("bob")
+        assert "within k charges of the floor: <=1: 1, <=2: 2" in lines[-1]
+
+    def test_obs_top_without_source_errors(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+        assert main(["obs", "top"]) == 1
+        assert "--server or --ledger-dir" in capsys.readouterr().err
+
+    def test_obs_tail_from_trace_dir(self, capsys, tmp_path):
+        import json
+
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        with open(trace_dir / "trace.jsonl", "w") as handle:
+            for i in range(3):
+                handle.write(json.dumps({
+                    "trace": f"t-{i}", "span": f"s-{i}", "parent": None,
+                    "name": "wal.fsync" if i else "server.publish",
+                    "ts": 100.0 + i, "dur_ms": 0.5,
+                    "attrs": {"mode": "group"},
+                }) + "\n")
+            handle.write("{torn tail\n")
+        code = main([
+            "obs", "tail", "--trace-dir", str(trace_dir),
+            "--name", "wal.fsync", "--limit", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("wal.fsync") == 1
+        assert "trace=t-2" in out and "mode=group" in out
+
+    def test_obs_tail_missing_log_errors(self, capsys, tmp_path):
+        assert main(["obs", "tail", "--trace-dir", str(tmp_path)]) == 1
+        assert "no trace log" in capsys.readouterr().err
+
+    def test_obs_against_live_server(self, capsys, tmp_path):
+        """top/tail/export over real HTTP against a serving process."""
+        import asyncio
+        from fractions import Fraction
+
+        from repro.obs.cli import obs_export, obs_tail, obs_top
+        from repro.release.artifacts import ArtifactSpec, ArtifactStore
+        from repro.serving import InProcessClient, MechanismServer
+
+        store = ArtifactStore(tmp_path / "artifacts")
+        store.get_or_compile(ArtifactSpec("geometric", 8, Fraction(1, 2)))
+        server = MechanismServer(
+            store, floor=Fraction(1, 8), batch_window=0.001,
+            audit_rate=0.0, seed=7, trace_rate=1.0,
+        )
+        server.load_store()
+
+        async def go():
+            await server.start(port=0)
+            client = InProcessClient(server)
+            await client.publish(
+                user="alice", n=8, alpha="1/2", true_result=3
+            )
+            base = f"http://127.0.0.1:{server.port}"
+            loop = asyncio.get_running_loop()
+            try:
+                top = await loop.run_in_executor(
+                    None, lambda: obs_top(server=base)
+                )
+                tail = await loop.run_in_executor(
+                    None,
+                    lambda: obs_tail(server=base, name="server.publish"),
+                )
+                exported = await loop.run_in_executor(
+                    None, lambda: obs_export(server=base)
+                )
+                out_file = tmp_path / "metrics.prom"
+                message = await loop.run_in_executor(
+                    None,
+                    lambda: obs_export(
+                        server=base, format="json", out=out_file
+                    ),
+                )
+            finally:
+                await server.stop()
+            return top, tail, exported, message, out_file
+
+        top, tail, exported, message, out_file = asyncio.run(go())
+        assert "alice" in top and "66.7%" not in top  # one charge: 33.3%
+        assert "33.3%" in top
+        assert "server.publish" in tail
+        assert "repro_requests_total" in exported
+        assert "wrote" in message
+        # The json format is the legacy metrics snapshot, not the
+        # Prometheus families.
+        assert '"published": 1' in out_file.read_text()
