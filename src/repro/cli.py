@@ -23,6 +23,9 @@ Subcommands::
                   [--audit-every B] [--seed S] [--ledger-dir DIR]
                   [--ledger-fsync always|group|off] [--drain-deadline S]
                   [--trace-rate R] [--trace-dir DIR] [--trace-ring K]
+                  [--workers N] [--queue-depth K] [--shed-deadline S]
+                  [--degraded 503|geometric]
+                  [--wal-failure-policy reject-new-charges|memory-mode-with-alarm]
     repro ledger show|verify|compact [--ledger-dir DIR]
     repro obs top [--server URL | --ledger-dir DIR] [--limit K]
     repro obs tail [--server URL | --trace-dir DIR] [--limit K]
@@ -85,6 +88,7 @@ from .exceptions import ReproError
 from .losses import AbsoluteLoss, SquaredLoss, ZeroOneLoss
 from .release.audit import empirical_alpha
 from .release.durable_ledger import FSYNC_MODES
+from .serving.fallback import DEGRADED_MODES
 
 __all__ = ["main", "build_parser"]
 
@@ -343,6 +347,44 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--trace-ring", type=int, default=1024,
         help="spans kept in the in-memory ring served by /trace/recent",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="serving processes sharing one SO_REUSEPORT listener, the "
+        "artifact store, and the durable ledger; >1 starts the "
+        "supervised fleet (crash restarts with capped backoff, "
+        "lame-duck drain on SIGTERM, rolling reload on SIGHUP)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=0,
+        help="per-worker admission bound: publishes in flight beyond "
+        "this are shed with 429 + Retry-After *before* any budget "
+        "charge (0 disables admission control)",
+    )
+    serve.add_argument(
+        "--shed-deadline", type=float, default=0.0,
+        help="shed a publish with 503 when its estimated queue wait "
+        "exceeds this many seconds (0 disables deadline shedding)",
+    )
+    serve.add_argument(
+        "--degraded", choices=list(DEGRADED_MODES), default="503",
+        help="what a quarantined bespoke artifact serves: '503' "
+        "(default) or 'geometric' — fall back to the certificate-"
+        "verified same-(n, alpha) geometric mechanism, with responses "
+        "marked degraded (universally optimal, so privacy is exact "
+        "and every minimax consumer can still post-process optimally)",
+    )
+    serve.add_argument(
+        "--wal-failure-policy",
+        choices=["reject-new-charges", "memory-mode-with-alarm",
+                 "reject", "memory"],
+        default="reject-new-charges",
+        help="circuit-breaker policy when the durable ledger's fsync "
+        "fails (ENOSPC/EIO): 'reject-new-charges' refuses publishes "
+        "with 503 + Retry-After until a recovery probe succeeds; "
+        "'memory-mode-with-alarm' keeps serving against a volatile "
+        "in-memory overlay, marks responses durability=volatile, and "
+        "backfills the WAL on recovery — never a silent downgrade",
     )
 
     ledger = sub.add_parser(
@@ -702,6 +744,61 @@ def _resolve_ledger_dir(value):
     return value if value is not None else os.environ.get("REPRO_LEDGER_DIR")
 
 
+def _cmd_serve_fleet(args, store, ledger_dir) -> str:
+    """The ``--workers N`` path: a supervised SO_REUSEPORT fleet."""
+    from .serving.supervisor import ServingSupervisor
+
+    worker_config = {
+        "store": str(store.path),
+        "floor": str(args.floor),
+        "ledger_dir": ledger_dir,
+        "ledger_fsync": args.ledger_fsync,
+        "drain_deadline": args.drain_deadline,
+        "batch_window": args.batch_window,
+        "batch_max": args.batch_max,
+        "audit_rate": args.audit_rate,
+        "audit_every": args.audit_every,
+        "seed": args.seed,
+        "trace_rate": args.trace_rate,
+        "queue_depth": args.queue_depth,
+        "shed_deadline": args.shed_deadline,
+        "degraded": args.degraded,
+        "wal_failure_policy": args.wal_failure_policy,
+    }
+    supervisor = ServingSupervisor(
+        worker_config,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        drain_deadline=args.drain_deadline,
+    )
+    supervisor.start()
+    budgets = (
+        f"durable ({ledger_dir}, fsync={args.ledger_fsync}, "
+        "shared WAL)" if ledger_dir
+        else "in-memory PER WORKER (floors are per-process without "
+        "--ledger-dir!)"
+    )
+    print(
+        f"fleet of {args.workers} workers on "
+        f"http://{args.host}:{supervisor.port} "
+        f"(floor={args.floor}, queue_depth={args.queue_depth}, "
+        f"shed_deadline={args.shed_deadline}s, degraded={args.degraded}, "
+        f"wal_failure_policy={args.wal_failure_policy}, "
+        f"budgets {budgets}; SIGTERM drains, SIGHUP rolls)",
+        flush=True,
+    )
+    supervisor.run(install_signal_handlers=True)
+    status = supervisor.status()
+    stats = status["stats"]
+    published = sum(slot["published"] for slot in status["slots"])
+    return (
+        f"fleet drained: {published} statistics across the fleet, "
+        f"{stats['spawns']} spawns, {stats['restarts']} restarts, "
+        f"{stats['heartbeat_kills']} heartbeat kills"
+    )
+
+
 def _cmd_serve(args) -> str:
     import asyncio
 
@@ -709,6 +806,10 @@ def _cmd_serve(args) -> str:
 
     store = _resolve_cli_store(args.store)
     ledger_dir = _resolve_ledger_dir(args.ledger_dir)
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    if args.workers > 1:
+        return _cmd_serve_fleet(args, store, ledger_dir)
     server = MechanismServer(
         store,
         floor=args.floor,
@@ -723,6 +824,10 @@ def _cmd_serve(args) -> str:
         trace_rate=args.trace_rate,
         trace_dir=args.trace_dir,
         trace_ring=args.trace_ring,
+        queue_depth=args.queue_depth,
+        shed_deadline=args.shed_deadline,
+        degraded=args.degraded,
+        wal_failure_policy=args.wal_failure_policy,
     )
     loaded = server.load_store()
     if not loaded:

@@ -141,6 +141,52 @@ class Telemetry:
             "(charges * -ln(alpha)), by spec key.",
             labels=("key",),
         )
+        # Fleet / overload protection (PR 10). Sheds happen before any
+        # ledger charge; the breaker gauges make a durability outage
+        # impossible to miss; the degraded pair exposes how much traffic
+        # rides the certified geometric fallback.
+        self.sheds = reg.counter(
+            "repro_serving_shed_total",
+            "Requests shed before any ledger charge, by reason.",
+            labels=("reason",),
+        )
+        self.admission_inflight = reg.gauge(
+            "repro_serving_admission_inflight",
+            "Admitted publishes currently in flight.",
+        )
+        self.admission_brownout = reg.gauge(
+            "repro_serving_brownout_active",
+            "1 while sustained overload is shedding optional work.",
+        )
+        self.brownout_skips = reg.counter(
+            "repro_serving_brownout_skips_total",
+            "Optional work skipped under brownout, by kind.",
+            labels=("kind",),
+        )
+        self.breaker_state = reg.gauge(
+            "repro_wal_breaker_open",
+            "1 while the WAL circuit breaker is open (charges follow "
+            "the configured failure policy).",
+        )
+        self.breaker_trips = reg.counter(
+            "repro_wal_breaker_trips_total",
+            "WAL circuit breaker transitions, by kind (open/recover).",
+            labels=("kind",),
+        )
+        self.degraded_deployments = reg.gauge(
+            "repro_serving_degraded_deployments",
+            "Quarantined deployments currently served by the geometric "
+            "fallback.",
+        )
+        self.degraded_responses = reg.counter(
+            "repro_serving_degraded_responses_total",
+            "Responses served by a geometric fallback for a "
+            "quarantined bespoke deployment.",
+        )
+        self.worker_ready = reg.gauge(
+            "repro_serving_worker_ready",
+            "1 while this worker passes its own readiness checks.",
+        )
 
     @classmethod
     def default(cls, **kwargs) -> "Telemetry":

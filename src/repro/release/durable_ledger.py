@@ -906,6 +906,27 @@ class DurableLedger(MemoryLedgerBook):
                         self._last_fsync_s
                     )
 
+    def probe(self) -> None:
+        """Durability probe: journal a no-op record and fsync it.
+
+        The serving circuit breaker's half-open state calls this on a
+        freshly opened ledger — one append plus one *unconditional*
+        fsync (even under ``fsync="off"``) proves the WAL is writable
+        end-to-end before durable charging resumes. Raises
+        :class:`LedgerUnavailableError` when it is not. The record's op
+        is unknown to replay and ignored, so probes cost journal bytes
+        but never touch budgets.
+        """
+        with self._exclusive():
+            self._append({"op": "probe", "seq": self._seq + 1})
+            try:
+                self._fs.fsync(self._wal_handle())
+            except OSError as err:
+                self._failed = f"probe fsync failed: {err}"
+                raise LedgerUnavailableError(self._failed) from err
+            self._dirty = False
+            self._fsyncs += 1
+
     # -- snapshot + compaction -----------------------------------------
     def _maybe_compact(self) -> None:
         if (
@@ -986,6 +1007,10 @@ class DurableLedger(MemoryLedgerBook):
             "last_fsync_ms": None
             if self._last_fsync_s is None
             else round(self._last_fsync_s * 1e3, 4),
+            # Non-None once the instance has refused further writes
+            # (failed rollback, failed group fsync, mid-protocol crash);
+            # readiness checks and the WAL circuit breaker key off it.
+            "failed": self._failed,
         }
 
     def __repr__(self) -> str:

@@ -16,14 +16,25 @@ See :mod:`repro.serving.server` for the architecture overview and
 from .audit import AuditFinding, OnlineAuditor, expected_response_matrix
 from .batching import MicroBatcher
 from .client import HTTPServingClient, InProcessClient
+from .fallback import DEGRADED_MODES, fallback_spec, resolve_fallbacks
 from .faults import (
     CRASH_POINTS,
+    FLEET_FAULTS,
     FaultInjector,
     FaultyFS,
     FlakyEndpoint,
     InjectedCrash,
+    fsync_storm,
+)
+from .overload import (
+    WAL_FAILURE_POLICIES,
+    AdmissionController,
+    ShedDecision,
+    WALCircuitBreaker,
+    memory_overlay,
 )
 from .server import MechanismServer
+from .supervisor import ServingSupervisor, make_listen_socket
 
 __all__ = [
     "AuditFinding",
@@ -33,9 +44,21 @@ __all__ = [
     "HTTPServingClient",
     "InProcessClient",
     "MechanismServer",
+    "ServingSupervisor",
+    "make_listen_socket",
+    "AdmissionController",
+    "ShedDecision",
+    "WALCircuitBreaker",
+    "memory_overlay",
+    "WAL_FAILURE_POLICIES",
+    "DEGRADED_MODES",
+    "fallback_spec",
+    "resolve_fallbacks",
     "CRASH_POINTS",
+    "FLEET_FAULTS",
     "FaultInjector",
     "FaultyFS",
     "FlakyEndpoint",
     "InjectedCrash",
+    "fsync_storm",
 ]

@@ -105,6 +105,11 @@ class MicroBatcher:
             "size_flushes": 0,
             "deadline_flushes": 0,
             "max_batch": 0,
+            # High-water mark of parked queries: the admission
+            # controller bounds in-flight publishes, and this is the
+            # observable proof the bound held (peak_pending <= queue
+            # depth + the executing batch).
+            "peak_pending": 0,
             "flush_reasons": {reason: 0 for reason in FLUSH_REASONS},
             "occupancy": {
                 str(1 << i): 0 for i in range(15)
@@ -132,6 +137,8 @@ class MicroBatcher:
         if trace is not None:
             self._traced.append(trace)
         self.stats["queries"] += 1
+        if len(self._pending) > self.stats["peak_pending"]:
+            self.stats["peak_pending"] = len(self._pending)
         if len(self._pending) >= self.max_size:
             self.stats["size_flushes"] += 1
             self.flush(reason="max_size")

@@ -175,7 +175,7 @@ class HTTPServingClient:
 
     async def _round_trip(
         self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict]:
+    ) -> tuple[int, dict, float | None]:
         await self._connect()
         head = (
             f"{method} {path} HTTP/1.1\r\n"
@@ -192,20 +192,31 @@ class HTTPServingClient:
         parts = status_line.decode("latin-1").split(maxsplit=2)
         status = int(parts[1])
         length = 0
+        retry_after: float | None = None
         while True:
             line = await self._reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 length = int(value.strip())
+            elif name == "retry-after":
+                # The server paces shed/breaker responses in fractional
+                # seconds; an unparseable value is ignored, not fatal.
+                with contextlib.suppress(ValueError):
+                    retry_after = float(value.strip())
         data = await self._reader.readexactly(length) if length else b"{}"
         try:
-            return status, json.loads(data)
+            return status, json.loads(data), retry_after
         except ValueError:
             # Content-negotiated raw-text route (e.g. the Prometheus
             # exposition of /metrics); mirror the in-process shape.
-            return status, {"__raw__": data.decode("utf-8", "replace")}
+            return (
+                status,
+                {"__raw__": data.decode("utf-8", "replace")},
+                retry_after,
+            )
 
     async def request(
         self, method: str, path: str, payload: dict | None = None
@@ -216,13 +227,21 @@ class HTTPServingClient:
         are exhausted. POSTs without an ``idem`` key in the payload are
         still retried — the serving operations are safe to replay only
         with a key, which :meth:`publish` attaches automatically.
+
+        A 429/503 carrying a ``Retry-After`` header is a *shed* (or
+        open-breaker) response: the server refused the request **before
+        any ledger charge**, so it is safe to replay even without an
+        idempotency key — the client honors the server's pacing hint
+        (clamped to ``backoff_max``) instead of its own exponential
+        clock. A 429 *without* the header is a budget-floor rejection:
+        deterministic, never retried, returned as-is.
         """
         body = b"" if payload is None else json.dumps(payload).encode()
         obs = self.telemetry
         t0 = time.perf_counter() if obs is not None else 0.0
         last_error: BaseException | None = None
         for attempt in range(self.retries + 1):
-            if attempt:
+            if attempt and last_error is not None:
                 delay = self._backoff_delay(attempt - 1)
                 if obs is not None:
                     obs.client_retries.labels(
@@ -246,15 +265,40 @@ class HTTPServingClient:
                     span = contextlib.nullcontext()
                 with span:
                     if self.timeout is None:
-                        result = await self._round_trip(method, path, body)
-                    else:
-                        result = await asyncio.wait_for(
-                            self._round_trip(method, path, body),
-                            self.timeout,
+                        status, response, retry_after = (
+                            await self._round_trip(method, path, body)
                         )
+                    else:
+                        status, response, retry_after = (
+                            await asyncio.wait_for(
+                                self._round_trip(method, path, body),
+                                self.timeout,
+                            )
+                        )
+                if (
+                    retry_after is not None
+                    and status in (429, 503)
+                    and attempt < self.retries
+                ):
+                    last_error = None
+                    if obs is not None:
+                        obs.client_retries.labels("RetryAfter").inc()
+                        with obs.tracer.span(
+                            "client.retry", attempt=attempt + 1,
+                            backoff_s=round(retry_after, 4),
+                            error="RetryAfter",
+                        ):
+                            await asyncio.sleep(
+                                min(retry_after, self.backoff_max)
+                            )
+                    else:
+                        await asyncio.sleep(
+                            min(retry_after, self.backoff_max)
+                        )
+                    continue
                 if obs is not None:
                     obs.client_latency.observe(time.perf_counter() - t0)
-                return result
+                return status, response
             except RETRYABLE as err:
                 last_error = err
                 await self._drop_connection()

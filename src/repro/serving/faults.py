@@ -33,6 +33,7 @@ counters, no randomness, so a chaos test replays identically.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import errno
 from dataclasses import dataclass
 
@@ -46,6 +47,8 @@ __all__ = [
     "FaultyFS",
     "FlakyEndpoint",
     "CRASH_POINTS",
+    "FLEET_FAULTS",
+    "fsync_storm",
 ]
 
 #: The named crash points threaded through the stack (the kill-point
@@ -61,6 +64,32 @@ CRASH_POINTS = (
     "batcher.after-execute",      # batch sampled, responses never sent
     "server.before-response",     # response built, socket never written
 )
+
+#: Fleet-level fault names (PR 10). These are not inline ``crash()``
+#: points — they name the chaos the supervisor's worker configs and the
+#: chaos suite inject from outside the process: ``worker.kill`` is a
+#: real ``SIGKILL`` to a serving worker mid-traffic, ``worker.
+#: listener-drop`` makes a worker close its HTTP listener while staying
+#: alive (heartbeats go not-ready; the supervisor must restart it), and
+#: ``wal.fsync-storm`` is a burst of injected fsync failures that must
+#: trip the WAL circuit breaker rather than silently downgrade
+#: durability.
+FLEET_FAULTS = ("worker.kill", "worker.listener-drop", "wal.fsync-storm")
+
+
+def fsync_storm(
+    faults: "FaultInjector", *, after: int = 0, times: int = 3
+) -> "FaultInjector":
+    """Arm a burst of ``fsync`` failures (``ENOSPC``) on ``faults``.
+
+    The ``wal.fsync-storm`` fleet fault: every fsync in the burst raises,
+    so a durable ledger built over a :class:`FaultyFS` carrying this
+    injector fails its group commit and the serving circuit breaker must
+    open. ``after`` delays the storm by that many healthy fsyncs;
+    ``times`` bounds it so recovery probes eventually succeed.
+    """
+    faults.fail_at("fs.fsync", after=after, times=times)
+    return faults
 
 
 class InjectedCrash(BaseException):
@@ -265,6 +294,7 @@ class FlakyEndpoint:
         swallow: int = 0,
         delay: float = 0.0,
         delay_count: int = 0,
+        close_timeout: float = 2.0,
     ) -> None:
         self.backend = (backend_host, int(backend_port))
         self.drop = int(drop)
@@ -272,9 +302,12 @@ class FlakyEndpoint:
         self.swallow = int(swallow)
         self.delay = float(delay)
         self.delay_count = int(delay_count)
+        self.close_timeout = float(close_timeout)
         self.connections = 0
         self._server: asyncio.base_events.Server | None = None
         self._stalled: list[asyncio.StreamWriter] = []
+        self._tasks: set[asyncio.Task] = set()
+        self._upstreams: set[asyncio.StreamWriter] = set()
 
     async def start(self, host: str = "127.0.0.1") -> None:
         self._server = await asyncio.start_server(self._handle, host, 0)
@@ -286,15 +319,42 @@ class FlakyEndpoint:
         return self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
+        """Bounded-time teardown.
+
+        Closing the listener alone used to race in-flight handlers: a
+        connection stalled (or parked mid-``drop``/proxy on a backend
+        that will never answer) kept its handler task — and its
+        *upstream* socket — alive, so ``wait_closed()`` could hang a
+        chaos run's teardown and leak the backend connection. Now every
+        handler task and upstream writer is tracked: stop closes the
+        listener, cancels the handlers, awaits them for at most
+        ``close_timeout`` seconds, and force-closes any socket that
+        survived.
+        """
+        if self._server is not None:
+            self._server.close()
+        tasks = {task for task in self._tasks if not task.done()}
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.wait(tasks, timeout=self.close_timeout)
+        for writer in list(self._upstreams):
+            writer.close()
+        self._upstreams.clear()
         for writer in self._stalled:
             writer.close()
         self._stalled.clear()
         if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    self._server.wait_closed(), self.close_timeout
+                )
             self._server = None
 
     async def _handle(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
         self.connections += 1
         try:
             if self.drop > 0:
@@ -317,6 +377,8 @@ class FlakyEndpoint:
         except (ConnectionError, asyncio.CancelledError, OSError):
             pass
         finally:
+            if task is not None:
+                self._tasks.discard(task)
             if writer not in self._stalled:
                 writer.close()
                 try:
@@ -328,6 +390,7 @@ class FlakyEndpoint:
         upstream_reader, upstream_writer = await asyncio.open_connection(
             *self.backend
         )
+        self._upstreams.add(upstream_writer)
         try:
             while True:
                 request = await _read_http_message(reader)
@@ -343,6 +406,7 @@ class FlakyEndpoint:
                 writer.write(response)
                 await writer.drain()
         finally:
+            self._upstreams.discard(upstream_writer)
             upstream_writer.close()
             try:
                 await upstream_writer.wait_closed()

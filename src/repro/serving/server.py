@@ -110,8 +110,19 @@ from ..sampling.alias import HeterogeneousAliasSampler
 from ..sampling.rng import ensure_generator
 from .audit import OnlineAuditor
 from .batching import MicroBatcher
+from .fallback import DEGRADED_MODES, resolve_fallbacks
+from .overload import AdmissionController, WALCircuitBreaker, memory_overlay
 
 __all__ = ["MechanismServer"]
+
+#: CLI spellings of the WAL failure policies (the flag names are the
+#: self-describing long forms; the breaker uses the short ones).
+_WAL_POLICY_ALIASES = {
+    "reject-new-charges": "reject",
+    "memory-mode-with-alarm": "memory",
+    "reject": "reject",
+    "memory": "memory",
+}
 
 _REASONS = {
     200: "OK",
@@ -241,6 +252,29 @@ class MechanismServer:
         requests traced end-to-end, the directory receiving the JSONL
         span log (``None`` keeps the in-memory ring only), the ring
         capacity behind ``GET /trace/recent``, and the sampling seed.
+    queue_depth / shed_deadline:
+        Admission control (PR 10): the bound on in-flight publishes and
+        the deadline (seconds) above which a request's estimated queue
+        wait sheds it — both enforced *before* any ledger charge, with
+        429/503 + ``Retry-After``. ``0``/``0.0`` (the defaults) disable
+        the gate entirely (no per-request overhead).
+    degraded:
+        ``"503"`` (default) keeps quarantine semantics; ``"geometric"``
+        serves the certificate-verified geometric artifact at the same
+        ``(n, alpha)`` in place of a quarantined bespoke one, with
+        responses marked ``degraded`` (see :mod:`repro.serving.fallback`
+        for the universality justification).
+    wal_failure_policy / breaker_cooldown:
+        What a charge means while the WAL cannot persist
+        (``"reject-new-charges"``/``"reject"`` or
+        ``"memory-mode-with-alarm"``/``"memory"``), and the circuit
+        breaker's half-open probe interval in seconds.
+    worker_id:
+        Fleet slot label (set by the supervisor) echoed in
+        ``/healthz``/``/readyz`` responses.
+    ledger_factory:
+        Zero-arg callable building a replacement durable ledger for
+        breaker recovery probes; defaults to re-opening ``ledger_dir``.
     """
 
     def __init__(
@@ -265,6 +299,13 @@ class MechanismServer:
         trace_dir=None,
         trace_ring: int = 1024,
         trace_seed=None,
+        queue_depth: int = 0,
+        shed_deadline: float = 0.0,
+        degraded: str = "503",
+        wal_failure_policy: str = "reject",
+        breaker_cooldown: float = 1.0,
+        worker_id=None,
+        ledger_factory=None,
     ) -> None:
         self.store = resolve_artifact_store(store)
         if self.store is None:
@@ -324,6 +365,36 @@ class MechanismServer:
             )
         else:
             self.ledgers = MemoryLedgerBook(floor, telemetry=obs)
+        if degraded not in DEGRADED_MODES:
+            raise ValidationError(
+                f"degraded mode must be one of {DEGRADED_MODES}, got "
+                f"{degraded!r}"
+            )
+        self.degraded = degraded
+        self.worker_id = worker_id
+        policy = _WAL_POLICY_ALIASES.get(wal_failure_policy)
+        if policy is None:
+            raise ValidationError(
+                "wal_failure_policy must be one of "
+                f"{sorted(_WAL_POLICY_ALIASES)}, got {wal_failure_policy!r}"
+            )
+        self.admission = (
+            AdmissionController(int(queue_depth), float(shed_deadline))
+            if (queue_depth or shed_deadline)
+            else None
+        )
+        self.breaker = WALCircuitBreaker(
+            policy=policy, cooldown=breaker_cooldown
+        )
+        if ledger_factory is None and ledger is None and ledger_dir is not None:
+            def ledger_factory():
+                return DurableLedger(
+                    ledger_dir, floor, fsync=ledger_fsync,
+                    faults=self.faults, telemetry=obs,
+                )
+        self._ledger_factory = ledger_factory
+        self._wal_overlay = None
+        self._failed_ledger = None
         self._spec_cache: dict[tuple, tuple[str, Fraction] | None] = {}
         self.auditor = OnlineAuditor(
             rate=audit_rate, rng=audit_seed
@@ -344,6 +415,10 @@ class MechanismServer:
             "not_found": 0,
             "bad_request": 0,
             "quarantined_requests": 0,
+            "shed": 0,
+            "degraded": 0,
+            "breaker_rejected": 0,
+            "brownout_skips": 0,
             "ledger_unavailable": 0,
             "errors": 0,
             "audit_recorded": 0,
@@ -431,6 +506,12 @@ class MechanismServer:
                 }
                 continue
             loaded += 1
+        if self.degraded == "geometric" and self._quarantined:
+            # Certified graceful degradation: pair each quarantined
+            # bespoke deployment with the verified geometric artifact at
+            # the same (n, alpha) — see serving/fallback.py for why that
+            # is exactly privacy-preserving and minimax-utility-safe.
+            resolve_fallbacks(self)
         return loaded
 
     @property
@@ -463,10 +544,31 @@ class MechanismServer:
         # batch's requests, and it lands *before* the batcher resolves
         # their futures — no response is released against a volatile
         # charge. (A no-op for the memory book and fsync="always".)
-        self.ledgers.sync()
-        recorded = self.auditor.observe(tables, rows, values)
-        if recorded:
-            self.metrics["audit_recorded"] += recorded
+        try:
+            self.ledgers.sync()
+        except LedgerUnavailableError as err:
+            self._trip_wal(str(err))
+            if self.breaker.policy != "memory":
+                # Fail this batch's futures: the charges may be on disk
+                # but cannot be proven durable, so the responses are
+                # withheld (over-protects the users, never under).
+                raise
+            # Memory policy: the overlay (seeded from the failed book's
+            # in-process state, which includes this batch's charges)
+            # keeps the floor binding; the batch releases marked
+            # volatile.
+        admission = self.admission
+        if admission is not None and admission.brownout:
+            # Brownout: shed our own optional work before any more user
+            # requests — the audit slice can skip a tick, user traffic
+            # cannot. Loud, never silent.
+            self.metrics["brownout_skips"] += 1
+            if self._obs is not None:
+                self._obs.brownout_skips.labels("audit").inc()
+        else:
+            recorded = self.auditor.observe(tables, rows, values)
+            if recorded:
+                self.metrics["audit_recorded"] += recorded
         if self.audit_every > 0:
             self._batches_since_sweep += 1
             if self._batches_since_sweep >= self.audit_every:
@@ -557,6 +659,24 @@ class MechanismServer:
                     obs.deployment_epsilon.labels(
                         deployment.spec.key()[:12]
                     ).set(deployment.charges * -math.log(alpha))
+            obs.breaker_state.set(1.0 if self.breaker.open else 0.0)
+            admission = self.admission
+            if admission is not None:
+                obs.admission_inflight.set(float(admission.inflight))
+                obs.admission_brownout.set(
+                    1.0 if admission.brownout else 0.0
+                )
+            if self.degraded == "geometric":
+                obs.degraded_deployments.set(
+                    float(
+                        sum(
+                            1
+                            for q in self._quarantined.values()
+                            if q.get("fallback_key") is not None
+                        )
+                    )
+                )
+            obs.worker_ready.set(1.0 if self.readiness()[0] else 0.0)
         except Exception:  # noqa: BLE001 - scrapes must stay available
             pass
 
@@ -609,18 +729,63 @@ class MechanismServer:
     async def publish(self, payload: dict) -> tuple[int, dict]:
         """The core serving operation; returns ``(status, response)``.
 
-        With telemetry on this wrapper adds one latency clock, the
-        per-status request counter (children cached per status), and —
-        for the sampled fraction — the root ``server.publish`` span
-        bound to the task so every layer below joins the same trace.
-        Traced responses carry the trace ID under ``"trace"``.
+        With admission control on, the bounded-queue/deadline gate runs
+        here, strictly before any ledger interaction: a shed request
+        (429 queue-full / 503 deadline, both with ``Retry-After``)
+        provably spent zero budget, so clients retry it freely without
+        an idempotency key. One admitted ticket is held per request and
+        returned in a ``finally`` — even an injected crash (a
+        ``BaseException``) gives the slot back, so the in-flight count
+        can never leak upward.
+        """
+        admission = self.admission
+        if admission is None:
+            return await self._observed_publish(payload)
+        deadline = None
+        raw = payload.get("deadline_ms")
+        if raw is not None:
+            try:
+                deadline = float(raw) / 1e3
+            except (TypeError, ValueError):
+                deadline = None
+        shed = admission.try_admit(deadline)
+        if shed is not None:
+            self.metrics["shed"] += 1
+            if self._obs is not None:
+                self._obs.sheds.labels(shed.reason).inc()
+                counts = self._status_counts
+                counts[shed.status] = counts.get(shed.status, 0) + 1
+            return shed.status, {
+                "error": "overloaded: the request was shed before any "
+                "budget charge; retry after the hinted delay (no "
+                "idempotency key needed — nothing was spent)",
+                "shed": shed.reason,
+                "retry_after": round(shed.retry_after, 4),
+            }
+        t_admit = time.perf_counter()
+        try:
+            return await self._observed_publish(payload)
+        finally:
+            admission.release(time.perf_counter() - t_admit)
+
+    async def _observed_publish(self, payload: dict) -> tuple[int, dict]:
+        """Telemetry wrapper: one latency clock, the per-status request
+        counter, and — for the sampled fraction — the root
+        ``server.publish`` span bound to the task so every layer below
+        joins the same trace. Traced responses carry the trace ID under
+        ``"trace"``. Under brownout the trace coin is skipped entirely
+        (optional work sheds first) and the skip is counted.
         """
         obs = self._obs
         if obs is None:
             return await self._publish(payload, 0.0)
         t0 = time.perf_counter()
         ctx = None
-        if self._may_trace:
+        admission = self.admission
+        if self._may_trace and admission is not None and admission.brownout:
+            self.metrics["brownout_skips"] += 1
+            obs.brownout_skips.labels("trace").inc()
+        elif self._may_trace:
             # Inline of Tracer.sample: one C-level RNG draw decides,
             # and only the sampled fraction constructs a context.
             rate = self._trace_rate
@@ -653,24 +818,39 @@ class MechanismServer:
         except ValidationError as err:
             self.metrics["bad_request"] += 1
             return 400, {"error": str(err)}
+        degraded_from = None
         quarantined = self._quarantined.get(key)
         if quarantined is not None:
-            self.metrics["quarantined_requests"] += 1
-            return 503, {
-                "error": "deployment is quarantined (failed load-time "
-                "verification); recompile it with `repro compile`",
-                "reason": quarantined["reason"],
-                "key": key[:12],
-            }
-        deployment = self._deployments.get(key)
-        if deployment is None:
-            self.metrics["not_found"] += 1
-            return 404, {
-                "error": "deployment is not compiled/loaded; pre-warm it "
-                "with `repro compile` (use --side-grid for "
-                "side-information artifacts)",
-                "key": key[:12],
-            }
+            fallback = None
+            if self.degraded == "geometric":
+                fb_key = quarantined.get("fallback_key")
+                if fb_key is not None:
+                    fallback = self._deployments.get(fb_key)
+            if fallback is None:
+                self.metrics["quarantined_requests"] += 1
+                return 503, {
+                    "error": "deployment is quarantined (failed load-time "
+                    "verification); recompile it with `repro compile`",
+                    "reason": quarantined["reason"],
+                    "key": key[:12],
+                }
+            # Certified degradation: the same-(n, alpha) geometric
+            # artifact is alpha-private under the identical constraint
+            # and universally optimal for minimax agents (Theorem 1), so
+            # the response is marked degraded but never weaker.
+            degraded_from = key
+            deployment = fallback
+            key = fallback.spec.key()
+        else:
+            deployment = self._deployments.get(key)
+            if deployment is None:
+                self.metrics["not_found"] += 1
+                return 404, {
+                    "error": "deployment is not compiled/loaded; pre-warm "
+                    "it with `repro compile` (use --side-grid for "
+                    "side-information artifacts)",
+                    "key": key[:12],
+                }
         try:
             row = int(payload["true_result"])
         except (KeyError, TypeError, ValueError):
@@ -691,6 +871,24 @@ class MechanismServer:
                 f"at most {_MAX_IDEM} characters"
             }
         obs = self._obs
+        # WAL circuit breaker: while open, "reject" refuses the charge
+        # outright (503 + Retry-After, nothing spent, nothing released)
+        # and "memory" charges the alarm-marked volatile overlay. The
+        # half-open probe piggybacks on request arrival — no timer task.
+        breaker = self.breaker
+        if breaker.open:
+            if breaker.should_probe():
+                self._recover_wal()
+            if breaker.open and breaker.policy == "reject":
+                self.metrics["breaker_rejected"] += 1
+                return 503, {
+                    "error": "privacy WAL is unavailable and the failure "
+                    "policy is reject-new-charges: no charge was made and "
+                    "no statistic was released",
+                    "breaker": "open",
+                    "reason": breaker.reason,
+                    "retry_after": round(breaker.retry_after(), 4),
+                }
         # ``trace_ctx`` rides in from the sampling decision in
         # ``publish``: untraced requests (the vast majority at low
         # sampling rates) carry ``None`` and skip all span machinery.
@@ -709,11 +907,23 @@ class MechanismServer:
                     user, alpha, label=f"serve:{key[:12]}", idem=idem
                 )
         except LedgerUnavailableError as err:
-            self.metrics["ledger_unavailable"] += 1
-            return 503, {
-                "error": f"privacy ledger unavailable: {err}; the charge "
-                "was not recorded and no statistic was released"
-            }
+            self._trip_wal(str(err))
+            if breaker.policy == "memory":
+                # _trip_wal swapped self.ledgers to the volatile overlay
+                # (seeded with the exact floors the durable book last
+                # enforced); the charge retries there and the response
+                # will be marked "durability": "volatile".
+                decision = self.ledgers.charge(
+                    user, alpha, label=f"serve:{key[:12]}", idem=idem
+                )
+            else:
+                self.metrics["ledger_unavailable"] += 1
+                return 503, {
+                    "error": f"privacy ledger unavailable: {err}; the "
+                    "charge was not recorded and no statistic was "
+                    "released",
+                    "retry_after": round(breaker.retry_after(), 4),
+                }
         if obs is not None:
             self._outcome_counts[decision.outcome] += 1
         if decision.outcome == "replayed":
@@ -741,6 +951,18 @@ class MechanismServer:
                 )
             else:
                 value = await self.batcher.submit(deployment.index, row)
+        except LedgerUnavailableError as err:
+            # The batch's group-commit fsync failed under the reject
+            # policy: the charge may be on disk but cannot be proven
+            # durable, so the response is withheld. Over-protects the
+            # user's budget; never under.
+            self.metrics["ledger_unavailable"] += 1
+            return 503, {
+                "error": f"durability lost mid-batch: {err}; the response "
+                "is withheld (the charge, if journaled, only "
+                "over-protects)",
+                "retry_after": round(self.breaker.retry_after(), 4),
+            }
         except Exception as err:  # the gather is pure numpy; be loud
             self.metrics["errors"] += 1
             return 500, {"error": f"sampling failed: {err}"}
@@ -763,6 +985,17 @@ class MechanismServer:
             "key": key[:12],
             "cumulative_alpha": str(decision.cumulative_alpha),
         }
+        if degraded_from is not None:
+            response["degraded"] = "geometric"
+            response["requested_key"] = degraded_from[:12]
+            self.metrics["degraded"] += 1
+            if obs is not None:
+                obs.degraded_responses.inc()
+        if self.breaker.open and self.breaker.policy == "memory":
+            # The alarm in memory-mode-with-alarm: every volatile
+            # release says so (alongside /healthz, /readyz, and the
+            # breaker gauge) — a durability downgrade is never silent.
+            response["durability"] = "volatile"
         if idem is not None:
             # Best-effort replay journal: losing it downgrades a retry
             # from "replayed" to "pending" (re-sample, never re-charge).
@@ -770,6 +1003,133 @@ class MechanismServer:
                 self.ledgers.record_result(idem, 200, response)
         self.faults.crash("server.before-response")
         return 200, response
+
+    # -- WAL circuit breaker -------------------------------------------
+    def _trip_wal(self, reason: str) -> None:
+        """A persistence failure: open the breaker, loudly.
+
+        Under the ``memory`` policy this also swaps the serving book to
+        a volatile :func:`~repro.serving.overload.memory_overlay` seeded
+        from the failed durable book's in-process state — the per-user
+        floor keeps binding exactly where it stood (fsync-ambiguous
+        charges count as spent: over-protects).
+        """
+        breaker = self.breaker
+        was_open = breaker.open
+        breaker.trip(reason)
+        if not was_open:
+            obs = self._obs
+            if obs is not None:
+                obs.breaker_trips.labels("open").inc()
+                # Bypasses trace sampling — a durability outage is
+                # always worth a record.
+                obs.tracer.event(
+                    "wal.breaker-open", policy=breaker.policy, reason=reason
+                )
+            if breaker.policy == "memory" and self._wal_overlay is None:
+                self._failed_ledger = self.ledgers
+                self._wal_overlay = memory_overlay(self.ledgers)
+                self.ledgers = self._wal_overlay
+
+    def _recover_wal(self) -> bool:
+        """Half-open probe: try to restore durable charging.
+
+        Opens a fresh ledger via ``ledger_factory`` and demands a
+        successful end-to-end :meth:`~repro.release.durable_ledger.
+        DurableLedger.probe` (append + unconditional fsync). On success
+        any volatile overlay charges are backfilled into the recovered
+        journal first, then the serving book swaps back. On failure the
+        breaker re-arms for another cooldown.
+        """
+        breaker = self.breaker
+        factory = self._ledger_factory
+        if factory is None:
+            return False
+        fresh = None
+        try:
+            fresh = factory()
+            fresh.probe()
+            overlay = self._wal_overlay
+            if overlay is not None:
+                self._backfill(fresh, overlay)
+        except Exception as err:  # noqa: BLE001 - probing must not crash
+            if fresh is not None:
+                with contextlib.suppress(Exception):
+                    fresh.close()
+            breaker.trip(f"recovery probe failed: {err}")
+            return False
+        failed = (
+            self._failed_ledger
+            if self._failed_ledger is not None
+            else self.ledgers
+        )
+        self.ledgers = fresh
+        self._wal_overlay = None
+        self._failed_ledger = None
+        if failed is not None and failed is not fresh:
+            with contextlib.suppress(Exception):
+                failed.close()
+        breaker.reset()
+        obs = self._obs
+        if obs is not None:
+            obs.breaker_trips.labels("recover").inc()
+            obs.tracer.event("wal.breaker-recovered")
+        return True
+
+    @staticmethod
+    def _backfill(fresh, overlay) -> None:
+        """Migrate the outage's volatile charges into the recovered WAL.
+
+        Per user, the overlay's cumulative guarantee divided by the
+        recovered one is exactly the product of the alphas charged while
+        the disk was gone; journaling it as one combined ``backfill``
+        charge lands the durable floor maths precisely where the overlay
+        held it. Always affordable — the overlay enforced the same
+        floor. Volatile replay entries are deliberately not migrated: a
+        retry downgrades from "replayed" to "pending" (re-sample, never
+        re-charge).
+        """
+        for user, book in overlay._books.items():
+            view = fresh.view(user)
+            fresh_cum = Fraction(
+                1 if view is None else view.cumulative_alpha
+            )
+            delta = Fraction(book.cumulative_alpha) / fresh_cum
+            if delta >= 1:
+                continue
+            fresh.charge(user, delta, label="backfill:wal-outage")
+        fresh.sync()
+
+    # -- readiness ------------------------------------------------------
+    def readiness(self) -> tuple[bool, list[str]]:
+        """Readiness, distinct from ``/healthz`` liveness: may this
+        worker take *new* traffic?
+
+        Ready means artifacts are loaded, the server is not draining,
+        and the WAL is writable (breaker closed, ledger not failed). A
+        memory-mode outage is still not-ready — the worker keeps
+        serving volatile responses to clients already talking to it,
+        but a fleet should route fresh traffic elsewhere until
+        durability returns.
+        """
+        reasons: list[str] = []
+        if not self._deployments:
+            reasons.append("no deployments loaded")
+        if self._draining or self._stopped:
+            reasons.append("draining")
+        breaker = self.breaker
+        if breaker.open:
+            reasons.append(
+                f"wal breaker open ({breaker.policy}): {breaker.reason}"
+            )
+        else:
+            try:
+                failed = self.ledgers.stats().get("failed")
+            except Exception:  # noqa: BLE001 - readiness must not raise
+                failed = "ledger stats unavailable"
+            if failed:
+                reasons.append(f"ledger failed: {failed}")
+        return (not reasons, reasons)
 
     async def handle_request(
         self, method: str, path: str, payload: dict | None = None,
@@ -803,6 +1163,7 @@ class MechanismServer:
         self, path: str, params: dict, headers: dict | None
     ) -> tuple[int, dict]:
         if path == "/healthz":
+            breaker = self.breaker
             health = {
                 "status": "ok",
                 "deployments": len(self._deployments),
@@ -811,8 +1172,30 @@ class MechanismServer:
                 # Ledger/WAL health: journal bytes, seq, last-fsync
                 # latency, compaction count for a durable book.
                 "ledger": self.ledgers.stats(),
+                "breaker": breaker.snapshot(),
+                "durability": (
+                    "volatile"
+                    if breaker.open and breaker.policy == "memory"
+                    else "durable"
+                    if getattr(self.ledgers, "durable", False)
+                    else "memory"
+                ),
+                "degraded_mode": self.degraded,
             }
+            if self.worker_id is not None:
+                health["worker"] = self.worker_id
+            if self.admission is not None:
+                health["admission"] = self.admission.snapshot()
             return 200, health
+        if path == "/readyz":
+            # Readiness gates *new* traffic; /healthz answers "alive".
+            ready, reasons = self.readiness()
+            body: dict = {"ready": ready}
+            if reasons:
+                body["reasons"] = reasons
+            if self.worker_id is not None:
+                body["worker"] = self.worker_id
+            return (200 if ready else 503), body
         if path == "/artifacts":
             return 200, {
                 "artifacts": [
@@ -840,6 +1223,14 @@ class MechanismServer:
                         "alpha": str(q["spec"].alpha),
                         "key": key[:12],
                         "reason": q["reason"],
+                        # Non-None when --degraded=geometric attached a
+                        # verified geometric fallback serving in its
+                        # place.
+                        "degraded_to": (
+                            None
+                            if q.get("fallback_key") is None
+                            else q["fallback_key"][:12]
+                        ),
                     }
                     for key, q in self._quarantined.items()
                 ],
@@ -863,6 +1254,12 @@ class MechanismServer:
             return 200, {
                 "metrics": dict(self.metrics),
                 "batcher": dict(self.batcher.stats),
+                "admission": (
+                    None
+                    if self.admission is None
+                    else self.admission.snapshot()
+                ),
+                "breaker": self.breaker.snapshot(),
                 "audit": {
                     "rate": self.auditor.rate,
                     "samples": self.auditor.samples,
@@ -999,10 +1396,25 @@ class MechanismServer:
                     headers.get("connection", "keep-alive").lower()
                     != "close"
                 ) and not self._draining
+                # Backpressure hint: shed/breaker responses carry a
+                # retry_after estimate; surface it as a real Retry-After
+                # header (fractional seconds) so plain HTTP clients can
+                # pace themselves without parsing the body.
+                retry_after = (
+                    response.get("retry_after")
+                    if status in (429, 503) and isinstance(response, dict)
+                    else None
+                )
+                retry_header = (
+                    f"Retry-After: {max(0.0, float(retry_after)):.3f}\r\n"
+                    if isinstance(retry_after, (int, float))
+                    else ""
+                )
                 head = (
                     f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                     f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(data)}\r\n"
+                    f"{retry_header}"
                     f"Connection: {'keep-alive' if keep_alive else 'close'}"
                     f"\r\n\r\n"
                 )
@@ -1023,13 +1435,26 @@ class MechanismServer:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
-    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
-        """Bind the HTTP listener (``port=0`` picks an ephemeral port)."""
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0, *, sock=None
+    ) -> None:
+        """Bind the HTTP listener (``port=0`` picks an ephemeral port).
+
+        ``sock`` serves on an existing bound-and-listening socket
+        instead — the supervisor path, where every worker in the fleet
+        inherits the same ``SO_REUSEPORT`` listener so the kernel
+        load-balances accepts across them.
+        """
         if self._http_server is not None:
             raise ReproError("server is already started")
-        self._http_server = await asyncio.start_server(
-            self._handle_connection, host, port
-        )
+        if sock is not None:
+            self._http_server = await asyncio.start_server(
+                self._handle_connection, sock=sock
+            )
+        else:
+            self._http_server = await asyncio.start_server(
+                self._handle_connection, host, port
+            )
 
     @property
     def port(self) -> int:
@@ -1075,6 +1500,14 @@ class MechanismServer:
         except LedgerUnavailableError:
             pass  # already as durable as it will get; close regardless
         self.ledgers.close()
+        # A WAL outage may have left the failed durable book (and its
+        # flock handle) parked behind the overlay; release it too.
+        if (
+            self._failed_ledger is not None
+            and self._failed_ledger is not self.ledgers
+        ):
+            with contextlib.suppress(Exception):
+                self._failed_ledger.close()
         if self._obs is not None:
             # Flush the span log; close it only if this server built the
             # telemetry (a shared Telemetry may outlive one server).
